@@ -1,0 +1,107 @@
+// Experiment C12 (§4.2): distributed DDoS detection on eventually-consistent
+// sketches. The attack is split over all ingress switches, so no switch
+// locally sees enough volume; detection hinges on the EWO-merged sketch.
+// We sweep the sync period (staleness) and the attack intensity, reporting
+// detection rate and delay; a local-only detector is the baseline.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "nf/ddos.hpp"
+#include "workload/attack.hpp"
+#include "workload/traffic.hpp"
+
+using namespace swish;
+
+namespace {
+
+struct Result {
+  bool detected = false;
+  TimeNs delay = -1;
+  double local_share = 0;  ///< victim's share of one switch's local window
+};
+
+Result run(TimeNs sync_period, double attack_pps, bool shared_sketch) {
+  shm::FabricConfig cfg;
+  cfg.num_switches = 4;
+  cfg.runtime.sync_period = sync_period;
+  auto sketch = nf::DdosDetectorApp::sketch_space();
+  auto total = nf::DdosDetectorApp::total_space();
+  if (!shared_sketch) {
+    // Local-only baseline: disable replication entirely.
+    sketch.mirror_writes = false;
+    total.mirror_writes = false;
+    cfg.runtime.sync_period = 1000 * kSec;
+  }
+  shm::Fabric fabric(cfg);
+  fabric.add_space(sketch);
+  fabric.add_space(total);
+
+  nf::DdosDetectorApp::Config dcfg;
+  dcfg.window = 10 * kMs;
+  // Volumetric rule: >= 180 packets/window to one destination. The attack
+  // delivers ~attack_pps/100 per window fabric-wide but only a quarter of
+  // that at any single switch — the split-attack blind spot.
+  dcfg.volume_threshold = 180;
+  dcfg.min_window_packets = 150;
+  std::vector<nf::DdosDetectorApp*> apps;
+  fabric.install([&]() {
+    auto app = std::make_unique<nf::DdosDetectorApp>(dcfg);
+    apps.push_back(app.get());
+    return app;
+  });
+  fabric.start();
+
+  const pkt::Ipv4Addr victim{10, 200, 0, 99};
+  Result result;
+  constexpr TimeNs kAttackStart = 100 * kMs;
+  for (auto* app : apps) {
+    app->on_alarm = [&](pkt::Ipv4Addr dst, double, TimeNs t) {
+      if (dst == victim && !result.detected) {
+        result.detected = true;
+        result.delay = t - kAttackStart;
+      }
+    };
+  }
+
+  workload::TrafficConfig bg;
+  bg.flows_per_sec = 4000;
+  bg.server_ip = pkt::Ipv4Addr(10, 200, 0, 1);
+  workload::TrafficGenerator background(fabric, bg);
+  background.start(400 * kMs);
+
+  workload::AttackConfig attack;
+  attack.victim = victim;
+  attack.packets_per_sec = attack_pps;
+  attack.start = kAttackStart;
+  attack.duration = 200 * kMs;
+  workload::AttackGenerator attacker(fabric, attack);
+  attacker.start();
+
+  fabric.run_for(500 * kMs);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  TextTable table("C12: distributed DDoS detection (attack split over 4 ingress switches)");
+  table.header({"sketch", "sync period", "attack pps", "detected", "delay (ms)"});
+  for (double pps : {30e3, 60e3}) {
+    for (TimeNs period : {1 * kMs, 5 * kMs, 20 * kMs}) {
+      const Result r = run(period, pps, /*shared=*/true);
+      table.row({"shared (EWO)", bench::fmt(period / 1e6, 0) + " ms", bench::fmt(pps, 0),
+                 r.detected ? "yes" : "no",
+                 r.detected ? bench::fmt(r.delay / 1e6, 1) : "-"});
+    }
+    const Result local = run(1 * kMs, pps, /*shared=*/false);
+    table.row({"local-only", "-", bench::fmt(pps, 0), local.detected ? "yes" : "no",
+               local.detected ? bench::fmt(local.delay / 1e6, 1) : "-"});
+  }
+  table.print(std::cout);
+  bench::print_expectation(
+      "the shared sketch detects the split attack with delay roughly one detection window "
+      "plus the sync period; the local-only baseline misses it at moderate intensity (each "
+      "switch sees 1/4 of the volume) or detects far later — approximate sketches remain "
+      "correct under eventual consistency (§4.2).");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Experiment C1 (§3.1): "a software-based load balancer can process ~15M pps
+// on a single server [while] a single switch can process 5B pps ... several
+// hundred times as many packets."
+//
+// Both processors are driven by the same offered load; we report delivered
+// fraction and the saturation throughputs. Capacities are scaled down 1000x
+// (15 Kpps server vs 5 Mpps switch) to keep the event count tractable — the
+// *ratio* (333x) is what the claim is about.
+#include <iostream>
+
+#include "baseline/software_nf.hpp"
+#include "bench_util.hpp"
+
+using namespace swish;
+
+int main() {
+  constexpr double kServerPps = 15e3;   // Maglev-class server / 1000
+  constexpr double kSwitchPps = 5e6;    // Tofino-class switch / 1000
+  constexpr TimeNs kDuration = 100 * kMs;
+
+  TextTable table("C1: delivered packets under offered load (capacities scaled 1/1000)");
+  table.header({"offered (pps)", "server delivered", "server %", "switch delivered",
+                "switch %"});
+
+  for (double offered : {5e3, 15e3, 50e3, 500e3, 5e6, 10e6}) {
+    sim::Simulator sim;
+    baseline::FixedRateProcessor server(sim, 1, {.pps = kServerPps, .max_queue = 128});
+    baseline::FixedRateProcessor sw(sim, 2, {.pps = kSwitchPps, .max_queue = 128});
+    const auto gap = static_cast<TimeNs>(static_cast<double>(kSec) / offered);
+    const auto total = static_cast<std::uint64_t>(offered * kDuration / kSec);
+    for (std::uint64_t i = 0; i < total; ++i) {
+      sim.schedule_at(static_cast<TimeNs>(i) * gap + 1, [&] {
+        server.offer(pkt::Packet{});
+        sw.offer(pkt::Packet{});
+      });
+    }
+    sim.run();
+    auto pct = [&](std::uint64_t n) {
+      return bench::fmt(100.0 * static_cast<double>(n) / static_cast<double>(total), 1);
+    };
+    table.row({bench::fmt(offered, 0), std::to_string(server.stats().processed),
+               pct(server.stats().processed), std::to_string(sw.stats().processed),
+               pct(sw.stats().processed)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\ncapacity ratio (switch/server): " << bench::fmt(kSwitchPps / kServerPps, 0)
+            << "x\n";
+  bench::print_expectation(
+      "the switch sustains ~333x the server's throughput (5 Bpps vs 15 Mpps in the paper); "
+      "the server saturates at its capacity while the switch delivers 100% across the sweep.");
+  return 0;
+}

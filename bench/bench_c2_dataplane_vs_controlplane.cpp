@@ -1,0 +1,110 @@
+// Experiment C2 (§3.3): "replication protocols that run in the control plane
+// cannot operate at this rate ... a control-plane solution would cause
+// significant gaps between replicas."
+//
+// A write-intensive shared counter runs twice at each offered write rate:
+// once replicated through the control plane (the common-practice baseline),
+// once through SwiShmem's EWO data-plane protocol. We report the fraction of
+// increments visible at a remote replica after the run plus a settling
+// period, and the updates lost to control-plane overload.
+#include <iostream>
+
+#include "baseline/cp_replication.hpp"
+#include "bench_util.hpp"
+
+using namespace swish;
+
+namespace {
+
+constexpr std::size_t kKeys = 16;
+constexpr TimeNs kDuration = 100 * kMs;
+constexpr TimeNs kSettle = 200 * kMs;
+
+pkt::Packet udp_increment() {
+  pkt::PacketSpec spec;
+  spec.ip_src = pkt::Ipv4Addr(1, 1, 1, 1);
+  spec.ip_dst = pkt::Ipv4Addr(9, 9, 9, 9);
+  spec.protocol = pkt::kProtoUdp;
+  spec.src_port = 1;
+  spec.dst_port = 2;
+  spec.payload = {0};
+  return pkt::build_packet(spec);
+}
+
+struct Result {
+  double replicated_fraction = 0;
+  std::uint64_t cp_dropped = 0;
+};
+
+Result run_cp(double writes_per_sec) {
+  shm::FabricConfig cfg;
+  cfg.num_switches = 3;
+  cfg.switch_config.control_plane.ops_per_sec = 10'000;
+  cfg.switch_config.control_plane.max_queue = 256;
+  shm::Fabric fabric(cfg);
+  std::vector<baseline::CpReplCounterApp*> apps;
+  fabric.install([&]() {
+    baseline::CpReplCounterApp::Config acfg;
+    acfg.keys = kKeys;
+    acfg.peers = fabric.switch_ids();
+    auto app = std::make_unique<baseline::CpReplCounterApp>(acfg);
+    apps.push_back(app.get());
+    return app;
+  });
+  fabric.start();
+  const auto gap = static_cast<TimeNs>(static_cast<double>(kSec) / writes_per_sec);
+  const auto total = static_cast<std::uint64_t>(writes_per_sec * kDuration / kSec);
+  for (std::uint64_t i = 0; i < total; ++i) {
+    fabric.simulator().schedule_at(static_cast<TimeNs>(i) * gap + 1,
+                                   [&]() { fabric.sw(0).inject(udp_increment()); });
+  }
+  fabric.run_for(kDuration + kSettle);
+  const std::size_t key = pkt::Ipv4Addr(1, 1, 1, 1).value() % kKeys;
+  Result r;
+  r.replicated_fraction = static_cast<double>(apps[1]->visible(key)) /
+                          static_cast<double>(apps[0]->own(key));
+  r.cp_dropped = apps[0]->stats().updates_dropped_cp + apps[1]->stats().updates_dropped_cp;
+  return r;
+}
+
+Result run_ewo(double writes_per_sec) {
+  shm::FabricConfig cfg;
+  cfg.num_switches = 3;
+  cfg.switch_config.control_plane.ops_per_sec = 10'000;  // same CPU; unused by EWO
+  cfg.runtime.sync_period = 1 * kMs;
+  bench::DriverRig rig(cfg, kKeys, 0, /*mirror_batch=*/8);
+  const auto gap = static_cast<TimeNs>(static_cast<double>(kSec) / writes_per_sec);
+  const auto total = static_cast<std::uint64_t>(writes_per_sec * kDuration / kSec);
+  for (std::uint64_t i = 0; i < total; ++i) {
+    rig.fabric.simulator().schedule_at(static_cast<TimeNs>(i) * gap + 1, [&]() {
+      rig.fabric.sw(0).inject(bench::op_packet(1, 3000));  // counter key 0
+    });
+  }
+  rig.fabric.run_for(kDuration + kSettle);
+  Result r;
+  r.replicated_fraction = static_cast<double>(rig.fabric.runtime(1).ewo_read(bench::kCtrSpace, 0)) /
+                          static_cast<double>(total);
+  r.cp_dropped = 0;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  TextTable table(
+      "C2: counter replication, control-plane baseline vs SwiShmem EWO (10 Kops/s switch CPU)");
+  table.header({"writes/s", "CP-repl visible remotely", "CP updates dropped",
+                "EWO visible remotely"});
+  for (double rate : {1e3, 5e3, 2e4, 1e5, 5e5}) {
+    const Result cp = run_cp(rate);
+    const Result ewo = run_ewo(rate);
+    table.row({bench::fmt(rate, 0), bench::fmt(100 * cp.replicated_fraction, 1) + "%",
+               std::to_string(cp.cp_dropped), bench::fmt(100 * ewo.replicated_fraction, 1) + "%"});
+  }
+  table.print(std::cout);
+  bench::print_expectation(
+      "the control-plane replica keeps up only below its CPU service rate and permanently "
+      "loses updates beyond it, while data-plane (EWO) replication stays ~100% complete "
+      "across the whole sweep — orders of magnitude more write throughput.");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Experiment C4 (§6.1): read cost. "Reads are processed using the local copy
+// ... and incur no overhead, as long as the associated pending bit is not
+// set. Otherwise, the input packet is forwarded to the tail." ERO instead
+// "always performs reads locally ... guaranteeing bounded read latency."
+//
+// We sweep the write rate (which controls how often readers catch a pending
+// register) and measure the share of redirected reads and end-to-end read
+// service latency for SRO vs ERO.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "workload/stamp.hpp"
+
+using namespace swish;
+
+namespace {
+
+struct Result {
+  double redirect_share = 0;
+  double p50_us = 0, p99_us = 0;
+};
+
+Result run(bool ero, double writes_per_sec) {
+  shm::FabricConfig cfg;
+  cfg.num_switches = 4;
+  cfg.link.propagation_delay = 50 * kUs;  // non-trivial chain traversal time
+  bench::DriverRig rig(cfg);
+
+  // Reads: steady 20 kreads/s at a non-tail switch, uniform over 64 keys,
+  // measuring injection->delivery latency via a side table.
+  Histogram read_latency;
+  std::unordered_map<std::uint64_t, TimeNs> outstanding;
+  std::uint64_t next_read_id = 0;
+  rig.fabric.set_delivery_sink([&](const pkt::Packet& p) {
+    auto parsed = p.parse();
+    if (!parsed || !parsed->udp) return;
+    const std::uint16_t port = parsed->udp->dst_port;
+    const bool is_read = ero ? (port >= 5000 && port < 6000) : (port >= 2000 && port < 3000);
+    if (!is_read) return;
+    auto stamp = workload::Stamp::decode(p.l4_payload(*parsed));
+    if (!stamp) return;
+    auto it = outstanding.find(stamp->flow_id);
+    if (it == outstanding.end()) return;
+    read_latency.add(static_cast<std::uint64_t>(rig.fabric.simulator().now() - it->second));
+    outstanding.erase(it);
+  });
+
+  const TimeNs duration = 100 * kMs;
+  const std::uint16_t read_base = ero ? 5000 : 2000;
+  const std::uint16_t write_base = ero ? 4000 : 1000;
+  // Randomized read keys and jittered timing avoid phase-locking against the
+  // deterministic write schedule (which would alias the redirect probability).
+  Rng rng(0xC4);
+  for (TimeNs t = 0; t < duration; t += 50 * kUs) {
+    const auto jitter = static_cast<TimeNs>(rng.next_below(40 * kUs));
+    rig.fabric.simulator().schedule_at(
+        t + 1 + jitter, [&rig, &outstanding, &next_read_id, read_base, &rng]() {
+      const std::uint64_t id = next_read_id++;
+      const auto key = static_cast<std::uint16_t>(rng.next_below(64));
+      pkt::PacketSpec spec;
+      spec.ip_src = pkt::Ipv4Addr(1, 2, 3, 4);
+      spec.ip_dst = pkt::Ipv4Addr(9, 9, 9, 9);
+      spec.protocol = pkt::kProtoUdp;
+      spec.src_port = 1;
+      spec.dst_port = static_cast<std::uint16_t>(read_base + key);
+      spec.payload = workload::Stamp{id, 0, 0}.encode();
+      outstanding[id] = rig.fabric.simulator().now();
+      rig.fabric.sw(0).inject(pkt::build_packet(spec));  // head switch: sees pending bits
+    });
+  }
+  // Writes to the same key range from another switch.
+  if (writes_per_sec > 0) {
+    const auto gap = static_cast<TimeNs>(static_cast<double>(kSec) / writes_per_sec);
+    const auto total = static_cast<std::uint64_t>(writes_per_sec * duration / kSec);
+    for (std::uint64_t i = 0; i < total; ++i) {
+      rig.fabric.simulator().schedule_at(static_cast<TimeNs>(i) * gap + 2,
+                                         [&rig, i, write_base]() {
+        rig.fabric.sw(1).inject(bench::op_packet(
+            3, static_cast<std::uint16_t>(write_base + i % 64)));
+      });
+    }
+  }
+  rig.fabric.run_for(duration + 300 * kMs);
+
+  Result r;
+  std::uint64_t local = 0, redirected = 0;
+  for (std::size_t i = 0; i < rig.fabric.size(); ++i) {
+    local += rig.apps[i]->counters.reads_ok;
+    redirected += rig.apps[i]->counters.reads_redirected;
+  }
+  r.redirect_share = redirected + local
+                         ? static_cast<double>(redirected) / static_cast<double>(redirected + local)
+                         : 0.0;
+  r.p50_us = read_latency.p50() / 1000.0;
+  r.p99_us = read_latency.p99() / 1000.0;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  TextTable table("C4: read redirection and latency vs concurrent write rate (4-switch chain)");
+  table.header({"writes/s", "SRO redirected", "SRO p50 (us)", "SRO p99 (us)", "ERO redirected",
+                "ERO p50 (us)", "ERO p99 (us)"});
+  for (double w : {0.0, 1e3, 5e3, 2e4, 1e5}) {
+    const Result sro = run(false, w);
+    const Result ero = run(true, w);
+    table.row({bench::fmt(w, 0), bench::fmt(100 * sro.redirect_share, 1) + "%",
+               bench::fmt(sro.p50_us, 1), bench::fmt(sro.p99_us, 1),
+               bench::fmt(100 * ero.redirect_share, 1) + "%", bench::fmt(ero.p50_us, 1),
+               bench::fmt(ero.p99_us, 1)});
+  }
+  table.print(std::cout);
+  bench::print_expectation(
+      "with no concurrent writes both classes serve reads locally at pipeline latency; as the "
+      "write rate grows, SRO redirects an increasing share of reads to the tail (tail-RTT p99), "
+      "while ERO stays 0% redirected with flat, bounded latency — the §6.1 trade.");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Microbenchmarks (google-benchmark) of the hot-path primitives every
+// simulated packet touches: parsing, checksums, flow hashing, protocol
+// message codec, register/sketch updates, and raw event throughput. These
+// bound the simulator's own capacity and document the per-op costs of the
+// data structures the protocols rely on.
+#include <benchmark/benchmark.h>
+
+#include "net/network.hpp"
+#include "packet/flow.hpp"
+#include "packet/swish_wire.hpp"
+#include "pisa/control_plane.hpp"
+#include "sim/simulator.hpp"
+
+namespace swish {
+namespace {
+
+pkt::Packet sample_packet() {
+  pkt::PacketSpec spec;
+  spec.ip_src = pkt::Ipv4Addr(192, 168, 1, 10);
+  spec.ip_dst = pkt::Ipv4Addr(10, 0, 0, 1);
+  spec.protocol = pkt::kProtoTcp;
+  spec.src_port = 12345;
+  spec.dst_port = 80;
+  spec.payload.assign(64, 0xAB);
+  return pkt::build_packet(spec);
+}
+
+void BM_PacketBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sample_packet());
+  }
+}
+BENCHMARK(BM_PacketBuild);
+
+void BM_PacketParse(benchmark::State& state) {
+  const pkt::Packet p = sample_packet();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.parse());
+  }
+}
+BENCHMARK(BM_PacketParse);
+
+void BM_InternetChecksum(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)), 0x5A);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pkt::internet_checksum(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InternetChecksum)->Arg(20)->Arg(256)->Arg(1500);
+
+void BM_FlowKeyHash(benchmark::State& state) {
+  pkt::FlowKey key{pkt::Ipv4Addr(1, 2, 3, 4), pkt::Ipv4Addr(5, 6, 7, 8), 1111, 80, 6};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key.hash());
+    ++key.src_port;
+  }
+}
+BENCHMARK(BM_FlowKeyHash);
+
+void BM_WireEncodeWriteRequest(benchmark::State& state) {
+  pkt::WriteRequest m;
+  for (int i = 0; i < state.range(0); ++i) {
+    m.ops.push_back({1, static_cast<std::uint64_t>(i), 42});
+    m.seqs.push_back(static_cast<SeqNum>(i + 1));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pkt::encode_message(m));
+  }
+}
+BENCHMARK(BM_WireEncodeWriteRequest)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_WireDecodeEwoUpdate(benchmark::State& state) {
+  pkt::EwoUpdate m;
+  for (int i = 0; i < state.range(0); ++i) {
+    m.entries.push_back({1, static_cast<std::uint64_t>(i), 7, 9});
+  }
+  const auto bytes = pkt::encode_message(m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pkt::decode_message(bytes));
+  }
+}
+BENCHMARK(BM_WireDecodeEwoUpdate)->Arg(1)->Arg(64);
+
+void BM_RegisterAdd(benchmark::State& state) {
+  pisa::RegisterArray regs("r", 65536, 64);
+  RegisterIndex i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(regs.add(i, 1));
+    i = (i + 257) & 0xFFFF;
+  }
+}
+BENCHMARK(BM_RegisterAdd);
+
+void BM_ExactTableLookup(benchmark::State& state) {
+  sim::Simulator sim;
+  pisa::ControlPlane cp(sim, {});
+  pisa::ExactTable table("t", 65536);
+  for (std::uint64_t k = 0; k < 65536; ++k) table.insert(cp.token(), k * 2654435761u, k);
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(k * 2654435761u));
+    k = (k + 1) & 0xFFFF;
+  }
+}
+BENCHMARK(BM_ExactTableLookup);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 10000; ++i) {
+      sim.schedule_at(i, [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.executed_events());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+}  // namespace
+}  // namespace swish
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Distributed DDoS detection (§4.2): an attack spread across four ingress
+// switches, invisible to any single switch's local counters, is caught by the
+// fabric-wide EWO count-min sketch.
+//
+//   $ ./ddos_mitigation
+#include <iostream>
+
+#include "nf/ddos.hpp"
+#include "swishmem/fabric.hpp"
+#include "workload/attack.hpp"
+#include "workload/traffic.hpp"
+
+using namespace swish;
+
+int main() {
+  shm::FabricConfig cfg;
+  cfg.num_switches = 4;
+  cfg.runtime.sync_period = 1 * kMs;  // §6.2: frequent full synchronization
+
+  shm::Fabric fabric(cfg);
+  fabric.add_space(nf::DdosDetectorApp::sketch_space());
+  fabric.add_space(nf::DdosDetectorApp::total_space());
+
+  nf::DdosDetectorApp::Config dcfg;
+  dcfg.window = 10 * kMs;
+  dcfg.share_threshold = 0.4;
+  dcfg.min_window_packets = 200;
+
+  std::vector<nf::DdosDetectorApp*> apps;
+  fabric.install([&] {
+    auto app = std::make_unique<nf::DdosDetectorApp>(dcfg);
+    apps.push_back(app.get());
+    return app;
+  });
+  fabric.start();
+
+  const pkt::Ipv4Addr victim{10, 200, 0, 99};
+  TimeNs first_alarm = -1;
+  for (auto* app : apps) {
+    app->on_alarm = [&](pkt::Ipv4Addr dst, double share, TimeNs t) {
+      if (dst == victim && first_alarm < 0) {
+        first_alarm = t;
+        std::cout << "ALARM at t=" << t / 1000000.0 << " ms: " << dst.to_string()
+                  << " draws " << share * 100 << "% of fabric traffic\n";
+      }
+    };
+  }
+
+  // Background traffic to many destinations.
+  workload::TrafficConfig bg;
+  bg.flows_per_sec = 3000;
+  bg.server_ip = pkt::Ipv4Addr(10, 200, 0, 1);
+  workload::TrafficGenerator background(fabric, bg);
+  background.start(400 * kMs);
+
+  // The attack starts at t=100ms, split over all four ingress switches.
+  workload::AttackConfig attack;
+  attack.victim = victim;
+  attack.packets_per_sec = 80'000;
+  attack.start = 100 * kMs;
+  attack.duration = 200 * kMs;
+  workload::AttackGenerator attacker(fabric, attack);
+  attacker.start();
+
+  fabric.run_for(500 * kMs);
+
+  std::cout << "\nattack began at t=100 ms; "
+            << attacker.stats().packets_sent << " attack packets over "
+            << fabric.size() << " switches\n";
+  if (first_alarm >= 0) {
+    std::cout << "detection latency: " << (first_alarm - attack.start) / 1000000.0
+              << " ms after attack onset\n";
+  } else {
+    std::cout << "attack NOT detected\n";
+  }
+
+  // Show why distribution matters: per-switch share vs fabric share.
+  const auto est = apps[0]->estimate(fabric.runtime(0), victim);
+  std::cout << "\nfabric-wide sketch estimate for victim: " << est << " packets\n"
+            << "per-switch attack volume was only ~1/4 of that — a purely local\n"
+            << "detector would need a 4x lower (noisier) threshold to fire.\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Network-wide heavy-hitter detection without a coordinator (§8).
+//
+//   $ ./heavy_hitters
+//
+// Harrison et al. (SOSR '18) detect network-wide heavy hitters by having
+// every switch report counts to a central controller. With SwiShmem the
+// counts are a shared EWO G-counter space: each switch reads the fabric-wide
+// aggregate locally and the detection loop needs no controller at all.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "nf/heavyhitter.hpp"
+#include "swishmem/fabric.hpp"
+#include "workload/traffic.hpp"
+
+using namespace swish;
+
+int main() {
+  shm::FabricConfig cfg;
+  cfg.num_switches = 4;
+  cfg.runtime.sync_period = 1 * kMs;
+  shm::Fabric fabric(cfg);
+  fabric.add_space(nf::HeavyHitterApp::space());
+
+  nf::HeavyHitterApp::Config hcfg;
+  hcfg.threshold = 2000;   // fabric-wide packets per source host
+  hcfg.prefix_len = 32;    // host granularity (background hosts stay quiet)
+
+  std::vector<nf::HeavyHitterApp*> apps;
+  TimeNs first_report = -1;
+  fabric.install([&] {
+    auto app = std::make_unique<nf::HeavyHitterApp>(hcfg);
+    app->on_heavy_hitter = [&](pkt::Ipv4Addr prefix, std::uint64_t count, TimeNs t) {
+      if (first_report < 0) {
+        first_report = t;
+        std::cout << "HEAVY HITTER: " << prefix.to_string() << " at t=" << t / 1e6
+                  << " ms with fabric-wide count " << count << "\n";
+      }
+    };
+    apps.push_back(app.get());
+    return app;
+  });
+  fabric.start();
+
+  // Background: many quiet clients (Zipf-spread) through all switches.
+  workload::TrafficConfig bg;
+  bg.flows_per_sec = 2000;
+  bg.num_clients = 200;
+  bg.tcp = false;
+  workload::TrafficGenerator background(fabric, bg);
+  background.start(300 * kMs);
+
+  // One chatty host spread thinly over every ingress switch: ~1/4 of the
+  // volume per switch, invisible to any local threshold.
+  const pkt::Ipv4Addr talker{77, 7, 7, 1};
+  int sent = 0;
+  fabric.simulator().schedule_periodic(100 * kUs, [&] {
+    pkt::PacketSpec spec;
+    spec.ip_src = talker;
+    spec.ip_dst = pkt::Ipv4Addr(10, 0, 0, 1);
+    spec.protocol = pkt::kProtoUdp;
+    spec.src_port = 1;
+    spec.dst_port = 80;
+    spec.payload = {0};
+    fabric.sw(sent % 4).inject(pkt::build_packet(spec));
+    ++sent;
+  });
+  fabric.run_for(300 * kMs);
+
+  TextTable table("heavy-hitter counts as seen from each switch (all identical)");
+  table.header({"switch", "fabric-wide count for 77.7.7.1", "local packets processed"});
+  for (std::size_t i = 0; i < fabric.size(); ++i) {
+    table.row({std::to_string(i),
+               std::to_string(apps[i]->count(fabric.runtime(i), talker)),
+               std::to_string(apps[i]->stats().packets)});
+  }
+  table.print(std::cout);
+  std::cout << "\nEach switch processed only ~1/4 of the talker's packets, yet every\n"
+               "switch can read the network-wide count locally — the coordinator in\n"
+               "Harrison et al.'s design is replaced by the shared counter itself.\n";
+  return 0;
+}

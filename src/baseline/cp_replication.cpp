@@ -1,0 +1,79 @@
+#include "baseline/cp_replication.hpp"
+
+#include "net/topology.hpp"
+
+namespace swish::baseline {
+
+void CpReplCounterApp::setup(pisa::Switch& sw, shm::ShmRuntime&) {
+  sw_ = &sw;
+  own_counts_ = &sw.add_register_array("cpr.own", config_.keys, 64);
+  seen_counts_ = &sw.add_register_array("cpr.seen", config_.keys, 64);
+}
+
+std::uint64_t CpReplCounterApp::visible(std::size_t key) const {
+  return own_counts_->read(static_cast<RegisterIndex>(key)) +
+         seen_counts_->read(static_cast<RegisterIndex>(key));
+}
+
+std::uint64_t CpReplCounterApp::own(std::size_t key) const {
+  return own_counts_->read(static_cast<RegisterIndex>(key));
+}
+
+void CpReplCounterApp::process(pisa::PacketContext& ctx, shm::ShmRuntime&) {
+  if (!ctx.parsed || !ctx.parsed->udp) return;
+  if (ctx.parsed->udp->dst_port == kCpReplPort) {
+    on_update(*ctx.parsed, ctx.packet);
+    return;
+  }
+  // Application traffic: increment one shared counter.
+  const std::size_t key = ctx.parsed->ipv4
+                              ? ctx.parsed->ipv4->src.value() % config_.keys
+                              : 0;
+  ++stats_.local_increments;
+  own_counts_->add(static_cast<RegisterIndex>(key), 1);
+  replicate(key);
+  ctx.sw.deliver(std::move(ctx.packet));
+}
+
+void CpReplCounterApp::replicate(std::size_t key) {
+  // The update must go through the control plane (the baseline has no
+  // data-plane replication path); CP overload = lost replication.
+  const bool accepted = sw_->control_plane().submit([this, key]() {
+    ByteWriter w(12);
+    w.u32(static_cast<std::uint32_t>(key));
+    w.u64(1);  // delta
+    for (SwitchId peer : config_.peers) {
+      if (peer == sw_->id()) continue;
+      pkt::PacketSpec spec;
+      spec.eth_src = pkt::MacAddr::for_node(sw_->id());
+      spec.eth_dst = pkt::MacAddr::for_node(peer);
+      spec.ip_src = net::node_ip(sw_->id());
+      spec.ip_dst = net::node_ip(peer);
+      spec.protocol = pkt::kProtoUdp;
+      spec.src_port = kCpReplPort;
+      spec.dst_port = kCpReplPort;
+      spec.payload = w.bytes();
+      sw_->send_to_node(peer, pkt::build_packet(spec), peer);
+      ++stats_.updates_sent;
+    }
+  });
+  if (!accepted) ++stats_.updates_dropped_cp;
+}
+
+void CpReplCounterApp::on_update(const pkt::ParsedPacket& parsed, const pkt::Packet& packet) {
+  // Receiving side also pays a CP op to apply the update (table write).
+  auto payload = packet.l4_payload(parsed);
+  if (payload.size() < 12) return;
+  ByteReader r(payload);
+  const std::uint32_t key = r.u32();
+  const std::uint64_t delta = r.u64();
+  const bool accepted = sw_->control_plane().submit([this, key, delta]() {
+    if (key < seen_counts_->size()) {
+      seen_counts_->add(key, delta);
+      ++stats_.updates_applied;
+    }
+  });
+  if (!accepted) ++stats_.updates_dropped_cp;
+}
+
+}  // namespace swish::baseline

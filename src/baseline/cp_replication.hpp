@@ -1,0 +1,61 @@
+// Control-plane replication baseline (§3.3): the "common practice" SwiShmem
+// argues against. Every state update is punted to the switch CPU, which
+// sends update messages to its peers; receiving switches also apply updates
+// through their CPUs. The control plane's bounded service rate makes the
+// replication stream fall behind (or drop) under write-intensive load —
+// exactly the scalability gap the paper describes.
+//
+// The workload is a shared counter: each edge packet increments one of
+// `keys` counters locally and replicates the increment. Staleness is
+// measured as the gap between increments performed fabric-wide and
+// increments visible at each replica.
+#pragma once
+
+#include <vector>
+
+#include "swishmem/runtime.hpp"
+
+namespace swish::baseline {
+
+/// UDP port carrying baseline control-plane replication updates.
+inline constexpr std::uint16_t kCpReplPort = 9598;
+
+class CpReplCounterApp : public shm::NfApp {
+ public:
+  struct Config {
+    std::size_t keys = 256;
+    std::vector<SwitchId> peers;  ///< full deployment (filled by make_factory)
+  };
+
+  struct Stats {
+    std::uint64_t local_increments = 0;
+    std::uint64_t updates_sent = 0;
+    std::uint64_t updates_applied = 0;
+    std::uint64_t updates_dropped_cp = 0;  ///< lost to CP queue overflow
+  };
+
+  explicit CpReplCounterApp(Config config) : config_(std::move(config)) {}
+
+  void setup(pisa::Switch& sw, shm::ShmRuntime& runtime) override;
+  void process(pisa::PacketContext& ctx, shm::ShmRuntime& rt) override;
+
+  /// Total increments this replica has observed for `key` (own + received).
+  [[nodiscard]] std::uint64_t visible(std::size_t key) const;
+
+  /// Increments this replica itself performed for `key`.
+  [[nodiscard]] std::uint64_t own(std::size_t key) const;
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  void replicate(std::size_t key);
+  void on_update(const pkt::ParsedPacket& parsed, const pkt::Packet& packet);
+
+  Config config_;
+  Stats stats_;
+  pisa::Switch* sw_ = nullptr;
+  pisa::RegisterArray* own_counts_ = nullptr;
+  pisa::RegisterArray* seen_counts_ = nullptr;  ///< received from peers
+};
+
+}  // namespace swish::baseline

@@ -1,0 +1,34 @@
+#include "baseline/sharded_lb.hpp"
+
+namespace swish::baseline {
+
+void ShardedLbApp::process(pisa::PacketContext& ctx, shm::ShmRuntime&) {
+  if (!ctx.parsed || !ctx.parsed->ipv4 || !ctx.parsed->tcp) return;
+  const pkt::ParsedPacket& p = *ctx.parsed;
+  if (p.ipv4->dst != config_.vip) {
+    ctx.sw.deliver(std::move(ctx.packet));
+    return;
+  }
+  const std::uint64_t key = pkt::FlowKey::from(p).hash();
+  if (auto dip = table_->lookup(key)) {
+    ++stats_.forwarded;
+    ctx.sw.deliver(pkt::rewrite_l3l4(ctx.packet, p, std::nullopt, nf::endpoint_ip(*dip),
+                                     std::nullopt, std::nullopt));
+    return;
+  }
+  const bool syn = (p.tcp->flags & pkt::TcpFlags::kSyn) != 0;
+  if (!syn) {
+    // The assigning switch is elsewhere (or dead): the connection breaks.
+    ++stats_.pcc_violations;
+    return;
+  }
+  if (config_.backends.empty()) return;
+  const pkt::Ipv4Addr dip = config_.backends[key % config_.backends.size()];
+  ++stats_.new_connections;
+  table_->insert(sw_->control_plane().token(), key, nf::pack_endpoint(dip, 0));
+  ++stats_.forwarded;
+  ctx.sw.deliver(
+      pkt::rewrite_l3l4(ctx.packet, p, std::nullopt, dip, std::nullopt, std::nullopt));
+}
+
+}  // namespace swish::baseline

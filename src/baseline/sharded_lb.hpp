@@ -1,0 +1,48 @@
+// Sharded-state load balancer baseline (§3.2): the connection-to-DIP mapping
+// is stored only on the switch that assigned it, "on the assumption that
+// future packets for that flow will be processed by the same switch". Under
+// multipath re-routing or switch failure that assumption breaks and the flow
+// either gets re-assigned (possibly to a different DIP — a PCC violation) or
+// dropped. Compared against nf::LoadBalancerApp in bench C9.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "nf/common.hpp"
+
+namespace swish::baseline {
+
+class ShardedLbApp : public shm::NfApp {
+ public:
+  struct Config {
+    pkt::Ipv4Addr vip{10, 200, 0, 1};
+    std::vector<pkt::Ipv4Addr> backends;
+    std::size_t table_size = 65536;
+  };
+
+  struct Stats {
+    std::uint64_t forwarded = 0;
+    std::uint64_t new_connections = 0;
+    std::uint64_t pcc_violations = 0;  ///< mid-flow packet with no local mapping
+  };
+
+  explicit ShardedLbApp(Config config) : config_(std::move(config)) {}
+
+  void setup(pisa::Switch& sw, shm::ShmRuntime&) override {
+    sw_ = &sw;
+    table_ = &sw.add_exact_table("sharded_lb.conn", config_.table_size);
+  }
+
+  void process(pisa::PacketContext& ctx, shm::ShmRuntime&) override;
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  Config config_;
+  Stats stats_;
+  pisa::Switch* sw_ = nullptr;
+  pisa::ExactTable* table_ = nullptr;
+};
+
+}  // namespace swish::baseline

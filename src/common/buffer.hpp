@@ -1,0 +1,120 @@
+// Bounds-checked byte buffer reader/writer with network (big-endian) order.
+//
+// All wire formats in src/packet serialize through these helpers so that the
+// simulated packets are real byte strings: parsers can fail on truncation,
+// checksums cover actual octets, and sizes reported by the bandwidth model
+// are the sizes a switch would see.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace swish {
+
+/// Error thrown when a read or write would step outside the buffer.
+class BufferError : public std::runtime_error {
+ public:
+  explicit BufferError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Appends big-endian integers and raw bytes to a growable byte vector.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { bytes_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+
+  void u16(std::uint16_t v) {
+    bytes_.push_back(static_cast<std::uint8_t>(v >> 8));
+    bytes_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+
+  void raw(std::span<const std::uint8_t> data) {
+    bytes_.insert(bytes_.end(), data.begin(), data.end());
+  }
+
+  /// Overwrites a previously written 16-bit field (e.g. a checksum slot).
+  void patch_u16(std::size_t offset, std::uint16_t v) {
+    if (offset + 2 > bytes_.size()) throw BufferError("patch_u16 out of range");
+    bytes_[offset] = static_cast<std::uint8_t>(v >> 8);
+    bytes_[offset + 1] = static_cast<std::uint8_t>(v);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return bytes_.size(); }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept { return bytes_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() && { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Consumes big-endian integers and raw bytes from a non-owning byte view.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+
+  std::uint8_t u8() {
+    require(1);
+    return data_[pos_++];
+  }
+
+  std::uint16_t u16() {
+    require(2);
+    auto v = static_cast<std::uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+
+  std::uint32_t u32() {
+    auto hi = static_cast<std::uint32_t>(u16());
+    return (hi << 16) | u16();
+  }
+
+  std::uint64_t u64() {
+    auto hi = static_cast<std::uint64_t>(u32());
+    return (hi << 32) | u32();
+  }
+
+  std::span<const std::uint8_t> raw(std::size_t n) {
+    require(n);
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  void skip(std::size_t n) {
+    require(n);
+    pos_ += n;
+  }
+
+ private:
+  void require(std::size_t n) const {
+    if (pos_ + n > data_.size()) {
+      throw BufferError("buffer underrun: need " + std::to_string(n) + " bytes, have " +
+                        std::to_string(data_.size() - pos_));
+    }
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace swish

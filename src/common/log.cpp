@@ -1,0 +1,35 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace swish {
+namespace {
+std::atomic<LogLevel> g_threshold{LogLevel::kWarn};
+
+constexpr std::string_view level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+LogLevel log_threshold() noexcept { return g_threshold.load(std::memory_order_relaxed); }
+
+void set_log_threshold(LogLevel level) noexcept {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+void log_line(LogLevel level, std::string_view msg) {
+  std::clog << '[' << level_name(level) << "] " << msg << '\n';
+}
+}  // namespace detail
+
+}  // namespace swish

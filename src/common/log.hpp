@@ -1,0 +1,36 @@
+// Minimal leveled logger. Simulation components log through this so tests can
+// silence output and benches can enable tracing selectively.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace swish {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global log threshold; messages below it are discarded. Defaults to kWarn
+/// so tests and benches stay quiet unless they opt in.
+LogLevel log_threshold() noexcept;
+void set_log_threshold(LogLevel level) noexcept;
+
+namespace detail {
+void log_line(LogLevel level, std::string_view msg);
+}
+
+/// Streams all arguments into one log line: log(kInfo, "sent ", n, " pkts").
+template <typename... Args>
+void log(LogLevel level, Args&&... args) {
+  if (level < log_threshold()) return;
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  detail::log_line(level, os.str());
+}
+
+#define SWISH_LOG_TRACE(...) ::swish::log(::swish::LogLevel::kTrace, __VA_ARGS__)
+#define SWISH_LOG_DEBUG(...) ::swish::log(::swish::LogLevel::kDebug, __VA_ARGS__)
+#define SWISH_LOG_INFO(...) ::swish::log(::swish::LogLevel::kInfo, __VA_ARGS__)
+#define SWISH_LOG_WARN(...) ::swish::log(::swish::LogLevel::kWarn, __VA_ARGS__)
+#define SWISH_LOG_ERROR(...) ::swish::log(::swish::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace swish

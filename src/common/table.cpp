@@ -1,0 +1,40 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace swish {
+
+void TextTable::header(std::vector<std::string> cells) { header_ = std::move(cells); }
+
+void TextTable::row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) widths[i] = std::max(widths[i], cells[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+      os << cell << std::string(widths[i] - cell.size(), ' ');
+      if (i + 1 < widths.size()) os << " | ";
+    }
+    os << '\n';
+  };
+
+  if (!caption_.empty()) os << caption_ << '\n';
+  emit(header_);
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    os << std::string(widths[i], '-');
+    if (i + 1 < widths.size()) os << "-+-";
+  }
+  os << '\n';
+  for (const auto& r : rows_) emit(r);
+}
+
+}  // namespace swish

@@ -1,0 +1,36 @@
+// Aligned plain-text table printer used by every bench binary so that
+// reproduced tables/figures share one readable format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace swish {
+
+/// Collects rows of string cells and prints them with aligned columns,
+/// a header rule, and an optional caption, e.g.:
+///
+///   Table 1: NFs classified by access pattern
+///   application | state             | write freq | ...
+///   ------------+-------------------+------------+----
+///   NAT         | translation table | new conn   | ...
+class TextTable {
+ public:
+  explicit TextTable(std::string caption = {}) : caption_(std::move(caption)) {}
+
+  void header(std::vector<std::string> cells);
+  void row(std::vector<std::string> cells);
+
+  /// Renders to the stream; safe to call with no rows (prints header only).
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::string caption_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace swish

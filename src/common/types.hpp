@@ -1,0 +1,43 @@
+// Fundamental identifiers and time units shared across all SwiShmem modules.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace swish {
+
+/// Simulated time is expressed in integer nanoseconds since simulation start.
+using TimeNs = std::int64_t;
+
+inline constexpr TimeNs kNs = 1;
+inline constexpr TimeNs kUs = 1000 * kNs;
+inline constexpr TimeNs kMs = 1000 * kUs;
+inline constexpr TimeNs kSec = 1000 * kMs;
+
+/// Identifies a node (switch, host, or controller) in the simulated network.
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Identifies a switch acting as a replica of shared state. Switch ids are a
+/// subset of node ids (every switch is a node; hosts are not switches).
+using SwitchId = NodeId;
+
+/// Index of a register within a register array (a "key" in protocol terms).
+using RegisterIndex = std::uint32_t;
+
+/// Monotonic per-key sequence number assigned by the chain head (SRO/ERO).
+using SeqNum = std::uint64_t;
+
+/// Version number carried by EWO updates (timestamp + switch-id tiebreak
+/// packed by swish::shm::Version).
+using RawVersion = std::uint64_t;
+
+/// Bits-per-second link or pipeline capacity.
+using Bandwidth = std::uint64_t;
+
+inline constexpr Bandwidth kKbps = 1000;
+inline constexpr Bandwidth kMbps = 1000 * kKbps;
+inline constexpr Bandwidth kGbps = 1000 * kMbps;
+inline constexpr Bandwidth kTbps = 1000 * kGbps;
+
+}  // namespace swish

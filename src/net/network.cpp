@@ -1,0 +1,126 @@
+#include "net/network.hpp"
+
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace swish::net {
+
+namespace {
+__extension__ using u128 = unsigned __int128;
+}
+
+void Network::attach(Node& node) {
+  auto [it, inserted] = nodes_.emplace(node.id(), &node);
+  if (!inserted) throw std::invalid_argument("Network::attach: duplicate node id");
+  ports_.try_emplace(node.id());
+}
+
+Network::Connection Network::connect(NodeId a, NodeId b, const LinkParams& params) {
+  if (!nodes_.contains(a) || !nodes_.contains(b)) {
+    throw std::invalid_argument("Network::connect: unknown node");
+  }
+  auto& pa = ports_[a];
+  auto& pb = ports_[b];
+  const auto port_a = static_cast<PortId>(pa.size());
+  const auto port_b = static_cast<PortId>(pb.size());
+  pa.push_back(HalfLink{b, port_b, params, 0, {}});
+  pb.push_back(HalfLink{a, port_a, params, 0, {}});
+  return Connection{port_a, port_b};
+}
+
+Network::HalfLink& Network::half(NodeId node, PortId port) {
+  auto it = ports_.find(node);
+  if (it == ports_.end() || port >= it->second.size()) {
+    throw std::out_of_range("Network: bad (node, port)");
+  }
+  return it->second[port];
+}
+
+const Network::HalfLink& Network::half(NodeId node, PortId port) const {
+  auto it = ports_.find(node);
+  if (it == ports_.end() || port >= it->second.size()) {
+    throw std::out_of_range("Network: bad (node, port)");
+  }
+  return it->second[port];
+}
+
+void Network::send(NodeId from, PortId port, pkt::Packet packet) {
+  HalfLink& link = half(from, port);
+  const TimeNs now = sim_.now();
+
+  // Serialization / queueing on the transmit side.
+  TimeNs tx_start = std::max(now, link.next_free_time);
+  if (tx_start - now > link.params.max_queue_delay) {
+    ++link.stats.packets_dropped_queue;
+    return;
+  }
+  TimeNs tx_time = 0;
+  if (link.params.bandwidth > 0) {
+    tx_time = static_cast<TimeNs>((static_cast<u128>(packet.size()) * 8 * kSec) /
+                                  link.params.bandwidth);
+  }
+  link.next_free_time = tx_start + tx_time;
+  ++link.stats.packets_sent;
+  link.stats.bytes_sent += packet.size();
+  if (tap_) tap_(from, link.to, packet, tx_start);
+
+  // Loss after transmission starts (models on-wire corruption/drop).
+  if (link.params.loss_probability > 0.0 && rng_.chance(link.params.loss_probability)) {
+    ++link.stats.packets_dropped_loss;
+    return;
+  }
+
+  TimeNs jitter = link.params.jitter > 0
+                      ? static_cast<TimeNs>(rng_.next_below(static_cast<std::uint64_t>(link.params.jitter) + 1))
+                      : 0;
+  const TimeNs delivery = link.next_free_time + link.params.propagation_delay + jitter;
+  const NodeId to = link.to;
+  const PortId to_port = link.to_port;
+  sim_.schedule_at(delivery, [this, to, to_port, p = std::move(packet)]() mutable {
+    auto it = nodes_.find(to);
+    if (it == nodes_.end()) return;
+    Node* n = it->second;
+    if (!n->alive()) return;  // failed switches black-hole traffic
+    n->handle_packet(std::move(p), to_port);
+  });
+}
+
+std::size_t Network::port_count(NodeId node) const {
+  auto it = ports_.find(node);
+  return it == ports_.end() ? 0 : it->second.size();
+}
+
+NodeId Network::peer(NodeId node, PortId port) const { return half(node, port).to; }
+
+Node* Network::node(NodeId id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second;
+}
+
+LinkStats Network::total_stats() const {
+  LinkStats total;
+  for (const auto& [id, halves] : ports_) {
+    for (const auto& h : halves) {
+      total.packets_sent += h.stats.packets_sent;
+      total.bytes_sent += h.stats.bytes_sent;
+      total.packets_dropped_loss += h.stats.packets_dropped_loss;
+      total.packets_dropped_queue += h.stats.packets_dropped_queue;
+    }
+  }
+  return total;
+}
+
+const LinkStats& Network::stats(NodeId node, PortId port) const { return half(node, port).stats; }
+
+std::unordered_map<NodeId, std::vector<NodeId>> Network::adjacency() const {
+  std::unordered_map<NodeId, std::vector<NodeId>> adj;
+  for (const auto& [id, halves] : ports_) {
+    auto& peers = adj[id];
+    peers.reserve(halves.size());
+    for (const auto& h : halves) peers.push_back(h.to);
+  }
+  return adj;
+}
+
+}  // namespace swish::net

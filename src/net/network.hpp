@@ -1,0 +1,134 @@
+// Simulated network fabric: nodes joined by lossy, finite-bandwidth links.
+//
+// This models the paper's system assumptions directly (§5): packets can be
+// dropped, delayed, and reordered; links and switches can fail. Every
+// inter-switch protocol message crosses these links as real bytes, so the
+// replication protocols are exercised against genuine loss and reordering.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "packet/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace swish::net {
+
+using PortId = std::uint32_t;
+inline constexpr PortId kInvalidPort = std::numeric_limits<PortId>::max();
+
+/// Anything attached to the fabric: a PISA switch, a host, or a controller.
+class Node {
+ public:
+  explicit Node(NodeId id) : id_(id) {}
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+
+  /// Invoked by the network when a packet arrives on `ingress_port`.
+  virtual void handle_packet(pkt::Packet packet, PortId ingress_port) = 0;
+
+  /// True while the node processes traffic; failed nodes drop everything.
+  [[nodiscard]] bool alive() const noexcept { return alive_; }
+  virtual void fail() { alive_ = false; }
+  virtual void recover() { alive_ = true; }
+
+ private:
+  NodeId id_;
+  bool alive_ = true;
+};
+
+/// Per-direction link properties.
+struct LinkParams {
+  TimeNs propagation_delay = 1 * kUs;  ///< one-way latency
+  Bandwidth bandwidth = 100 * kGbps;   ///< 0 means infinite
+  double loss_probability = 0.0;       ///< independent Bernoulli drop per packet
+  TimeNs jitter = 0;                   ///< uniform extra delay in [0, jitter]; causes reordering
+  TimeNs max_queue_delay = 1 * kMs;    ///< tail-drop threshold for the serialization queue
+};
+
+/// Per-direction link counters.
+struct LinkStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t packets_dropped_loss = 0;
+  std::uint64_t packets_dropped_queue = 0;
+};
+
+/// Registry of nodes and links; routes packets between them in virtual time.
+class Network {
+ public:
+  Network(sim::Simulator& simulator, std::uint64_t seed)
+      : sim_(simulator), rng_(seed) {}
+
+  /// Registers a node. The caller retains ownership; the node must outlive
+  /// the network.
+  void attach(Node& node);
+
+  /// Connects two attached nodes with a bidirectional link; returns the port
+  /// assigned on each side. Ports number consecutively per node.
+  struct Connection {
+    PortId port_a;
+    PortId port_b;
+  };
+  Connection connect(NodeId a, NodeId b, const LinkParams& params);
+
+  /// Transmits a packet out of (from, port). The packet experiences
+  /// serialization (bandwidth), queueing (tail drop past max_queue_delay),
+  /// propagation delay, jitter, and Bernoulli loss; survivors are delivered
+  /// to the peer's handle_packet.
+  void send(NodeId from, PortId port, pkt::Packet packet);
+
+  [[nodiscard]] std::size_t port_count(NodeId node) const;
+
+  /// Peer node reached through (node, port); kInvalidNode if unconnected.
+  [[nodiscard]] NodeId peer(NodeId node, PortId port) const;
+
+  [[nodiscard]] Node* node(NodeId id) const;
+
+  /// Aggregate stats over all link directions.
+  [[nodiscard]] LinkStats total_stats() const;
+
+  /// Stats of the directed link out of (node, port).
+  [[nodiscard]] const LinkStats& stats(NodeId node, PortId port) const;
+
+  /// Adjacency view: for each attached node, its (port -> peer) vector.
+  [[nodiscard]] std::unordered_map<NodeId, std::vector<NodeId>> adjacency() const;
+
+  /// Mirror every transmitted packet to an observer (a fabric-wide monitor
+  /// port): called with (from, to, packet, transmit time) for each send,
+  /// including packets later lost on the wire. Used for pcap capture.
+  void set_tap(std::function<void(NodeId, NodeId, const pkt::Packet&, TimeNs)> tap) {
+    tap_ = std::move(tap);
+  }
+
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+
+ private:
+  /// One direction of a link.
+  struct HalfLink {
+    NodeId to = kInvalidNode;
+    PortId to_port = kInvalidPort;
+    LinkParams params;
+    TimeNs next_free_time = 0;  ///< when the transmitter finishes the current packet
+    LinkStats stats;
+  };
+
+  HalfLink& half(NodeId node, PortId port);
+  [[nodiscard]] const HalfLink& half(NodeId node, PortId port) const;
+
+  sim::Simulator& sim_;
+  Rng rng_;
+  std::unordered_map<NodeId, Node*> nodes_;
+  std::unordered_map<NodeId, std::vector<HalfLink>> ports_;
+  std::function<void(NodeId, NodeId, const pkt::Packet&, TimeNs)> tap_;
+};
+
+}  // namespace swish::net

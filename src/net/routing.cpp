@@ -1,0 +1,61 @@
+#include "net/routing.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace swish::net {
+
+std::unordered_map<NodeId, RoutingTable> compute_routes(const Network& network,
+                                                        const std::vector<NodeId>& exclude,
+                                                        const std::vector<NodeId>& no_transit) {
+  const auto adj = network.adjacency();
+  std::unordered_map<NodeId, RoutingTable> tables;
+  for (const auto& [id, peers] : adj) tables.try_emplace(id);
+
+  auto excluded = [&](NodeId n) {
+    return std::find(exclude.begin(), exclude.end(), n) != exclude.end();
+  };
+  auto relay_forbidden = [&](NodeId n) {
+    return std::find(no_transit.begin(), no_transit.end(), n) != no_transit.end();
+  };
+
+  // BFS from each destination; a node's shortest-path ports toward dst are
+  // those whose peer is one hop closer.
+  for (const auto& [dst, unused] : adj) {
+    if (excluded(dst)) continue;
+    std::unordered_map<NodeId, std::uint32_t> dist;
+    dist[dst] = 0;
+    std::deque<NodeId> queue{dst};
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      // A no-transit node terminates paths: its distance is known (it can be
+      // the destination or a sender) but routes never pass through it.
+      if (u != dst && relay_forbidden(u)) continue;
+      for (NodeId v : adj.at(u)) {
+        if (excluded(v) || dist.contains(v)) continue;
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+    for (const auto& [node, peers] : adj) {
+      if (node == dst || excluded(node) || !dist.contains(node)) continue;
+      std::vector<PortId> ports;
+      for (PortId p = 0; p < peers.size(); ++p) {
+        const NodeId peer = peers[p];
+        auto it = dist.find(peer);
+        // A no-transit peer may be the destination itself but never a relay
+        // hop, even as the last hop before the destination.
+        if (it != dist.end() && !excluded(peer) &&
+            (peer == dst || !relay_forbidden(peer)) && it->second + 1 == dist.at(node)) {
+          ports.push_back(p);
+        }
+      }
+      tables[node].set_routes(dst, std::move(ports));
+    }
+  }
+  return tables;
+}
+
+}  // namespace swish::net

@@ -1,0 +1,55 @@
+// Shortest-path routing with ECMP over the simulated fabric.
+//
+// Each switch gets a table mapping destination node -> the set of egress
+// ports on equal-cost shortest paths. Flows pick among equal-cost ports by
+// 5-tuple hash, which is how multipath routing spreads one NF's traffic over
+// several switches — the scenario that motivates SwiShmem's global state
+// (§3.2).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/network.hpp"
+
+namespace swish::net {
+
+/// Routing table of one node: destination -> ECMP egress ports.
+class RoutingTable {
+ public:
+  void set_routes(NodeId dst, std::vector<PortId> ports) {
+    routes_[dst] = std::move(ports);
+  }
+
+  /// Egress ports on shortest paths to `dst`; empty if unreachable.
+  [[nodiscard]] const std::vector<PortId>& ports_to(NodeId dst) const noexcept {
+    static const std::vector<PortId> kEmpty;
+    auto it = routes_.find(dst);
+    return it == routes_.end() ? kEmpty : it->second;
+  }
+
+  /// Deterministic ECMP choice by flow hash.
+  [[nodiscard]] PortId pick(NodeId dst, std::uint64_t flow_hash) const noexcept {
+    const auto& ports = ports_to(dst);
+    if (ports.empty()) return kInvalidPort;
+    return ports[flow_hash % ports.size()];
+  }
+
+  [[nodiscard]] bool reachable(NodeId dst) const noexcept { return !ports_to(dst).empty(); }
+
+ private:
+  std::unordered_map<NodeId, std::vector<PortId>> routes_;
+};
+
+/// Computes shortest-path ECMP routing tables for every node in the network
+/// via BFS from each destination. `exclude` lists failed nodes to route
+/// around (used by the controller after detecting a switch failure, §6.3).
+/// `no_transit` nodes can send and receive but never relay (e.g. the central
+/// controller, which terminates heartbeats instead of forwarding).
+std::unordered_map<NodeId, RoutingTable> compute_routes(
+    const Network& network, const std::vector<NodeId>& exclude = {},
+    const std::vector<NodeId>& no_transit = {});
+
+}  // namespace swish::net

@@ -1,0 +1,28 @@
+#include "net/topology.hpp"
+
+namespace swish::net {
+
+void connect_chain(Network& network, std::span<const NodeId> nodes, const LinkParams& params) {
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    network.connect(nodes[i], nodes[i + 1], params);
+  }
+}
+
+void connect_full_mesh(Network& network, std::span<const NodeId> nodes, const LinkParams& params) {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      network.connect(nodes[i], nodes[j], params);
+    }
+  }
+}
+
+void connect_leaf_spine(Network& network, std::span<const NodeId> leaves,
+                        std::span<const NodeId> spines, const LinkParams& params) {
+  for (NodeId leaf : leaves) {
+    for (NodeId spine : spines) {
+      network.connect(leaf, spine, params);
+    }
+  }
+}
+
+}  // namespace swish::net

@@ -1,0 +1,28 @@
+// Topology builders for the deployment scenarios in §3.2: a dedicated NF
+// switch cluster (full mesh / chain) and fabric deployments (leaf-spine).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "net/network.hpp"
+#include "packet/addr.hpp"
+
+namespace swish::net {
+
+/// Deterministic management IP for a node: 10.<id:16-23>.<id:8-15>.<id:0-7|1>.
+inline pkt::Ipv4Addr node_ip(NodeId id) noexcept {
+  return pkt::Ipv4Addr((10u << 24) | (id & 0x00ffffffu));
+}
+
+/// Wires nodes[0] - nodes[1] - ... - nodes[n-1] as a line.
+void connect_chain(Network& network, std::span<const NodeId> nodes, const LinkParams& params);
+
+/// Wires every pair of nodes (the "NF accelerator cluster" deployment).
+void connect_full_mesh(Network& network, std::span<const NodeId> nodes, const LinkParams& params);
+
+/// Wires every leaf to every spine (fabric deployment; ECMP gives multipath).
+void connect_leaf_spine(Network& network, std::span<const NodeId> leaves,
+                        std::span<const NodeId> spines, const LinkParams& params);
+
+}  // namespace swish::net

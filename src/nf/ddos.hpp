@@ -1,0 +1,86 @@
+// Distributed DDoS detector (§4.2): destination-IP frequencies are tracked in
+// a count-min sketch updated on every packet. The sketch rows are shared EWO
+// G-counters — increments commute, so each switch counts the attack traffic
+// it sees and the merged sketch reflects the whole fabric. Detection compares
+// a destination's per-window share of total traffic against a threshold;
+// approximate sketches behave correctly under eventual consistency (§4.2).
+#pragma once
+
+#include <functional>
+#include <unordered_set>
+
+#include "nf/common.hpp"
+
+namespace swish::nf {
+
+class DdosDetectorApp : public shm::NfApp {
+ public:
+  struct Config {
+    std::size_t sketch_rows = 3;
+    std::size_t sketch_cols = 1024;
+    TimeNs window = 10 * kMs;          ///< detection window
+    double share_threshold = 0.30;     ///< dst share of window traffic => attack
+    /// Absolute volumetric threshold (packets/window to one dst). When > 0 it
+    /// replaces the share rule — this is where the fabric-wide sketch matters:
+    /// a split attack keeps each switch's local volume under the threshold.
+    std::uint64_t volume_threshold = 0;
+    std::uint64_t min_window_packets = 100;  ///< ignore idle windows
+    std::size_t watch_capacity = 64;   ///< destinations tracked per window
+  };
+
+  struct Stats {
+    std::uint64_t packets = 0;
+    std::uint64_t alarms = 0;
+    std::uint64_t windows = 0;
+  };
+
+  explicit DdosDetectorApp(Config config) : config_(config) {}
+
+  static shm::SpaceConfig sketch_space(std::size_t rows = 3, std::size_t cols = 1024) {
+    shm::SpaceConfig s;
+    s.id = kDdosSketchSpace;
+    s.name = "ddos.cms";
+    s.cls = shm::ConsistencyClass::kEWO;
+    s.merge = shm::MergePolicy::kGCounter;
+    s.size = rows * cols;
+    // Per-packet mirroring of a sketch would be prohibitive; batch heavily
+    // and lean on the periodic sync (§7 "Bandwidth overhead").
+    s.mirror_batch = 32;
+    return s;
+  }
+
+  static shm::SpaceConfig total_space() {
+    shm::SpaceConfig s;
+    s.id = kDdosTotalSpace;
+    s.name = "ddos.total";
+    s.cls = shm::ConsistencyClass::kEWO;
+    s.merge = shm::MergePolicy::kGCounter;
+    s.size = 1;
+    s.mirror_batch = 32;
+    return s;
+  }
+
+  void setup(pisa::Switch& sw, shm::ShmRuntime& runtime) override;
+  void process(pisa::PacketContext& ctx, shm::ShmRuntime& rt) override;
+
+  /// Sketch point query on the merged (fabric-wide) counts.
+  [[nodiscard]] std::uint64_t estimate(shm::ShmRuntime& rt, pkt::Ipv4Addr dst) const;
+
+  /// Invoked on each alarm with (victim, share-of-traffic, time).
+  std::function<void(pkt::Ipv4Addr, double, TimeNs)> on_alarm;
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  [[nodiscard]] std::uint64_t cell(std::size_t row, pkt::Ipv4Addr dst) const noexcept;
+  void window_tick(shm::ShmRuntime& rt);
+
+  Config config_;
+  Stats stats_;
+  // Window-local detection bookkeeping (per-switch, not shared).
+  std::unordered_set<std::uint32_t> watched_;
+  std::uint64_t window_base_total_ = 0;
+  std::unordered_map<std::uint32_t, std::uint64_t> window_base_est_;
+};
+
+}  // namespace swish::nf

@@ -1,0 +1,52 @@
+// Distributed stateful firewall (§4.1): connection states live in a shared,
+// strongly-consistent table (SRO), queried on every packet and written on
+// connection open/close. Policy: traffic initiated from the protected
+// (internal) side opens a pinhole; unsolicited external traffic is dropped.
+#pragma once
+
+#include "nf/common.hpp"
+
+namespace swish::nf {
+
+class FirewallApp : public shm::NfApp {
+ public:
+  struct Config {
+    pkt::Ipv4Addr internal_prefix{192, 168, 0, 0};
+    unsigned internal_prefix_len = 16;
+    std::size_t table_size = 65536;
+  };
+
+  /// Connection states stored in the shared table.
+  enum class ConnState : std::uint64_t { kSynSeen = 1, kEstablished = 2 };
+
+  struct Stats {
+    std::uint64_t allowed_out = 0;
+    std::uint64_t allowed_in = 0;
+    std::uint64_t blocked_in = 0;
+    std::uint64_t connections_opened = 0;
+    std::uint64_t connections_closed = 0;
+    std::uint64_t redirected = 0;
+  };
+
+  explicit FirewallApp(Config config) : config_(config) {}
+
+  static shm::SpaceConfig space(std::size_t table_size = 65536) {
+    shm::SpaceConfig s;
+    s.id = kFirewallSpace;
+    s.name = "fw.connections";
+    s.cls = shm::ConsistencyClass::kSRO;
+    s.size = table_size;
+    s.table_backed = true;
+    return s;
+  }
+
+  void process(pisa::PacketContext& ctx, shm::ShmRuntime& rt) override;
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  Config config_;
+  Stats stats_;
+};
+
+}  // namespace swish::nf

@@ -1,0 +1,78 @@
+// Distributed intrusion prevention system (§4.1): packet payloads are hashed
+// into signatures and matched against a shared signature store; sources that
+// accumulate too many matches are blocked. Signature updates are rare and can
+// tolerate transient inconsistency, so the store is ERO — writes go through
+// the chain, reads are always local, and "a few additional malicious packets
+// go through immediately after signatures are updated".
+#pragma once
+
+#include "nf/common.hpp"
+
+namespace swish::nf {
+
+class IpsApp : public shm::NfApp {
+ public:
+  struct Config {
+    std::size_t signature_slots = 4096;  ///< shared ERO register array size
+    std::uint64_t block_threshold = 3;   ///< matches before a source is blocked
+    std::size_t blocklist_size = 8192;   ///< blocklist registers (per slot)
+    /// Share the blocklist fabric-wide through a G-set CRDT space: a source
+    /// blocked at one switch is blocked at all of them (add blocklist_space()
+    /// to the fabric when enabled). Off = per-switch local blocklist.
+    bool shared_blocklist = false;
+  };
+
+  struct Stats {
+    std::uint64_t passed = 0;
+    std::uint64_t matches = 0;
+    std::uint64_t dropped_blocked = 0;
+    std::uint64_t signatures_installed = 0;
+  };
+
+  explicit IpsApp(Config config) : config_(config) {}
+
+  static shm::SpaceConfig space(std::size_t slots = 4096) {
+    shm::SpaceConfig s;
+    s.id = kIpsSignatureSpace;
+    s.name = "ips.signatures";
+    s.cls = shm::ConsistencyClass::kERO;
+    s.size = slots;
+    s.table_backed = false;
+    return s;
+  }
+
+  /// G-set space for the shared blocklist (Config::shared_blocklist).
+  static shm::SpaceConfig blocklist_space(std::size_t slots = 8192) {
+    shm::SpaceConfig s;
+    s.id = kIpsBlocklistSpace;
+    s.name = "ips.blocklist";
+    s.cls = shm::ConsistencyClass::kEWO;
+    s.merge = shm::MergePolicy::kGSet;
+    s.size = slots;
+    s.value_bits = 1;
+    return s;
+  }
+
+  void setup(pisa::Switch& sw, shm::ShmRuntime& runtime) override;
+  void process(pisa::PacketContext& ctx, shm::ShmRuntime& rt) override;
+
+  /// Installs a malicious-payload signature from any switch (e.g. pushed by a
+  /// security operator); propagates to all replicas through the ERO chain.
+  void install_signature(shm::ShmRuntime& rt, std::uint64_t signature);
+
+  /// Signature of a payload (the hash the data plane computes per packet).
+  static std::uint64_t signature_of(std::span<const std::uint8_t> payload) noexcept;
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  [[nodiscard]] std::uint64_t slot_of(std::uint64_t signature) const noexcept {
+    return signature % config_.signature_slots;
+  }
+
+  Config config_;
+  Stats stats_;
+  pisa::RegisterArray* match_counts_ = nullptr;  ///< per-source local counters
+};
+
+}  // namespace swish::nf

@@ -1,0 +1,79 @@
+#include "nf/nat.hpp"
+
+namespace swish::nf {
+
+void NatApp::process(pisa::PacketContext& ctx, shm::ShmRuntime& rt) {
+  if (!ctx.parsed || !ctx.parsed->ipv4 || (!ctx.parsed->tcp && !ctx.parsed->udp)) return;
+  const pkt::ParsedPacket& p = *ctx.parsed;
+  if (in_prefix(p.ipv4->src, config_.internal_prefix, config_.internal_prefix_len)) {
+    outbound(ctx, rt, p);
+  } else if (p.ipv4->dst == config_.public_ip) {
+    inbound(ctx, rt, p);
+  } else {
+    ctx.sw.deliver(std::move(ctx.packet));  // transit traffic: not ours
+  }
+}
+
+void NatApp::outbound(pisa::PacketContext& ctx, shm::ShmRuntime& rt,
+                      const pkt::ParsedPacket& p) {
+  const std::uint64_t key = pkt::FlowKey::from(p).hash();
+  std::uint64_t mapping = 0;
+  switch (rt.sro_read(ctx, kNatSpace, key, mapping)) {
+    case shm::ReadStatus::kOk: {
+      ++stats_.translated_out;
+      ctx.sw.deliver(pkt::rewrite_l3l4(ctx.packet, p, endpoint_ip(mapping), std::nullopt,
+                                       endpoint_port(mapping), std::nullopt));
+      return;
+    }
+    case shm::ReadStatus::kRedirected:
+      ++stats_.redirected;
+      return;
+    case shm::ReadStatus::kMiss:
+      break;
+  }
+
+  // New connection: allocate a port from this switch's disjoint range (the
+  // pool is sharded, so no shared state is touched, §4.1).
+  if (next_port_offset_ >= config_.port_span) {
+    // Wrap: stale mappings are assumed expired. A production NAT would track
+    // free ports; the simulation's flow counts stay below the span.
+    next_port_offset_ = 0;
+    ++stats_.dropped_pool_exhausted;
+  }
+  const std::uint16_t public_port = static_cast<std::uint16_t>(
+      config_.port_base + ctx.sw.id() * config_.port_span + next_port_offset_++);
+  ++stats_.new_connections;
+
+  // Both directions of the mapping commit atomically in one chain write.
+  const pkt::FlowKey reverse{p.ipv4->dst, config_.public_ip, p.dst_port(), public_port,
+                             p.ipv4->protocol};
+  std::vector<pkt::WriteOp> ops{
+      {kNatSpace, key, pack_endpoint(config_.public_ip, public_port)},
+      {kNatSpace, reverse.hash(), pack_endpoint(p.ipv4->src, p.src_port())},
+  };
+  pkt::Packet out = pkt::rewrite_l3l4(ctx.packet, p, config_.public_ip, std::nullopt,
+                                      public_port, std::nullopt);
+  pisa::Switch* sw = &ctx.sw;
+  rt.sro_write(std::move(ops), std::move(out),
+               [sw](pkt::Packet&& released) { sw->deliver(std::move(released)); });
+}
+
+void NatApp::inbound(pisa::PacketContext& ctx, shm::ShmRuntime& rt, const pkt::ParsedPacket& p) {
+  const std::uint64_t key = pkt::FlowKey::from(p).hash();
+  std::uint64_t mapping = 0;
+  switch (rt.sro_read(ctx, kNatSpace, key, mapping)) {
+    case shm::ReadStatus::kOk:
+      ++stats_.translated_in;
+      ctx.sw.deliver(pkt::rewrite_l3l4(ctx.packet, p, std::nullopt, endpoint_ip(mapping),
+                                       std::nullopt, endpoint_port(mapping)));
+      return;
+    case shm::ReadStatus::kRedirected:
+      ++stats_.redirected;
+      return;
+    case shm::ReadStatus::kMiss:
+      ++stats_.dropped_no_mapping;  // unsolicited inbound: drop
+      return;
+  }
+}
+
+}  // namespace swish::nf

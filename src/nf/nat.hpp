@@ -1,0 +1,60 @@
+// Distributed NAT (§4.1): the translation table is shared with strong
+// consistency (SRO, table-backed — connection tables on real switches are
+// control-plane tables), while the free-port pool is sharded per switch so it
+// needs no shared state at all, exactly as the paper prescribes.
+#pragma once
+
+#include <cstdint>
+
+#include "nf/common.hpp"
+
+namespace swish::nf {
+
+class NatApp : public shm::NfApp {
+ public:
+  struct Config {
+    pkt::Ipv4Addr internal_prefix{192, 168, 0, 0};
+    unsigned internal_prefix_len = 16;
+    pkt::Ipv4Addr public_ip{203, 0, 113, 1};
+    /// Each switch owns ports [base + id*span, base + (id+1)*span).
+    std::uint16_t port_base = 10000;
+    std::uint16_t port_span = 2048;
+    std::size_t table_size = 65536;
+  };
+
+  struct Stats {
+    std::uint64_t translated_out = 0;
+    std::uint64_t translated_in = 0;
+    std::uint64_t new_connections = 0;
+    std::uint64_t dropped_no_mapping = 0;
+    std::uint64_t dropped_pool_exhausted = 0;
+    std::uint64_t redirected = 0;
+  };
+
+  explicit NatApp(Config config) : config_(config) {}
+
+  /// The shared space this NF needs; add to the fabric before install().
+  static shm::SpaceConfig space(std::size_t table_size = 65536) {
+    shm::SpaceConfig s;
+    s.id = kNatSpace;
+    s.name = "nat.translation";
+    s.cls = shm::ConsistencyClass::kSRO;
+    s.size = table_size;
+    s.table_backed = true;
+    return s;
+  }
+
+  void process(pisa::PacketContext& ctx, shm::ShmRuntime& rt) override;
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  void outbound(pisa::PacketContext& ctx, shm::ShmRuntime& rt, const pkt::ParsedPacket& p);
+  void inbound(pisa::PacketContext& ctx, shm::ShmRuntime& rt, const pkt::ParsedPacket& p);
+
+  Config config_;
+  Stats stats_;
+  std::uint16_t next_port_offset_ = 0;
+};
+
+}  // namespace swish::nf

@@ -1,0 +1,60 @@
+// Distributed per-user rate limiter (§4.2): each packet increments the
+// user's shared byte counter (EWO G-counter — commutative, merged across
+// switches); every window the counters are read and over-limit users are
+// throttled. A user spreading traffic over many switches is caught by the
+// *aggregate*, which no purely-local limiter could enforce — the motivating
+// "per-client rate limiter" of §3.2.
+#pragma once
+
+#include <vector>
+
+#include "nf/common.hpp"
+
+namespace swish::nf {
+
+class RateLimiterApp : public shm::NfApp {
+ public:
+  struct Config {
+    std::size_t user_slots = 1024;
+    std::uint64_t bytes_per_window = 64 * 1024;  ///< aggregate budget per user
+    TimeNs window = 10 * kMs;
+  };
+
+  struct Stats {
+    std::uint64_t passed = 0;
+    std::uint64_t dropped_limited = 0;
+    std::uint64_t users_limited = 0;  ///< limit events (user-window pairs)
+  };
+
+  explicit RateLimiterApp(Config config) : config_(config) {}
+
+  static shm::SpaceConfig space(std::size_t user_slots = 1024) {
+    shm::SpaceConfig s;
+    s.id = kRateLimiterSpace;
+    s.name = "rl.user_bytes";
+    s.cls = shm::ConsistencyClass::kEWO;
+    s.merge = shm::MergePolicy::kGCounter;
+    s.size = user_slots;
+    s.mirror_batch = 16;
+    return s;
+  }
+
+  void setup(pisa::Switch& sw, shm::ShmRuntime& runtime) override;
+  void process(pisa::PacketContext& ctx, shm::ShmRuntime& rt) override;
+
+  [[nodiscard]] std::uint64_t user_slot(pkt::Ipv4Addr src) const noexcept {
+    return src.value() % config_.user_slots;
+  }
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  void window_tick(shm::ShmRuntime& rt);
+
+  Config config_;
+  Stats stats_;
+  pisa::RegisterArray* limited_ = nullptr;     ///< per-user throttle flag (local)
+  std::vector<std::uint64_t> window_base_;     ///< aggregate at window start
+};
+
+}  // namespace swish::nf

@@ -1,0 +1,52 @@
+// Address value types for the simulated network.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace swish::pkt {
+
+/// IPv4 address stored in host order; serialized big-endian on the wire.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) | (std::uint32_t{c} << 8) | d) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Addr, Ipv4Addr) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// 48-bit MAC address.
+class MacAddr {
+ public:
+  constexpr MacAddr() = default;
+  constexpr explicit MacAddr(std::array<std::uint8_t, 6> octets) : octets_(octets) {}
+
+  /// Deterministic per-node MAC for simulated NICs: 02:00:00:xx:xx:xx.
+  static constexpr MacAddr for_node(std::uint32_t node) noexcept {
+    return MacAddr({0x02, 0x00, static_cast<std::uint8_t>(node >> 24),
+                    static_cast<std::uint8_t>(node >> 16), static_cast<std::uint8_t>(node >> 8),
+                    static_cast<std::uint8_t>(node)});
+  }
+
+  [[nodiscard]] constexpr const std::array<std::uint8_t, 6>& octets() const noexcept {
+    return octets_;
+  }
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const MacAddr&, const MacAddr&) = default;
+
+ private:
+  std::array<std::uint8_t, 6> octets_{};
+};
+
+}  // namespace swish::pkt

@@ -1,0 +1,88 @@
+#include "packet/packet.hpp"
+
+namespace swish::pkt {
+
+std::optional<ParsedPacket> Packet::parse() const {
+  try {
+    ByteReader r(bytes_);
+    ParsedPacket out;
+    out.eth = EthernetHeader::decode(r);
+    if (out.eth.ether_type != kEtherTypeIpv4) {
+      out.l4_payload_offset = kEthernetHeaderLen;
+      return out;  // non-IP frame: opaque payload (e.g. control messages)
+    }
+    auto ip = Ipv4Header::decode(r);
+    if (!ip) return std::nullopt;
+    out.ipv4 = *ip;
+    if (ip->protocol == kProtoTcp) {
+      if (r.remaining() < kTcpHeaderLen) return std::nullopt;
+      out.tcp = TcpHeader::decode(r);
+    } else if (ip->protocol == kProtoUdp) {
+      if (r.remaining() < kUdpHeaderLen) return std::nullopt;
+      out.udp = UdpHeader::decode(r);
+    }
+    out.l4_payload_offset = r.position();
+    return out;
+  } catch (const BufferError&) {
+    return std::nullopt;
+  }
+}
+
+Packet build_packet(const PacketSpec& spec) {
+  const std::size_t l4_len =
+      (spec.protocol == kProtoTcp ? kTcpHeaderLen : kUdpHeaderLen) + spec.payload.size();
+
+  ByteWriter w(kEthernetHeaderLen + kIpv4HeaderLen + l4_len);
+  EthernetHeader eth{spec.eth_dst, spec.eth_src, kEtherTypeIpv4};
+  eth.encode(w);
+
+  Ipv4Header ip;
+  ip.total_length = static_cast<std::uint16_t>(kIpv4HeaderLen + l4_len);
+  ip.ttl = spec.ttl;
+  ip.protocol = spec.protocol;
+  ip.src = spec.ip_src;
+  ip.dst = spec.ip_dst;
+  ip.encode(w);
+
+  if (spec.protocol == kProtoTcp) {
+    TcpHeader tcp;
+    tcp.src_port = spec.src_port;
+    tcp.dst_port = spec.dst_port;
+    tcp.seq = spec.tcp_seq;
+    tcp.flags = spec.tcp_flags;
+    tcp.encode(w);
+  } else {
+    UdpHeader udp;
+    udp.src_port = spec.src_port;
+    udp.dst_port = spec.dst_port;
+    udp.length = static_cast<std::uint16_t>(l4_len);
+    udp.encode(w);
+  }
+  w.raw(spec.payload);
+  return Packet(std::move(w).take());
+}
+
+Packet rewrite_l3l4(const Packet& packet, const ParsedPacket& parsed,
+                    std::optional<Ipv4Addr> new_src_ip, std::optional<Ipv4Addr> new_dst_ip,
+                    std::optional<std::uint16_t> new_src_port,
+                    std::optional<std::uint16_t> new_dst_port) {
+  PacketSpec spec;
+  spec.eth_src = parsed.eth.src;
+  spec.eth_dst = parsed.eth.dst;
+  const Ipv4Header& ip = parsed.ipv4.value();
+  spec.ip_src = new_src_ip.value_or(ip.src);
+  spec.ip_dst = new_dst_ip.value_or(ip.dst);
+  spec.protocol = ip.protocol;
+  spec.ttl = ip.ttl;
+  spec.src_port = new_src_port.value_or(parsed.src_port());
+  spec.dst_port = new_dst_port.value_or(parsed.dst_port());
+  if (parsed.tcp) {
+    spec.tcp_flags = parsed.tcp->flags;
+    spec.tcp_seq = parsed.tcp->seq;
+  }
+  auto payload = packet.l4_payload(parsed);
+  spec.payload.assign(payload.begin(), payload.end());
+  return build_packet(spec);
+}
+
+}  // namespace swish::pkt

@@ -1,0 +1,82 @@
+// The simulated packet: an owned byte string plus a lazily-parsed L2-L4 view.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "packet/headers.hpp"
+
+namespace swish::pkt {
+
+/// Parsed view of a packet's stacked headers. Offsets index into the raw
+/// bytes so payloads can be sliced without copying.
+struct ParsedPacket {
+  EthernetHeader eth;
+  std::optional<Ipv4Header> ipv4;
+  std::optional<TcpHeader> tcp;
+  std::optional<UdpHeader> udp;
+  std::size_t l4_payload_offset = 0;
+
+  [[nodiscard]] bool is_tcp() const noexcept { return tcp.has_value(); }
+  [[nodiscard]] bool is_udp() const noexcept { return udp.has_value(); }
+  [[nodiscard]] std::uint16_t src_port() const noexcept {
+    return tcp ? tcp->src_port : (udp ? udp->src_port : 0);
+  }
+  [[nodiscard]] std::uint16_t dst_port() const noexcept {
+    return tcp ? tcp->dst_port : (udp ? udp->dst_port : 0);
+  }
+};
+
+/// An immutable-ish network packet. Rewrites (e.g. NAT translation) go
+/// through the builder helpers, producing fresh bytes with fixed checksums.
+class Packet {
+ public:
+  Packet() = default;
+  explicit Packet(std::vector<std::uint8_t> bytes) : bytes_(std::move(bytes)) {}
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept { return bytes_; }
+  [[nodiscard]] std::size_t size() const noexcept { return bytes_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return bytes_.empty(); }
+
+  /// Parses the header stack; returns nullopt on truncation / bad checksum /
+  /// non-IPv4. Parsing is pure and does not mutate the packet.
+  [[nodiscard]] std::optional<ParsedPacket> parse() const;
+
+  [[nodiscard]] std::span<const std::uint8_t> l4_payload(const ParsedPacket& p) const noexcept {
+    if (p.l4_payload_offset >= bytes_.size()) return {};
+    return std::span<const std::uint8_t>(bytes_).subspan(p.l4_payload_offset);
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Fields a caller supplies to build an L3/L4 packet; lengths and checksums
+/// are computed by the builder.
+struct PacketSpec {
+  MacAddr eth_src;
+  MacAddr eth_dst;
+  Ipv4Addr ip_src;
+  Ipv4Addr ip_dst;
+  std::uint8_t protocol = kProtoUdp;  // kProtoTcp or kProtoUdp
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t tcp_flags = 0;        // TCP only
+  std::uint32_t tcp_seq = 0;         // TCP only
+  std::uint8_t ttl = 64;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Builds a fully-encoded packet from the spec.
+Packet build_packet(const PacketSpec& spec);
+
+/// Returns a copy of `packet` with rewritten IPv4 addresses/ports (the NAT
+/// and load-balancer data paths use this). Recomputes lengths and checksums.
+Packet rewrite_l3l4(const Packet& packet, const ParsedPacket& parsed,
+                    std::optional<Ipv4Addr> new_src_ip, std::optional<Ipv4Addr> new_dst_ip,
+                    std::optional<std::uint16_t> new_src_port,
+                    std::optional<std::uint16_t> new_dst_port);
+
+}  // namespace swish::pkt

@@ -1,0 +1,49 @@
+#include "packet/pcap.hpp"
+
+#include <stdexcept>
+
+namespace swish::pkt {
+namespace {
+constexpr std::uint32_t kMagic = 0xa1b2c3d4;  // microsecond-resolution pcap
+constexpr std::uint32_t kLinkTypeEthernet = 1;
+constexpr std::uint32_t kSnapLen = 65535;
+}  // namespace
+
+PcapWriter::PcapWriter(const std::string& path) : out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_) throw std::runtime_error("PcapWriter: cannot open " + path);
+  u32(kMagic);
+  u16(2);  // version major
+  u16(4);  // version minor
+  u32(0);  // thiszone
+  u32(0);  // sigfigs
+  u32(kSnapLen);
+  u32(kLinkTypeEthernet);
+}
+
+void PcapWriter::u32(std::uint32_t v) {
+  // pcap headers are written in the writer's native byte order; we emit
+  // little-endian explicitly for a stable file format.
+  const std::uint8_t b[4] = {static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v >> 8),
+                             static_cast<std::uint8_t>(v >> 16),
+                             static_cast<std::uint8_t>(v >> 24)};
+  out_.write(reinterpret_cast<const char*>(b), 4);
+}
+
+void PcapWriter::u16(std::uint16_t v) {
+  const std::uint8_t b[2] = {static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v >> 8)};
+  out_.write(reinterpret_cast<const char*>(b), 2);
+}
+
+void PcapWriter::write(TimeNs timestamp, const Packet& packet) {
+  const auto usec = static_cast<std::uint64_t>(timestamp) / 1000;
+  u32(static_cast<std::uint32_t>(usec / 1'000'000));  // ts_sec
+  u32(static_cast<std::uint32_t>(usec % 1'000'000));  // ts_usec
+  const auto len = static_cast<std::uint32_t>(packet.size());
+  u32(len);  // incl_len (we never truncate: simulated packets are small)
+  u32(len);  // orig_len
+  out_.write(reinterpret_cast<const char*>(packet.bytes().data()),
+             static_cast<std::streamsize>(len));
+  ++packets_;
+}
+
+}  // namespace swish::pkt

@@ -1,0 +1,37 @@
+// Classic libpcap-format capture writer. Simulated traffic can be dumped and
+// opened in Wireshark/tcpdump — the SwiShmem protocol rides UDP, so protocol
+// exchanges (write requests, acks, EWO updates) are directly inspectable.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "common/types.hpp"
+#include "packet/packet.hpp"
+
+namespace swish::pkt {
+
+class PcapWriter {
+ public:
+  /// Opens (truncates) the capture file and writes the global header.
+  /// Throws std::runtime_error if the file cannot be created.
+  explicit PcapWriter(const std::string& path);
+
+  /// Appends one packet with the given virtual timestamp.
+  void write(TimeNs timestamp, const Packet& packet);
+
+  [[nodiscard]] std::uint64_t packets_written() const noexcept { return packets_; }
+
+  /// Flushes buffered records to disk.
+  void flush() { out_.flush(); }
+
+ private:
+  void u32(std::uint32_t v);
+  void u16(std::uint16_t v);
+
+  std::ofstream out_;
+  std::uint64_t packets_ = 0;
+};
+
+}  // namespace swish::pkt

@@ -1,0 +1,169 @@
+#include "packet/swish_wire.hpp"
+
+namespace swish::pkt {
+namespace {
+
+void encode_ops(ByteWriter& w, const std::vector<WriteOp>& ops, const std::vector<SeqNum>& seqs) {
+  w.u16(static_cast<std::uint16_t>(ops.size()));
+  w.u8(seqs.empty() ? 0 : 1);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    w.u32(ops[i].space);
+    w.u64(ops[i].key);
+    w.u64(ops[i].value);
+    if (!seqs.empty()) w.u64(seqs[i]);
+  }
+}
+
+void decode_ops(ByteReader& r, std::vector<WriteOp>& ops, std::vector<SeqNum>& seqs) {
+  const std::uint16_t n = r.u16();
+  const bool has_seqs = r.u8() != 0;
+  ops.resize(n);
+  seqs.clear();
+  if (has_seqs) seqs.resize(n);
+  for (std::uint16_t i = 0; i < n; ++i) {
+    ops[i].space = r.u32();
+    ops[i].key = r.u64();
+    ops[i].value = r.u64();
+    if (has_seqs) seqs[i] = r.u64();
+  }
+}
+
+void encode_body(ByteWriter& w, const WriteRequest& m) {
+  w.u32(m.epoch);
+  w.u32(m.writer);
+  w.u64(m.write_id);
+  w.u8(m.snapshot_replay ? 1 : 0);
+  encode_ops(w, m.ops, m.seqs);
+}
+
+void encode_body(ByteWriter& w, const WriteAck& m) {
+  w.u32(m.epoch);
+  w.u32(m.writer);
+  w.u64(m.write_id);
+  encode_ops(w, m.ops, m.seqs);
+}
+
+void encode_body(ByteWriter& w, const EwoUpdate& m) {
+  w.u32(m.origin);
+  w.u8(m.periodic ? 1 : 0);
+  w.u16(static_cast<std::uint16_t>(m.entries.size()));
+  for (const auto& e : m.entries) {
+    w.u32(e.space);
+    w.u64(e.key);
+    w.u64(e.version);
+    w.u64(e.value);
+  }
+}
+
+void encode_body(ByteWriter& w, const Heartbeat& m) {
+  w.u32(m.sender);
+  w.u64(m.send_time_ns);
+}
+
+void encode_body(ByteWriter& w, const ChainConfig& m) {
+  w.u32(m.epoch);
+  w.u16(static_cast<std::uint16_t>(m.chain.size()));
+  for (auto s : m.chain) w.u32(s);
+}
+
+void encode_body(ByteWriter& w, const GroupConfig& m) {
+  w.u32(m.epoch);
+  w.u16(static_cast<std::uint16_t>(m.members.size()));
+  for (auto s : m.members) w.u32(s);
+}
+
+void encode_body(ByteWriter& w, const ReadRedirect& m) {
+  w.u32(m.origin);
+  w.u16(static_cast<std::uint16_t>(m.original_packet.size()));
+  w.raw(m.original_packet);
+}
+
+constexpr MsgType type_of(const SwishMessage& msg) noexcept {
+  return static_cast<MsgType>(msg.index() + 1);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_message(const SwishMessage& msg) {
+  ByteWriter w(64);
+  w.u8(static_cast<std::uint8_t>(type_of(msg)));
+  std::visit([&w](const auto& m) { encode_body(w, m); }, msg);
+  return std::move(w).take();
+}
+
+std::optional<SwishMessage> decode_message(std::span<const std::uint8_t> payload) {
+  try {
+    ByteReader r(payload);
+    const auto type = static_cast<MsgType>(r.u8());
+    switch (type) {
+      case MsgType::kWriteRequest: {
+        WriteRequest m;
+        m.epoch = r.u32();
+        m.writer = r.u32();
+        m.write_id = r.u64();
+        m.snapshot_replay = r.u8() != 0;
+        decode_ops(r, m.ops, m.seqs);
+        return m;
+      }
+      case MsgType::kWriteAck: {
+        WriteAck m;
+        m.epoch = r.u32();
+        m.writer = r.u32();
+        m.write_id = r.u64();
+        decode_ops(r, m.ops, m.seqs);
+        return m;
+      }
+      case MsgType::kEwoUpdate: {
+        EwoUpdate m;
+        m.origin = r.u32();
+        m.periodic = r.u8() != 0;
+        const std::uint16_t n = r.u16();
+        m.entries.resize(n);
+        for (auto& e : m.entries) {
+          e.space = r.u32();
+          e.key = r.u64();
+          e.version = r.u64();
+          e.value = r.u64();
+        }
+        return m;
+      }
+      case MsgType::kHeartbeat: {
+        Heartbeat m;
+        m.sender = r.u32();
+        m.send_time_ns = r.u64();
+        return m;
+      }
+      case MsgType::kChainConfig: {
+        ChainConfig m;
+        m.epoch = r.u32();
+        const std::uint16_t n = r.u16();
+        m.chain.resize(n);
+        for (auto& s : m.chain) s = r.u32();
+        return m;
+      }
+      case MsgType::kGroupConfig: {
+        GroupConfig m;
+        m.epoch = r.u32();
+        const std::uint16_t n = r.u16();
+        m.members.resize(n);
+        for (auto& s : m.members) s = r.u32();
+        return m;
+      }
+      case MsgType::kReadRedirect: {
+        ReadRedirect m;
+        m.origin = r.u32();
+        const std::uint16_t n = r.u16();
+        auto raw = r.raw(n);
+        m.original_packet.assign(raw.begin(), raw.end());
+        return m;
+      }
+    }
+    return std::nullopt;
+  } catch (const BufferError&) {
+    return std::nullopt;
+  }
+}
+
+std::size_t encoded_size(const SwishMessage& msg) { return encode_message(msg).size(); }
+
+}  // namespace swish::pkt

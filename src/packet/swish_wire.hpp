@@ -1,0 +1,139 @@
+// Wire format of the SwiShmem replication protocol (§6, §7 of the paper).
+//
+// Protocol messages travel as UDP payloads on kSwishPort between switches in
+// the simulated fabric, so they are subject to the same loss/reordering as
+// application traffic — exactly the environment the protocols are designed
+// for. Messages are deliberately small (the paper notes ~100-byte objects
+// suit in-switch replication); a WriteRequest with one op is 47 bytes of
+// payload.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "common/types.hpp"
+
+namespace swish::pkt {
+
+/// UDP destination port carrying SwiShmem protocol messages.
+inline constexpr std::uint16_t kSwishPort = 9599;
+
+enum class MsgType : std::uint8_t {
+  kWriteRequest = 1,
+  kWriteAck = 2,
+  kEwoUpdate = 3,
+  kHeartbeat = 4,
+  kChainConfig = 5,
+  kGroupConfig = 6,
+  kReadRedirect = 7,
+};
+
+/// One register mutation inside a write request.
+struct WriteOp {
+  std::uint32_t space = 0;       ///< logical register array id
+  std::uint64_t key = 0;         ///< register index, or 64-bit table key
+  std::uint64_t value = 0;
+
+  friend bool operator==(const WriteOp&, const WriteOp&) = default;
+};
+
+/// SRO/ERO chain write. Created by the writer's control plane (seqs empty),
+/// sequenced by the chain head (seqs filled, one per op), then propagated
+/// down the chain. `write_id` is globally unique per logical write so
+/// retries and duplicated acks are idempotent.
+struct WriteRequest {
+  std::uint32_t epoch = 0;            ///< chain configuration epoch
+  SwitchId writer = kInvalidNode;     ///< switch whose control plane buffers P'
+  std::uint64_t write_id = 0;
+  bool snapshot_replay = false;       ///< recovery resend guarded by old seqs
+  std::vector<WriteOp> ops;
+  std::vector<SeqNum> seqs;           ///< parallel to ops once head-assigned
+
+  friend bool operator==(const WriteRequest&, const WriteRequest&) = default;
+};
+
+/// Sent by the chain tail to the writer (releases the buffered output packet)
+/// and multicast to chain members (clears pending bits).
+struct WriteAck {
+  std::uint32_t epoch = 0;
+  SwitchId writer = kInvalidNode;
+  std::uint64_t write_id = 0;
+  std::vector<WriteOp> ops;   ///< echoed so receivers can clear per-key state
+  std::vector<SeqNum> seqs;
+
+  friend bool operator==(const WriteAck&, const WriteAck&) = default;
+};
+
+/// One register slot inside an EWO update.
+struct EwoEntry {
+  std::uint32_t space = 0;
+  std::uint64_t key = 0;
+  RawVersion version = 0;  ///< LWW version, or monotone counter value for CRDTs
+  std::uint64_t value = 0;
+
+  friend bool operator==(const EwoEntry&, const EwoEntry&) = default;
+};
+
+/// Asynchronous EWO state delta: either a per-write egress-mirrored update or
+/// a chunk of the periodic full synchronization (§6.2). `origin` names the
+/// replica whose slot is being reported (needed by CRDT vector merges).
+struct EwoUpdate {
+  SwitchId origin = kInvalidNode;
+  bool periodic = false;  ///< true when produced by the packet-generator scan
+  std::vector<EwoEntry> entries;
+
+  friend bool operator==(const EwoUpdate&, const EwoUpdate&) = default;
+};
+
+/// Liveness beacon consumed by the central controller's failure detector.
+struct Heartbeat {
+  SwitchId sender = kInvalidNode;
+  std::uint64_t send_time_ns = 0;
+
+  friend bool operator==(const Heartbeat&, const Heartbeat&) = default;
+};
+
+/// Controller -> switch: the SRO chain for a new epoch.
+struct ChainConfig {
+  std::uint32_t epoch = 0;
+  std::vector<SwitchId> chain;  ///< head first, tail last
+
+  friend bool operator==(const ChainConfig&, const ChainConfig&) = default;
+};
+
+/// Controller -> switch: EWO replica-group membership for a new epoch.
+struct GroupConfig {
+  std::uint32_t epoch = 0;
+  std::vector<SwitchId> members;
+
+  friend bool operator==(const GroupConfig&, const GroupConfig&) = default;
+};
+
+/// A read that hit a pending register, encapsulated to the chain tail (§6.1).
+/// Carries the original packet so the tail can run the NF logic on the
+/// latest committed state and emit the output itself.
+struct ReadRedirect {
+  SwitchId origin = kInvalidNode;
+  std::vector<std::uint8_t> original_packet;
+
+  friend bool operator==(const ReadRedirect&, const ReadRedirect&) = default;
+};
+
+using SwishMessage = std::variant<WriteRequest, WriteAck, EwoUpdate, Heartbeat, ChainConfig,
+                                  GroupConfig, ReadRedirect>;
+
+/// Serializes a protocol message (type byte + body) into a UDP payload.
+std::vector<std::uint8_t> encode_message(const SwishMessage& msg);
+
+/// Parses a payload; returns nullopt on truncation or unknown type.
+std::optional<SwishMessage> decode_message(std::span<const std::uint8_t> payload);
+
+/// Payload size in bytes of the encoded message (used by benches computing
+/// replication bandwidth without materializing packets).
+std::size_t encoded_size(const SwishMessage& msg);
+
+}  // namespace swish::pkt

@@ -1,0 +1,34 @@
+#include "pisa/control_plane.hpp"
+
+namespace swish::pisa {
+
+std::size_t ControlPlane::backlog() const noexcept {
+  const TimeNs now = sim_.now();
+  if (cpu_free_time_ <= now) return 0;
+  return static_cast<std::size_t>((cpu_free_time_ - now) / std::max<TimeNs>(service_time(), 1));
+}
+
+bool ControlPlane::submit(std::function<void()> job) {
+  if (backlog() >= config_.max_queue) {
+    ++stats_.dropped;
+    return false;
+  }
+  const TimeNs start = std::max(sim_.now(), cpu_free_time_);
+  const TimeNs done = start + service_time();
+  cpu_free_time_ = done;
+  sim_.schedule_at(done, [this, job = std::move(job)]() {
+    if (gate_ && !gate_()) return;
+    ++stats_.executed;
+    job();
+  });
+  return true;
+}
+
+sim::TimerHandle ControlPlane::schedule_after(TimeNs delay, std::function<void()> fn) {
+  return sim_.schedule_after(delay, [this, fn = std::move(fn)]() {
+    if (gate_ && !gate_()) return;
+    submit(fn);
+  });
+}
+
+}  // namespace swish::pisa

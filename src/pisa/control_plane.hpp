@@ -1,0 +1,66 @@
+// Per-switch control-plane CPU with a bounded service rate.
+//
+// The paper's SRO protocol deliberately routes writes through the control
+// plane (buffering + retry), and its write throughput is "limited by the
+// need to send packets through the control plane" (§6.1). Modelling the CPU
+// as a finite-rate work queue makes that limit real: jobs are serviced
+// sequentially at ops_per_sec, and the queue tail-drops under overload —
+// which is also what sinks the control-plane replication baseline (§3.3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hpp"
+#include "pisa/objects.hpp"
+#include "sim/simulator.hpp"
+
+namespace swish::pisa {
+
+class ControlPlane {
+ public:
+  struct Config {
+    double ops_per_sec = 100'000;   ///< jobs serviced per second
+    std::size_t max_queue = 4096;   ///< pending jobs beyond which submissions drop
+  };
+
+  struct Stats {
+    std::uint64_t executed = 0;
+    std::uint64_t dropped = 0;
+  };
+
+  ControlPlane(sim::Simulator& simulator, Config config)
+      : sim_(simulator), config_(config) {}
+
+  /// Capability for table mutation; see CpToken.
+  [[nodiscard]] CpToken token() const noexcept { return CpToken{}; }
+
+  /// Queues a job costing one CPU service slot. Returns false (job dropped)
+  /// when the queue is full — callers relying on the job (e.g. SRO write
+  /// submission) observe this as loss and recover via retry.
+  bool submit(std::function<void()> job);
+
+  /// Arms a timer; when it fires the callback is charged as a CPU job.
+  sim::TimerHandle schedule_after(TimeNs delay, std::function<void()> fn);
+
+  /// Gate run before any job; set by the owning switch to its liveness check
+  /// so a failed switch's queued jobs and timers become no-ops.
+  void set_gate(std::function<bool()> gate) { gate_ = std::move(gate); }
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t backlog() const noexcept;
+
+ private:
+  [[nodiscard]] TimeNs service_time() const noexcept {
+    return static_cast<TimeNs>(static_cast<double>(kSec) / config_.ops_per_sec);
+  }
+
+  sim::Simulator& sim_;
+  Config config_;
+  Stats stats_;
+  TimeNs cpu_free_time_ = 0;
+  std::function<bool()> gate_;
+};
+
+}  // namespace swish::pisa

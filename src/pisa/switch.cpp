@@ -1,0 +1,145 @@
+#include "pisa/switch.hpp"
+
+#include "common/log.hpp"
+
+namespace swish::pisa {
+
+Switch::Switch(sim::Simulator& simulator, net::Network& network, NodeId id, Config config)
+    : net::Node(id),
+      sim_(simulator),
+      network_(network),
+      config_(config),
+      control_plane_(simulator, config.control_plane) {
+  control_plane_.set_gate([this]() { return alive(); });
+}
+
+RegisterArray& Switch::add_register_array(std::string name, std::size_t size,
+                                          unsigned entry_bits) {
+  objects_.push_back(std::make_unique<RegisterArray>(std::move(name), size, entry_bits));
+  return static_cast<RegisterArray&>(*objects_.back());
+}
+
+CounterArray& Switch::add_counter_array(std::string name, std::size_t size) {
+  objects_.push_back(std::make_unique<CounterArray>(std::move(name), size));
+  return static_cast<CounterArray&>(*objects_.back());
+}
+
+MeterArray& Switch::add_meter_array(std::string name, std::size_t size,
+                                    MeterArray::Config config) {
+  objects_.push_back(std::make_unique<MeterArray>(std::move(name), size, config));
+  return static_cast<MeterArray&>(*objects_.back());
+}
+
+ExactTable& Switch::add_exact_table(std::string name, std::size_t capacity, unsigned key_bits,
+                                    unsigned value_bits) {
+  objects_.push_back(std::make_unique<ExactTable>(std::move(name), capacity, key_bits, value_bits));
+  return static_cast<ExactTable&>(*objects_.back());
+}
+
+LpmTable& Switch::add_lpm_table(std::string name, std::size_t capacity) {
+  objects_.push_back(std::make_unique<LpmTable>(std::move(name), capacity));
+  return static_cast<LpmTable&>(*objects_.back());
+}
+
+TernaryTable& Switch::add_ternary_table(std::string name, std::size_t capacity) {
+  objects_.push_back(std::make_unique<TernaryTable>(std::move(name), capacity));
+  return static_cast<TernaryTable&>(*objects_.back());
+}
+
+std::size_t Switch::memory_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& obj : objects_) total += obj->memory_bytes();
+  return total;
+}
+
+bool Switch::admit() {
+  const TimeNs now = sim_.now();
+  const auto per_packet = static_cast<TimeNs>(static_cast<double>(kSec) / config_.dataplane_pps);
+  const TimeNs backlog = dp_free_time_ > now ? dp_free_time_ - now : 0;
+  if (per_packet > 0 &&
+      backlog > per_packet * static_cast<TimeNs>(config_.dataplane_queue)) {
+    ++stats_.dropped_capacity;
+    return false;
+  }
+  dp_free_time_ = std::max(now, dp_free_time_) + per_packet;
+  return true;
+}
+
+void Switch::handle_packet(pkt::Packet packet, net::PortId ingress_port) {
+  if (!alive()) return;
+  process(std::move(packet), ingress_port, /*from_edge=*/false, /*recirc_count=*/0);
+}
+
+void Switch::inject(pkt::Packet packet) {
+  if (!alive()) return;
+  ++stats_.injected;
+  process(std::move(packet), net::kInvalidPort, /*from_edge=*/true, /*recirc_count=*/0);
+}
+
+void Switch::process(pkt::Packet packet, net::PortId ingress_port, bool from_edge,
+                     unsigned recirc_count) {
+  if (!admit()) return;
+  ++stats_.processed;
+  if (!program_) return;  // no program installed: sink
+  PacketContext ctx{*this, std::move(packet), std::nullopt, ingress_port, from_edge,
+                    recirc_count};
+  ctx.parsed = ctx.packet.parse();
+  program_->process(ctx);
+}
+
+void Switch::send_to_node(NodeId dst, pkt::Packet packet, std::uint64_t flow_hash) {
+  if (dst == id()) {
+    recirculate(std::move(packet));
+    return;
+  }
+  const net::PortId port = routing_.pick(dst, flow_hash);
+  if (port == net::kInvalidPort) {
+    SWISH_LOG_DEBUG("switch ", id(), ": no route to ", dst, ", dropping");
+    return;
+  }
+  send_to_port(port, std::move(packet));
+}
+
+void Switch::send_to_port(net::PortId port, pkt::Packet packet) {
+  ++stats_.sent;
+  const NodeId self = id();
+  // Egress after the pipeline traversal latency.
+  sim_.schedule_after(config_.pipeline_latency, [this, self, port, p = std::move(packet)]() mutable {
+    if (!alive()) return;
+    network_.send(self, port, std::move(p));
+  });
+}
+
+void Switch::deliver(pkt::Packet packet) {
+  ++stats_.delivered;
+  if (!delivery_sink_) return;
+  sim_.schedule_after(config_.pipeline_latency, [this, p = std::move(packet)]() {
+    if (delivery_sink_) delivery_sink_(p);
+  });
+}
+
+void Switch::recirculate(pkt::Packet packet) {
+  ++stats_.recirculated;
+  sim_.schedule_after(config_.pipeline_latency, [this, p = std::move(packet)]() mutable {
+    if (!alive()) return;
+    // A recirculated packet re-enters with its recirc count bumped; we do not
+    // thread the old count through the egress queue, so cap via stats only.
+    process(std::move(p), net::kInvalidPort, /*from_edge=*/false, /*recirc_count=*/1);
+  });
+}
+
+void Switch::multicast_nodes(std::span<const SwitchId> nodes, const pkt::Packet& packet) {
+  for (SwitchId dst : nodes) {
+    if (dst == id()) continue;
+    send_to_node(dst, packet, /*flow_hash=*/dst);
+  }
+}
+
+sim::TimerHandle Switch::start_packet_generator(TimeNs period, std::function<void()> fn) {
+  return sim_.schedule_periodic(period, [this, fn = std::move(fn)]() {
+    if (!alive()) return;
+    fn();
+  });
+}
+
+}  // namespace swish::pisa

@@ -1,0 +1,156 @@
+// The PISA switch model (§2): a programmable parser + match-action pipeline
+// with data-plane stateful objects, traffic-manager primitives
+// (recirculation, node-level multicast, mirroring-by-construction), a packet
+// generator for background tasks, and a finite-rate control-plane CPU.
+//
+// Packets are processed atomically — the single-threaded discrete-event
+// simulator guarantees that a packet's multi-register write set is visible
+// all-or-nothing to the next packet, the property SwiShmem's protocols lean
+// on (§2, §3.3).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/routing.hpp"
+#include "packet/packet.hpp"
+#include "pisa/control_plane.hpp"
+#include "pisa/objects.hpp"
+#include "sim/simulator.hpp"
+
+namespace swish::pisa {
+
+class Switch;
+
+/// Per-packet processing context handed to the installed pipeline program.
+struct PacketContext {
+  Switch& sw;
+  pkt::Packet packet;
+  std::optional<pkt::ParsedPacket> parsed;
+  net::PortId ingress_port = net::kInvalidPort;
+  bool from_edge = false;     ///< injected at the cluster edge (vs fabric link)
+  unsigned recirc_count = 0;
+};
+
+/// A "P4 program": processes each packet, reading/writing the switch's
+/// stateful objects and invoking traffic-manager primitives on the switch.
+class PipelineProgram {
+ public:
+  virtual ~PipelineProgram() = default;
+  virtual void process(PacketContext& ctx) = 0;
+};
+
+class Switch : public net::Node {
+ public:
+  struct Config {
+    TimeNs pipeline_latency = 1 * kUs;     ///< ingress-to-egress latency
+    double dataplane_pps = 100e6;          ///< processing capacity
+    std::size_t dataplane_queue = 16384;   ///< packets buffered before tail drop
+    std::size_t memory_budget = 10 * 1024 * 1024;  ///< ~10 MB SRAM (§1)
+    ControlPlane::Config control_plane;
+  };
+
+  struct Stats {
+    std::uint64_t processed = 0;
+    std::uint64_t dropped_capacity = 0;
+    std::uint64_t injected = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t recirculated = 0;
+    std::uint64_t sent = 0;
+  };
+
+  Switch(sim::Simulator& simulator, net::Network& network, NodeId id, Config config);
+
+  // -- Program / object setup (done once, before traffic) -------------------
+
+  RegisterArray& add_register_array(std::string name, std::size_t size, unsigned entry_bits = 64);
+  CounterArray& add_counter_array(std::string name, std::size_t size);
+  MeterArray& add_meter_array(std::string name, std::size_t size, MeterArray::Config config);
+  ExactTable& add_exact_table(std::string name, std::size_t capacity, unsigned key_bits = 64,
+                              unsigned value_bits = 64);
+  LpmTable& add_lpm_table(std::string name, std::size_t capacity);
+  TernaryTable& add_ternary_table(std::string name, std::size_t capacity);
+
+  /// Total SRAM consumed by stateful objects; compare to config().memory_budget.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+  [[nodiscard]] bool within_memory_budget() const noexcept {
+    return memory_bytes() <= config_.memory_budget;
+  }
+
+  void install_program(std::unique_ptr<PipelineProgram> program) {
+    program_ = std::move(program);
+  }
+  [[nodiscard]] PipelineProgram* program() const noexcept { return program_.get(); }
+
+  void set_routing(net::RoutingTable routing) { routing_ = std::move(routing); }
+  [[nodiscard]] const net::RoutingTable& routing() const noexcept { return routing_; }
+
+  /// Sink invoked when a packet leaves the NF cluster toward its real
+  /// destination (set by the experiment harness to count/measure traffic).
+  void set_delivery_sink(std::function<void(const pkt::Packet&)> sink) {
+    delivery_sink_ = std::move(sink);
+  }
+
+  // -- Ingress ---------------------------------------------------------------
+
+  void handle_packet(pkt::Packet packet, net::PortId ingress_port) override;
+
+  /// Edge ingress: a packet entering the NF cluster at this switch (from a
+  /// host or upstream router the simulation does not model individually).
+  void inject(pkt::Packet packet);
+
+  // -- Traffic-manager primitives (callable during processing and from CP) ---
+
+  /// Routes toward another fabric node via ECMP on flow_hash.
+  void send_to_node(NodeId dst, pkt::Packet packet, std::uint64_t flow_hash = 0);
+
+  void send_to_port(net::PortId port, pkt::Packet packet);
+
+  /// The packet exits the NF cluster (reached its logical destination).
+  void deliver(pkt::Packet packet);
+
+  /// Re-enters the pipeline after one traversal latency.
+  void recirculate(pkt::Packet packet);
+
+  /// Replicates to each listed node (egress mirroring + multicast engine,
+  /// §7); skips this switch's own id.
+  void multicast_nodes(std::span<const SwitchId> nodes, const pkt::Packet& packet);
+
+  // -- Background tasks -------------------------------------------------------
+
+  /// Data-plane packet generator: runs `fn` every `period` ns with no
+  /// control-plane cost (§7 uses this for EWO periodic synchronization).
+  sim::TimerHandle start_packet_generator(TimeNs period, std::function<void()> fn);
+
+  // -- Accessors ---------------------------------------------------------------
+
+  [[nodiscard]] ControlPlane& control_plane() noexcept { return control_plane_; }
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] net::Network& network() noexcept { return network_; }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  void process(pkt::Packet packet, net::PortId ingress_port, bool from_edge,
+               unsigned recirc_count);
+
+  /// Enforces data-plane capacity; returns false when the packet is dropped.
+  bool admit();
+
+  sim::Simulator& sim_;
+  net::Network& network_;
+  Config config_;
+  ControlPlane control_plane_;
+  std::unique_ptr<PipelineProgram> program_;
+  net::RoutingTable routing_;
+  std::vector<std::unique_ptr<StatefulObject>> objects_;
+  std::function<void(const pkt::Packet&)> delivery_sink_;
+  Stats stats_;
+  TimeNs dp_free_time_ = 0;
+};
+
+}  // namespace swish::pisa

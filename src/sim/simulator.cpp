@@ -1,0 +1,57 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace swish::sim {
+
+TimerHandle Simulator::schedule_at(TimeNs t, std::function<void()> fn) {
+  if (t < now_) throw std::invalid_argument("Simulator::schedule_at: time in the past");
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Event{t, next_seq_++, std::move(fn), cancelled});
+  return TimerHandle(std::move(cancelled));
+}
+
+TimerHandle Simulator::schedule_periodic(TimeNs period, std::function<void()> fn) {
+  if (period <= 0) throw std::invalid_argument("Simulator::schedule_periodic: period must be > 0");
+  auto cancelled = std::make_shared<bool>(false);
+  // Each firing checks the shared flag and reschedules itself; cancellation of
+  // the returned handle stops the whole series.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, period, fn = std::move(fn), cancelled, tick]() {
+    if (*cancelled) return;
+    fn();
+    if (*cancelled) return;
+    queue_.push(Event{now_ + period, next_seq_++, *tick, cancelled});
+  };
+  queue_.push(Event{now_ + period, next_seq_++, *tick, cancelled});
+  return TimerHandle(std::move(cancelled));
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (*ev.cancelled) continue;
+    now_ = ev.time;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+void Simulator::run_until(TimeNs deadline) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.top().time <= deadline) {
+    if (!step()) break;
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace swish::sim

@@ -1,0 +1,98 @@
+// Deterministic discrete-event simulator.
+//
+// All SwiShmem experiments run in virtual time: links, switch pipelines,
+// control-plane CPUs, and protocol timers schedule callbacks here. Events at
+// equal timestamps fire in scheduling (FIFO) order, which — together with the
+// seeded Rng — makes every run bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace swish::sim {
+
+/// Handle to a scheduled event; allows cancellation (e.g. retry timers that
+/// were answered before expiring). Copyable; all copies refer to one event.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+
+  /// Cancels the event if it has not fired yet. Idempotent.
+  void cancel() noexcept {
+    if (cancelled_) *cancelled_ = true;
+  }
+
+  [[nodiscard]] bool active() const noexcept { return cancelled_ && !*cancelled_; }
+
+ private:
+  friend class Simulator;
+  explicit TimerHandle(std::shared_ptr<bool> cancelled) : cancelled_(std::move(cancelled)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+/// Virtual-time event loop. Not thread-safe; the whole simulation is
+/// single-threaded by design (PISA switches process packets atomically, and a
+/// single-threaded DES gives that property for free).
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] TimeNs now() const noexcept { return now_; }
+
+  /// Schedules `fn` to run at absolute virtual time `t` (>= now).
+  TimerHandle schedule_at(TimeNs t, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` nanoseconds from now.
+  TimerHandle schedule_after(TimeNs delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Schedules `fn` every `period` ns, first firing at now + period, until the
+  /// returned handle is cancelled.
+  TimerHandle schedule_periodic(TimeNs period, std::function<void()> fn);
+
+  /// Runs events until the queue is empty or `stop()` is called.
+  void run();
+
+  /// Runs events with time <= deadline; leaves later events queued and
+  /// advances now() to the deadline.
+  void run_until(TimeNs deadline);
+
+  /// Requests run()/run_until() to return after the current event.
+  void stop() noexcept { stopped_ = true; }
+
+  [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed_events() const noexcept { return executed_; }
+
+ private:
+  struct Event {
+    TimeNs time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops and runs the earliest event; returns false if queue empty.
+  bool step();
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  TimeNs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace swish::sim

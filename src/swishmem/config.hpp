@@ -1,0 +1,94 @@
+// Configuration of SwiShmem register spaces and the per-switch runtime.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace swish::shm {
+
+/// The three register classes of §5.
+enum class ConsistencyClass : std::uint8_t {
+  kSRO,  ///< Strong Read Optimized: linearizable, chain-replicated
+  kERO,  ///< Eventual Read Optimized: SRO writes, always-local reads
+  kEWO,  ///< Eventual Write Optimized: local writes, async replication
+};
+
+/// How an EWO replica merges remote updates (§6.2).
+enum class MergePolicy : std::uint8_t {
+  kLww,        ///< last-writer-wins by (timestamp, switch-id) version
+  kGCounter,   ///< increment-only CRDT counter (per-switch vector, max-merge)
+  kPNCounter,  ///< increment/decrement CRDT counter (two vectors)
+  /// Grow-only bit-set CRDT: each register is a 64-bit membership bitmap and
+  /// merge is bitwise OR. §6.2 leaves in-switch CRDT sets as an open
+  /// question; a G-set over register bitmaps is implementable on PISA
+  /// hardware (stateful ALUs support OR) and covers shared blocklists.
+  kGSet,
+};
+
+/// How EWO periodic synchronization picks targets (§7 suggests random-one).
+enum class SyncFanout : std::uint8_t {
+  kRandomOne,  ///< each chunk goes to one randomly-selected group member
+  kBroadcast,  ///< each chunk is multicast to all group members
+};
+
+const char* to_string(ConsistencyClass cls) noexcept;
+const char* to_string(MergePolicy policy) noexcept;
+
+/// Static description of one shared register space (a named register array or
+/// control-plane table replicated across the deployment).
+struct SpaceConfig {
+  std::uint32_t id = 0;
+  std::string name;
+  ConsistencyClass cls = ConsistencyClass::kEWO;
+  std::size_t size = 1024;  ///< number of registers / table capacity
+  unsigned value_bits = 64;
+
+  // SRO/ERO only --------------------------------------------------------
+  /// Guard (sequence number + pending bit) slots. 0 means one per key; a
+  /// smaller count shares guards across hashed keys — the §7 memory
+  /// optimization, at the cost of false-pending read redirections.
+  std::size_t guard_slots = 0;
+  /// True when the state lives in a control-plane table (NAT / firewall /
+  /// LB connection tables): chain hops then apply updates via their CPs.
+  bool table_backed = false;
+
+  // EWO only -------------------------------------------------------------
+  MergePolicy merge = MergePolicy::kLww;
+  /// Immediately mirror each write to the group (in addition to periodic
+  /// sync). Disable to measure the sync-only ablation.
+  bool mirror_writes = true;
+  /// Coalesce this many mirrored entries per update packet (1 = no batching;
+  /// larger trades bandwidth for staleness, §7 "Bandwidth overhead").
+  std::size_t mirror_batch = 1;
+
+  [[nodiscard]] std::size_t effective_guard_slots() const noexcept {
+    return guard_slots == 0 ? size : guard_slots;
+  }
+};
+
+/// Per-switch runtime tuning.
+struct RuntimeConfig {
+  // SRO ------------------------------------------------------------------
+  TimeNs write_retry_timeout = 5 * kMs;   ///< writer CP retransmit interval
+  unsigned max_write_retries = 20;
+  std::size_t cp_buffer_limit = 100'000;  ///< buffered output packets (CP DRAM)
+
+  // EWO ------------------------------------------------------------------
+  TimeNs sync_period = 1 * kMs;           ///< periodic full-state scan (§6.2)
+  std::size_t sync_chunk_entries = 64;    ///< registers per sync packet
+  SyncFanout sync_fanout = SyncFanout::kRandomOne;
+  TimeNs mirror_flush_interval = 100 * kUs;  ///< flush partial mirror batches
+
+  // Clocks -----------------------------------------------------------------
+  /// Fixed offset of this switch's clock from simulated true time; the paper
+  /// cites data-plane PTP achieving tens of ns (§6.2).
+  TimeNs clock_offset = 0;
+
+  // Liveness ---------------------------------------------------------------
+  TimeNs heartbeat_period = 10 * kMs;
+};
+
+}  // namespace swish::shm

@@ -1,0 +1,245 @@
+#include "swishmem/controller.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "net/routing.hpp"
+#include "packet/swish_wire.hpp"
+
+namespace swish::shm {
+
+Controller::Controller(sim::Simulator& simulator, net::Network& network, NodeId id, Config config)
+    : net::Node(id), sim_(simulator), network_(network), config_(config) {}
+
+void Controller::register_switch(pisa::Switch& sw, ShmRuntime& runtime) {
+  members_[sw.id()] = Member{&sw, &runtime, 0, true};
+}
+
+void Controller::bootstrap() {
+  chain_.epoch = next_epoch_++;
+  chain_.chain.clear();
+  group_.epoch = chain_.epoch;
+  group_.members.clear();
+  for (const auto& [id, m] : members_) {
+    chain_.chain.push_back(id);
+    group_.members.push_back(id);
+  }
+  push_configs(/*immediate=*/true);
+  push_space_chains(/*immediate=*/true);
+}
+
+void Controller::register_space(const SpaceConfig& config, std::vector<SwitchId> replicas) {
+  directory_[config.id] = SpaceEntry{config, std::move(replicas)};
+}
+
+const std::vector<SwitchId>* Controller::space_replicas(std::uint32_t space) const {
+  auto it = directory_.find(space);
+  return it == directory_.end() ? nullptr : &it->second.replicas;
+}
+
+void Controller::push_space_chains(bool immediate) {
+  for (const auto& [space, entry] : directory_) {
+    pkt::ChainConfig chain;
+    chain.epoch = chain_.epoch;  // space chains ride the global epoch counter
+    for (SwitchId id : entry.replicas) {
+      auto it = members_.find(id);
+      if (it != members_.end() && it->second.alive) chain.chain.push_back(id);
+    }
+    for (auto& [id, m] : members_) {
+      if (!m.alive) continue;
+      ShmRuntime* rt = m.runtime;
+      auto apply = [rt, space = space, chain]() { rt->set_space_chain(space, chain); };
+      if (immediate) {
+        apply();
+      } else {
+        sim_.schedule_after(config_.mgmt_latency, std::move(apply));
+      }
+    }
+  }
+}
+
+void Controller::migrate_space(std::uint32_t space, std::vector<SwitchId> new_replicas,
+                               std::function<void(TimeNs)> done) {
+  auto it = directory_.find(space);
+  if (it == directory_.end()) return;
+  SpaceEntry& entry = it->second;
+
+  // New members need storage before the stream arrives.
+  auto joiners = std::make_shared<std::vector<SwitchId>>();
+  for (SwitchId id : new_replicas) {
+    if (std::find(entry.replicas.begin(), entry.replicas.end(), id) == entry.replicas.end()) {
+      joiners->push_back(id);
+      ShmRuntime* rt = members_.at(id).runtime;
+      sim_.schedule_after(config_.mgmt_latency,
+                          [rt, config = entry.config, new_replicas]() {
+                            rt->add_space(config, new_replicas);
+                          });
+    }
+  }
+
+  // Donor: the space's current tail (must be alive; directory chains exclude
+  // failed members).
+  SwitchId donor_id = kInvalidNode;
+  for (auto rit = entry.replicas.rbegin(); rit != entry.replicas.rend(); ++rit) {
+    auto mit = members_.find(*rit);
+    if (mit != members_.end() && mit->second.alive) {
+      donor_id = *rit;
+      break;
+    }
+  }
+
+  auto finish = [this, space, new_replicas, done]() {
+    directory_.at(space).replicas = new_replicas;
+    chain_.epoch = next_epoch_++;  // bump the epoch counter for the new chain
+    push_space_chains(/*immediate=*/false);
+    if (done) {
+      sim_.schedule_after(config_.mgmt_latency,
+                          [this, done]() { done(sim_.now()); });
+    }
+  };
+
+  if (donor_id == kInvalidNode || joiners->empty()) {
+    // Pure shrink (or nothing to copy from): just switch the chain over.
+    sim_.schedule_after(config_.mgmt_latency, finish);
+    return;
+  }
+
+  // Stream to each joiner sequentially (the donor runs one stream at a time).
+  ShmRuntime* donor = members_.at(donor_id).runtime;
+  auto stream_next = std::make_shared<std::function<void()>>();
+  auto index = std::make_shared<std::size_t>(0);
+  *stream_next = [this, donor, joiners, index, stream_next, finish, space]() {
+    if (*index >= joiners->size()) {
+      finish();
+      return;
+    }
+    const SwitchId target = (*joiners)[(*index)++];
+    donor->start_recovery_stream(target, [stream_next]() { (*stream_next)(); }, space);
+  };
+  sim_.schedule_after(2 * config_.mgmt_latency, [stream_next]() { (*stream_next)(); });
+}
+
+void Controller::start() {
+  for (auto& [id, m] : members_) m.last_heartbeat = sim_.now();
+  sim_.schedule_periodic(config_.check_period, [this]() { check_liveness(); });
+}
+
+void Controller::handle_packet(pkt::Packet packet, net::PortId) {
+  auto parsed = packet.parse();
+  if (!parsed || !parsed->udp || parsed->udp->dst_port != pkt::kSwishPort) return;
+  auto msg = pkt::decode_message(packet.l4_payload(*parsed));
+  if (!msg) return;
+  if (const auto* hb = std::get_if<pkt::Heartbeat>(&*msg)) {
+    auto it = members_.find(hb->sender);
+    if (it != members_.end()) it->second.last_heartbeat = sim_.now();
+  }
+}
+
+void Controller::check_liveness() {
+  const TimeNs now = sim_.now();
+  for (auto& [id, m] : members_) {
+    if (m.alive && now - m.last_heartbeat > config_.heartbeat_timeout) {
+      handle_failure(id);
+    }
+  }
+}
+
+void Controller::declare_failed(SwitchId id) {
+  auto it = members_.find(id);
+  if (it != members_.end() && it->second.alive) handle_failure(id);
+}
+
+void Controller::handle_failure(SwitchId failed) {
+  SWISH_LOG_INFO("controller: switch ", failed, " declared failed at ", sim_.now());
+  members_.at(failed).alive = false;
+  if (on_failure_detected) on_failure_detected(failed, sim_.now());
+
+  std::erase(chain_.chain, failed);
+  std::erase(group_.members, failed);
+  const std::uint32_t epoch = next_epoch_++;
+  chain_.epoch = epoch;
+  group_.epoch = epoch;
+  push_configs(/*immediate=*/false);
+  push_space_chains(/*immediate=*/false);  // directory chains route around it too
+
+  if (on_failover_complete) {
+    sim_.schedule_after(config_.mgmt_latency, [this, failed]() {
+      on_failover_complete(failed, sim_.now());
+    });
+  }
+}
+
+void Controller::readmit_switch(SwitchId id) {
+  auto it = members_.find(id);
+  if (it == members_.end() || it->second.alive) return;
+  it->second.alive = true;
+  it->second.last_heartbeat = sim_.now();
+
+  // EWO: membership change only; periodic synchronization restores state.
+  const bool had_chain = !chain_.chain.empty();
+  group_.epoch = next_epoch_++;
+  if (std::find(group_.members.begin(), group_.members.end(), id) == group_.members.end()) {
+    group_.members.push_back(id);
+  }
+  chain_.epoch = group_.epoch;  // keep epochs in lockstep
+  push_configs(/*immediate=*/false);
+
+  if (!had_chain) {
+    if (on_recovery_complete) {
+      sim_.schedule_after(config_.mgmt_latency, [this, id]() {
+        on_recovery_complete(id, sim_.now());
+      });
+    }
+    return;
+  }
+
+  // SRO: the current tail streams its snapshot (plus tapped live commits) to
+  // the newcomer; only then does the newcomer join the chain — as the new
+  // tail (§6.3).
+  ShmRuntime* donor = members_.at(chain_.chain.back()).runtime;
+  sim_.schedule_after(config_.mgmt_latency, [this, donor, id]() {
+    donor->start_recovery_stream(id, [this, id]() {
+      const std::uint32_t epoch = next_epoch_++;
+      chain_.epoch = epoch;
+      group_.epoch = epoch;
+      if (std::find(chain_.chain.begin(), chain_.chain.end(), id) == chain_.chain.end()) {
+        chain_.chain.push_back(id);
+      }
+      push_configs(/*immediate=*/false);
+      if (on_recovery_complete) {
+        sim_.schedule_after(config_.mgmt_latency, [this, id]() {
+          on_recovery_complete(id, sim_.now());
+        });
+      }
+    });
+  });
+}
+
+std::vector<NodeId> Controller::failed_nodes() const {
+  std::vector<NodeId> failed;
+  for (const auto& [id, m] : members_) {
+    if (!m.alive) failed.push_back(id);
+  }
+  return failed;
+}
+
+void Controller::push_configs(bool immediate) {
+  auto tables = net::compute_routes(network_, failed_nodes(), /*no_transit=*/{id()});
+  for (auto& [id, m] : members_) {
+    if (!m.alive) continue;
+    Member* member = &m;
+    auto apply = [member, chain = chain_, group = group_,
+                  routing = std::move(tables[id])]() mutable {
+      member->runtime->set_chain(chain);
+      member->runtime->set_group(group);
+      member->sw->set_routing(std::move(routing));
+    };
+    if (immediate) {
+      apply();
+    } else {
+      sim_.schedule_after(config_.mgmt_latency, std::move(apply));
+    }
+  }
+}
+
+}  // namespace swish::shm

@@ -1,0 +1,112 @@
+// Central controller (§6.3): detects fail-stop switch failures from missing
+// heartbeats, repairs the SRO chain and the EWO replica group, reprograms
+// routing around failed switches, and orchestrates recovery of replacement
+// switches via the tail's snapshot stream.
+//
+// Heartbeats arrive over the data network (lossy); configuration pushes use
+// an out-of-band management network modelled as a reliable RPC with fixed
+// latency — standard practice for SDN controllers (Onix et al.).
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "net/network.hpp"
+#include "swishmem/runtime.hpp"
+
+namespace swish::shm {
+
+class Controller : public net::Node {
+ public:
+  struct Config {
+    /// Declare failure after this much heartbeat silence. Heartbeats ride the
+    /// lossy data network, so keep several periods of margin: with 10 ms
+    /// beats, 60 ms tolerates 5 consecutive losses before a false positive.
+    TimeNs heartbeat_timeout = 60 * kMs;
+    TimeNs check_period = 10 * kMs;   ///< failure-detector scan interval
+    TimeNs mgmt_latency = 500 * kUs;  ///< management RPC one-way latency
+  };
+
+  Controller(sim::Simulator& simulator, net::Network& network, NodeId id, Config config);
+
+  /// Registers a switch and its runtime. Registration order defines the
+  /// initial chain order (head first).
+  void register_switch(pisa::Switch& sw, ShmRuntime& runtime);
+
+  /// Installs epoch-1 chain/group/routing on all switches, directly (models
+  /// pre-provisioned configuration before traffic starts).
+  void bootstrap();
+
+  /// Starts the heartbeat-based failure detector.
+  void start();
+
+  void handle_packet(pkt::Packet packet, net::PortId ingress_port) override;
+
+  /// Re-admits a recovered/replacement switch: rejoins the EWO group at once
+  /// (periodic sync restores it, §6.3) and re-enters the SRO chain only after
+  /// the tail's snapshot stream completes.
+  void readmit_switch(SwitchId id);
+
+  // -- Directory service (§9): partitioned spaces -----------------------------
+
+  /// Registers a partitioned space replicated only on `replicas`. Must be
+  /// called before bootstrap(). The directory owns the space's chain.
+  void register_space(const SpaceConfig& config, std::vector<SwitchId> replicas);
+
+  /// Migrates a partitioned space to a new replica set: new members receive
+  /// the state through the tail's snapshot stream, then the space's chain
+  /// switches over. `done` fires when the new chain is installed.
+  void migrate_space(std::uint32_t space, std::vector<SwitchId> new_replicas,
+                     std::function<void(TimeNs)> done = nullptr);
+
+  /// Current replica set of a partitioned space (nullptr if unregistered).
+  [[nodiscard]] const std::vector<SwitchId>* space_replicas(std::uint32_t space) const;
+
+  /// Immediately marks a switch failed (bypasses heartbeat timeout), for
+  /// experiments that separate detection time from repair time.
+  void declare_failed(SwitchId id);
+
+  [[nodiscard]] const pkt::ChainConfig& chain() const noexcept { return chain_; }
+  [[nodiscard]] const pkt::GroupConfig& group() const noexcept { return group_; }
+
+  // Experiment hooks.
+  std::function<void(SwitchId, TimeNs)> on_failure_detected;
+  std::function<void(SwitchId, TimeNs)> on_failover_complete;
+  std::function<void(SwitchId, TimeNs)> on_recovery_complete;
+
+ private:
+  void check_liveness();
+  void handle_failure(SwitchId failed);
+
+  /// Pushes chain/group/routing to all live switches over the management
+  /// network (mgmt_latency); `immediate` bypasses latency for bootstrap.
+  void push_configs(bool immediate);
+
+  [[nodiscard]] std::vector<NodeId> failed_nodes() const;
+
+  /// Installs directory-owned space chains on every live switch.
+  void push_space_chains(bool immediate);
+
+  struct SpaceEntry {
+    SpaceConfig config;
+    std::vector<SwitchId> replicas;
+  };
+
+  struct Member {
+    pisa::Switch* sw = nullptr;
+    ShmRuntime* runtime = nullptr;
+    TimeNs last_heartbeat = 0;
+    bool alive = true;
+  };
+
+  sim::Simulator& sim_;
+  net::Network& network_;
+  Config config_;
+  std::map<SwitchId, Member> members_;  // ordered => deterministic chain order
+  pkt::ChainConfig chain_;
+  pkt::GroupConfig group_;
+  std::map<std::uint32_t, SpaceEntry> directory_;  ///< partitioned spaces (§9)
+  std::uint32_t next_epoch_ = 1;
+};
+
+}  // namespace swish::shm

@@ -1,0 +1,123 @@
+#include "swishmem/fabric.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace swish::shm {
+namespace {
+
+/// Transit spines forward everything by destination IP — they run no NF.
+class TransitProgram : public pisa::PipelineProgram {
+ public:
+  void process(pisa::PacketContext& ctx) override {
+    if (!ctx.parsed || !ctx.parsed->ipv4) return;
+    // Destination node id is encoded in the management IP (net::node_ip).
+    const NodeId dst = ctx.parsed->ipv4->dst.value() & 0x00ffffff;
+    ctx.sw.send_to_node(dst, std::move(ctx.packet),
+                        pkt::FlowKey::from(*ctx.parsed).hash());
+  }
+};
+
+constexpr NodeId kControllerId = 1000;
+constexpr NodeId kSpineBase = 2000;
+
+}  // namespace
+
+Fabric::Fabric(FabricConfig config)
+    : config_(config), sim_(), net_(sim_, config.seed) {
+  if (config_.num_switches == 0) throw std::invalid_argument("Fabric: need >= 1 switch");
+
+  for (std::size_t i = 0; i < config_.num_switches; ++i) {
+    const auto id = static_cast<NodeId>(i + 1);
+    switches_.push_back(std::make_unique<pisa::Switch>(sim_, net_, id, config_.switch_config));
+    ids_.push_back(id);
+    net_.attach(*switches_.back());
+  }
+
+  switch (config_.topology) {
+    case FabricConfig::Topology::kFullMesh:
+      net::connect_full_mesh(net_, ids_, config_.link);
+      break;
+    case FabricConfig::Topology::kChain:
+      net::connect_chain(net_, ids_, config_.link);
+      break;
+    case FabricConfig::Topology::kLeafSpine: {
+      std::vector<NodeId> spine_ids;
+      for (std::size_t s = 0; s < config_.spine_count; ++s) {
+        const auto id = static_cast<NodeId>(kSpineBase + s);
+        spines_.push_back(std::make_unique<pisa::Switch>(sim_, net_, id, config_.switch_config));
+        net_.attach(*spines_.back());
+        spines_.back()->install_program(std::make_unique<TransitProgram>());
+        spine_ids.push_back(id);
+      }
+      net::connect_leaf_spine(net_, ids_, spine_ids, config_.link);
+      break;
+    }
+  }
+
+  controller_ = std::make_unique<Controller>(sim_, net_, kControllerId, config_.controller);
+  net_.attach(*controller_);
+  // The controller has a (lossy, in-band) link to every switch, so losing any
+  // one switch cannot partition it from the rest of the fabric — standard
+  // management connectivity for SDN controllers.
+  for (NodeId id : ids_) net_.connect(kControllerId, id, config_.link);
+}
+
+void Fabric::add_space(const SpaceConfig& space, std::vector<SwitchId> replicas) {
+  if (installed_) throw std::logic_error("Fabric::add_space after install()");
+  spaces_.emplace_back(space, std::move(replicas));
+}
+
+void Fabric::install(const std::function<std::unique_ptr<NfApp>()>& nf_factory) {
+  if (installed_) throw std::logic_error("Fabric::install called twice");
+  installed_ = true;
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    pisa::Switch& sw = *switches_[i];
+    RuntimeConfig rc = config_.runtime;
+    if (config_.clock_skew_bound > 0) {
+      // Deterministic spread of clock offsets across [0, bound].
+      rc.clock_offset = static_cast<TimeNs>(
+          (static_cast<std::uint64_t>(config_.clock_skew_bound) * (i + 1)) / switches_.size());
+    }
+    runtimes_.push_back(std::make_unique<ShmRuntime>(sw, rc, kControllerId));
+    ShmRuntime& rt = *runtimes_.back();
+    for (const auto& [space, replicas] : spaces_) {
+      if (replicas.empty() ||
+          std::find(replicas.begin(), replicas.end(), sw.id()) != replicas.end()) {
+        rt.add_space(space, replicas.empty() ? ids_ : replicas);
+      } else {
+        rt.add_remote_space(space);
+      }
+    }
+    auto nf = nf_factory ? nf_factory() : nullptr;
+    if (nf) nf->setup(sw, rt);
+    sw.install_program(std::make_unique<ShmProgram>(rt, std::move(nf)));
+    controller_->register_switch(sw, rt);
+  }
+  for (const auto& [space, replicas] : spaces_) {
+    if (!replicas.empty()) controller_->register_space(space, replicas);
+  }
+}
+
+void Fabric::start() {
+  if (!installed_) throw std::logic_error("Fabric::start before install()");
+  controller_->bootstrap();
+  controller_->start();
+  for (auto& rt : runtimes_) rt->start();
+  // Spines route by the same tables as leaves.
+  auto tables = net::compute_routes(net_, {}, /*no_transit=*/{controller_->id()});
+  for (auto& spine : spines_) spine->set_routing(std::move(tables[spine->id()]));
+}
+
+void Fabric::set_delivery_sink(std::function<void(const pkt::Packet&)> sink) {
+  for (auto& sw : switches_) sw->set_delivery_sink(sink);
+}
+
+void Fabric::revive_switch(std::size_t i) {
+  pisa::Switch& sw = *switches_.at(i);
+  sw.recover();
+  runtimes_.at(i)->reset_state();
+  controller_->readmit_switch(sw.id());
+}
+
+}  // namespace swish::shm

@@ -1,0 +1,102 @@
+// Fabric: the top-level SwiShmem deployment — simulator, network topology,
+// switches, per-switch runtimes, and the central controller, assembled from
+// one config. This is the library's main entry point:
+//
+//   shm::FabricConfig cfg;
+//   cfg.num_switches = 4;
+//   shm::Fabric fabric(cfg);
+//   fabric.add_space({.id = 0, .name = "conn", .cls = shm::ConsistencyClass::kSRO,
+//                     .size = 4096, .table_backed = true});
+//   fabric.install([] { return std::make_unique<MyNf>(); });
+//   fabric.start();
+//   fabric.sw(0).inject(packet);
+//   fabric.run_for(1 * swish::kSec);
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "swishmem/controller.hpp"
+#include "swishmem/runtime.hpp"
+
+namespace swish::shm {
+
+struct FabricConfig {
+  std::size_t num_switches = 4;
+
+  enum class Topology { kFullMesh, kChain, kLeafSpine } topology = Topology::kFullMesh;
+  std::size_t spine_count = 2;  ///< leaf-spine only (switches become leaves)
+
+  net::LinkParams link;                 ///< inter-switch links
+  pisa::Switch::Config switch_config;   ///< per-switch data/control plane
+  RuntimeConfig runtime;                ///< SwiShmem protocol tuning
+  Controller::Config controller;
+  std::uint64_t seed = 1;
+
+  /// Per-switch clock skew bound: switch i gets offset in [0, bound] (§6.2
+  /// cites data-plane time sync within tens of ns).
+  TimeNs clock_skew_bound = 50;
+};
+
+class Fabric {
+ public:
+  explicit Fabric(FabricConfig config);
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Declares a replicated register space. By default every switch is a
+  /// replica; passing a `replicas` subset creates a partitioned space (§9)
+  /// managed by the controller's directory — other switches access it
+  /// remotely via its chain. Call before install().
+  void add_space(const SpaceConfig& space, std::vector<SwitchId> replicas = {});
+
+  /// Instantiates the NF on every switch (one NfApp instance per switch) and
+  /// wires runtimes + programs. Pass nullptr-producing factory for a
+  /// protocol-only deployment.
+  void install(const std::function<std::unique_ptr<NfApp>()>& nf_factory);
+
+  /// Bootstraps configuration and starts heartbeats/sync/failure detection.
+  void start();
+
+  /// Runs the simulation clock forward.
+  void run_for(TimeNs duration) { sim_.run_until(sim_.now() + duration); }
+
+  // -- Accessors ----------------------------------------------------------------
+
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] net::Network& network() noexcept { return net_; }
+  [[nodiscard]] Controller& controller() noexcept { return *controller_; }
+  [[nodiscard]] std::size_t size() const noexcept { return switches_.size(); }
+  [[nodiscard]] pisa::Switch& sw(std::size_t i) { return *switches_.at(i); }
+  [[nodiscard]] ShmRuntime& runtime(std::size_t i) { return *runtimes_.at(i); }
+  [[nodiscard]] const std::vector<SwitchId>& switch_ids() const noexcept { return ids_; }
+  [[nodiscard]] const FabricConfig& config() const noexcept { return config_; }
+
+  /// Installs the same delivery sink on every switch.
+  void set_delivery_sink(std::function<void(const pkt::Packet&)> sink);
+
+  // -- Failure experiments (§6.3) --------------------------------------------------
+
+  /// Fail-stop: the switch black-holes all traffic from now on.
+  void kill_switch(std::size_t i) { switches_.at(i)->fail(); }
+
+  /// Boots a replacement for a previously-killed switch: clears its state and
+  /// asks the controller to re-admit it (EWO resync + SRO snapshot stream).
+  void revive_switch(std::size_t i);
+
+ private:
+  FabricConfig config_;
+  sim::Simulator sim_;
+  net::Network net_;
+  std::vector<std::unique_ptr<pisa::Switch>> switches_;
+  std::vector<std::unique_ptr<ShmRuntime>> runtimes_;
+  std::unique_ptr<Controller> controller_;
+  std::vector<SwitchId> ids_;
+  std::vector<std::unique_ptr<pisa::Switch>> spines_;  // leaf-spine transit nodes
+  std::vector<std::pair<SpaceConfig, std::vector<SwitchId>>> spaces_;
+  bool installed_ = false;
+};
+
+}  // namespace swish::shm

@@ -1,0 +1,312 @@
+// The per-switch SwiShmem runtime: the protocol engine of §6 plus the
+// NF-facing register API of §5.
+//
+// One ShmRuntime is attached to each switch. It owns the replicated register
+// spaces (storage lives in the switch's PISA objects), implements the SRO/ERO
+// chain protocol and the EWO asynchronous replication protocol, and exposes
+// reads/writes to NF programs. Protocol packets arrive through the installed
+// ShmProgram, which dispatches UDP port kSwishPort traffic here before the NF
+// logic sees anything.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "packet/flow.hpp"
+#include "packet/swish_wire.hpp"
+#include "pisa/switch.hpp"
+#include "swishmem/config.hpp"
+#include "swishmem/spaces.hpp"
+
+namespace swish::shm {
+
+/// Outcome of an SRO/ERO read during packet processing.
+enum class ReadStatus {
+  kOk,          ///< value is valid (read served locally or authoritatively)
+  kMiss,        ///< table-backed space has no entry for the key
+  kRedirected,  ///< original packet was forwarded to the chain tail; the NF
+                ///< must stop processing this packet and emit no output
+};
+
+class ShmRuntime {
+ public:
+  struct Stats {
+    // SRO/ERO writer side.
+    std::uint64_t writes_submitted = 0;
+    std::uint64_t writes_committed = 0;
+    std::uint64_t write_retries = 0;
+    std::uint64_t writes_failed = 0;       ///< gave up after max retries
+    std::uint64_t writes_rejected = 0;     ///< CP buffer full
+    // SRO/ERO chain side.
+    std::uint64_t chain_requests_seen = 0;
+    std::uint64_t chain_gap_drops = 0;     ///< out-of-order writes awaiting retry
+    std::uint64_t chain_stale_epoch = 0;
+    // Reads.
+    std::uint64_t reads_local = 0;
+    std::uint64_t reads_redirected = 0;
+    std::uint64_t redirects_processed = 0;  ///< redirected reads served (at tail)
+    // EWO.
+    std::uint64_t ewo_reads = 0;
+    std::uint64_t ewo_local_writes = 0;
+    std::uint64_t ewo_updates_sent = 0;
+    std::uint64_t ewo_updates_received = 0;
+    std::uint64_t ewo_entries_merged = 0;   ///< entries that changed local state
+    std::uint64_t sync_rounds = 0;
+    std::uint64_t sync_entries_sent = 0;
+    // Recovery.
+    std::uint64_t recovery_chunks_sent = 0;
+    std::uint64_t recovery_chunks_applied = 0;
+    // Protocol bandwidth (payload + headers, per message class).
+    std::uint64_t bytes_write_path = 0;  ///< WriteRequest + WriteAck
+    std::uint64_t bytes_ewo = 0;         ///< EwoUpdate (mirror + sync)
+    std::uint64_t bytes_redirect = 0;    ///< ReadRedirect
+    // Writer-observed commit latency (submit -> ack), ns.
+    Histogram write_latency;
+  };
+
+  ShmRuntime(pisa::Switch& sw, RuntimeConfig config, NodeId controller);
+
+  ShmRuntime(const ShmRuntime&) = delete;
+  ShmRuntime& operator=(const ShmRuntime&) = delete;
+
+  // -- Setup ------------------------------------------------------------------
+
+  /// Declares a replicated space hosted on this switch; `replicas` is the
+  /// replica set (the full deployment by default; a subset for partitioned
+  /// spaces, §9). Call before traffic starts, or at migration time when this
+  /// switch joins a space's replica group.
+  void add_space(const SpaceConfig& config, const std::vector<SwitchId>& replicas);
+
+  /// Declares a space this switch does NOT replicate (§9 partitioning): all
+  /// strong reads redirect to the space's chain tail and writes are sent to
+  /// its chain head. EWO spaces cannot be remote.
+  void add_remote_space(const SpaceConfig& config);
+
+  /// True when this switch hosts storage for the space.
+  [[nodiscard]] bool hosts_space(std::uint32_t space) const noexcept;
+
+  /// Starts heartbeats, the EWO periodic synchronizer, and the mirror-batch
+  /// flusher. Call after all spaces exist.
+  void start();
+
+  /// Installed by ShmProgram: how to re-run the NF logic on a redirected
+  /// packet at the tail.
+  void set_nf_reentry(std::function<void(pisa::PacketContext&)> reentry) {
+    nf_reentry_ = std::move(reentry);
+  }
+
+  // -- Configuration from the controller (management network) ------------------
+
+  void set_chain(const pkt::ChainConfig& config);
+  void set_group(const pkt::GroupConfig& config);
+  [[nodiscard]] const pkt::ChainConfig& chain() const noexcept { return chain_; }
+  [[nodiscard]] const pkt::GroupConfig& group() const noexcept { return group_; }
+
+  /// Installs the chain used by one partitioned space (overrides the global
+  /// chain for that space's operations).
+  void set_space_chain(std::uint32_t space, const pkt::ChainConfig& config);
+
+  /// Chain governing a space: its own chain when partitioned, else the
+  /// deployment-wide chain.
+  [[nodiscard]] const pkt::ChainConfig& chain_for(std::uint32_t space) const noexcept;
+
+  // -- NF-facing register API (§5) ---------------------------------------------
+
+  /// SRO/ERO read during packet processing. On kRedirected the runtime has
+  /// already encapsulated ctx's packet to the tail; the caller must return
+  /// without emitting output.
+  ReadStatus sro_read(pisa::PacketContext& ctx, std::uint32_t space, std::uint64_t key,
+                      std::uint64_t& value);
+
+  /// SRO/ERO write: hands the write set and the buffered output packet to the
+  /// control plane (§6.1). `release` runs on this switch when the tail acks
+  /// (typically injecting P' back into the data plane). The output packet may
+  /// be empty when the mutating packet produces no output.
+  void sro_write(std::vector<pkt::WriteOp> ops, pkt::Packet output,
+                 std::function<void(pkt::Packet&&)> release);
+
+  /// EWO local read (always local, §6.2).
+  std::uint64_t ewo_read(std::uint32_t space, std::uint64_t key);
+
+  /// EWO LWW write: applies locally, emits the output immediately (caller's
+  /// job), and asynchronously mirrors the update to the replica group.
+  void ewo_write(std::uint32_t space, std::uint64_t key, std::uint64_t value);
+
+  /// EWO counter update (G-counter / PN-counter); returns the new aggregate.
+  std::uint64_t ewo_add(std::uint32_t space, std::uint64_t key, std::int64_t delta);
+
+  /// EWO G-set insertion: ORs `bits` into the key's membership bitmap and
+  /// replicates the new bitmap; returns it.
+  std::uint64_t ewo_set_add(std::uint32_t space, std::uint64_t key, std::uint64_t bits);
+
+  // -- Protocol ingress ----------------------------------------------------------
+
+  /// Consumes SwiShmem protocol packets (UDP dst port kSwishPort). Returns
+  /// true when the packet was protocol traffic.
+  bool handle_protocol_packet(pisa::PacketContext& ctx);
+
+  // -- Recovery (§6.3) -------------------------------------------------------------
+
+  /// Donor side: streams a snapshot plus all subsequently-applied writes to
+  /// `target` (stop-and-wait, retransmitted), invoking `done` when the target
+  /// has acknowledged everything. Called on the current tail by the
+  /// controller. `space_filter` restricts the stream to one space (used by
+  /// migration); by default every hosted SRO/ERO space is streamed.
+  void start_recovery_stream(SwitchId target, std::function<void()> done,
+                             std::optional<std::uint32_t> space_filter = std::nullopt);
+
+  /// Wipes all replicated state (a replacement switch boots empty).
+  void reset_state();
+
+  // -- Introspection ------------------------------------------------------------
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] Stats& stats() noexcept { return stats_; }
+  [[nodiscard]] pisa::Switch& owner() noexcept { return sw_; }
+  [[nodiscard]] SwitchId self() const noexcept { return sw_.id(); }
+  [[nodiscard]] const RuntimeConfig& config() const noexcept { return config_; }
+
+  [[nodiscard]] bool in_chain() const noexcept;
+  [[nodiscard]] bool is_head() const noexcept;
+  [[nodiscard]] bool is_tail() const noexcept;
+
+  /// Number of output packets currently buffered in CP DRAM awaiting acks.
+  [[nodiscard]] std::size_t cp_buffered_packets() const noexcept {
+    return pending_writes_.size();
+  }
+
+  [[nodiscard]] const SroSpaceState* sro_space(std::uint32_t id) const;
+  [[nodiscard]] const EwoSpaceState* ewo_space(std::uint32_t id) const;
+
+ private:
+  struct PendingWrite {
+    std::vector<pkt::WriteOp> ops;
+    pkt::Packet output;
+    std::function<void(pkt::Packet&&)> release;
+    unsigned retries = 0;
+    TimeNs submit_time = 0;
+    sim::TimerHandle retry_timer;
+  };
+
+  // Message handlers.
+  void on_write_request(pkt::WriteRequest msg);
+  void on_write_ack(const pkt::WriteAck& msg);
+  void on_ewo_update(const pkt::EwoUpdate& msg);
+  void on_read_redirect(const pkt::ReadRedirect& msg);
+
+  // Chain roles.
+  void head_process(pkt::WriteRequest msg);
+  void relay_process(pkt::WriteRequest msg);
+  void tail_commit(const pkt::WriteRequest& msg);
+  void apply_ops(const std::vector<pkt::WriteOp>& ops, const std::vector<SeqNum>& seqs,
+                 bool set_pending);
+  [[nodiscard]] bool ops_table_backed(const std::vector<pkt::WriteOp>& ops) const;
+
+  // Writer side.
+  void send_write_request(std::uint64_t write_id);
+  void arm_retry(std::uint64_t write_id);
+
+  // Recovery.
+  struct RecoveryStream {
+    SwitchId target = kInvalidNode;
+    std::optional<std::uint32_t> space_filter;
+    std::deque<pkt::WriteRequest> queue;  ///< chunks awaiting transmission
+    std::uint64_t next_stream_seq = 1;
+    std::uint64_t awaiting_ack = 0;  ///< 0 = idle
+    unsigned retries = 0;
+    std::function<void()> done;
+    sim::TimerHandle timer;
+  };
+  void recovery_send_next();
+  void arm_recovery_timer(std::uint64_t expect);
+  void on_recovery_ack(std::uint64_t stream_seq);
+  void on_recovery_chunk(const pkt::WriteRequest& msg);
+
+  // EWO mirroring / sync.
+  void mirror_enqueue(std::uint32_t space, std::uint64_t key);
+  void flush_mirror_buffer();
+  void periodic_sync();
+
+  // Transport.
+  void send_msg(SwitchId dst, const pkt::SwishMessage& msg);
+  void multicast_msg(const std::vector<SwitchId>& dsts, const pkt::SwishMessage& msg);
+  [[nodiscard]] pkt::Packet wrap(SwitchId dst, const pkt::SwishMessage& msg) const;
+
+  [[nodiscard]] SwitchId chain_successor(const pkt::ChainConfig& chain) const noexcept;
+  [[nodiscard]] static bool chain_contains(const pkt::ChainConfig& chain, SwitchId sw) noexcept;
+
+  pisa::Switch& sw_;
+  RuntimeConfig config_;
+  NodeId controller_;
+  Stats stats_;
+
+  std::unordered_map<std::uint32_t, std::unique_ptr<SroSpaceState>> sro_spaces_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<EwoSpaceState>> ewo_spaces_;
+  std::vector<SpaceConfig> space_configs_;
+  std::vector<SwitchId> deployment_;  ///< replicas passed to add_space
+
+  pkt::ChainConfig chain_;
+  pkt::GroupConfig group_;
+  std::unordered_map<std::uint32_t, pkt::ChainConfig> space_chains_;  ///< §9 partitioning
+  std::unordered_map<std::uint32_t, SpaceConfig> remote_spaces_;
+
+  // Writer state (CP DRAM).
+  std::unordered_map<std::uint64_t, PendingWrite> pending_writes_;
+  std::uint64_t next_write_id_ = 0;
+
+  // Head dedup: write_id -> assigned seqs for in-flight writes.
+  std::unordered_map<std::uint64_t, std::vector<SeqNum>> head_assigned_;
+
+  // Tail-side recovery stream (donor) and target-side cursor.
+  std::optional<RecoveryStream> recovery_;
+  bool recovery_tap_ = false;  ///< tail forwards applied writes into the stream
+  std::uint64_t last_recovery_applied_ = 0;
+
+  // EWO mirror batch buffer: (space, key) pairs awaiting flush.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> mirror_buffer_;
+
+  TimeNs last_lww_timestamp_ = 0;  ///< per-switch monotone LWW clock (§6.2)
+
+  bool authoritative_ = false;  ///< serving a redirected read at the tail
+  std::function<void(pisa::PacketContext&)> nf_reentry_;
+
+  Rng rng_;
+  std::vector<sim::TimerHandle> background_;
+};
+
+/// Abstract network function: application logic running on every switch.
+class NfApp {
+ public:
+  virtual ~NfApp() = default;
+
+  /// Allocates NF-private stateful objects on the switch (optional).
+  virtual void setup(pisa::Switch& sw, ShmRuntime& runtime) {
+    (void)sw;
+    (void)runtime;
+  }
+
+  /// Per-packet processing, with shared state accessed through the runtime.
+  virtual void process(pisa::PacketContext& ctx, ShmRuntime& runtime) = 0;
+};
+
+/// The pipeline program installed on every SwiShmem switch: dispatches
+/// protocol packets to the runtime, everything else to the NF.
+class ShmProgram : public pisa::PipelineProgram {
+ public:
+  ShmProgram(ShmRuntime& runtime, std::unique_ptr<NfApp> nf);
+
+  void process(pisa::PacketContext& ctx) override;
+
+  [[nodiscard]] NfApp& nf() noexcept { return *nf_; }
+
+ private:
+  ShmRuntime& runtime_;
+  std::unique_ptr<NfApp> nf_;
+};
+
+}  // namespace swish::shm

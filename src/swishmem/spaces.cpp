@@ -1,0 +1,292 @@
+#include "swishmem/spaces.hpp"
+
+#include <stdexcept>
+
+namespace swish::shm {
+namespace {
+
+std::uint64_t mix64(std::uint64_t h) noexcept {
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+}  // namespace
+
+const char* to_string(ConsistencyClass cls) noexcept {
+  switch (cls) {
+    case ConsistencyClass::kSRO: return "SRO";
+    case ConsistencyClass::kERO: return "ERO";
+    case ConsistencyClass::kEWO: return "EWO";
+  }
+  return "?";
+}
+
+const char* to_string(MergePolicy policy) noexcept {
+  switch (policy) {
+    case MergePolicy::kLww: return "LWW";
+    case MergePolicy::kGCounter: return "G-counter";
+    case MergePolicy::kPNCounter: return "PN-counter";
+    case MergePolicy::kGSet: return "G-set";
+  }
+  return "?";
+}
+
+SroSpaceState::SroSpaceState(pisa::Switch& sw, const SpaceConfig& config) : cfg_(config) {
+  if (cfg_.cls == ConsistencyClass::kEWO) {
+    throw std::invalid_argument("SroSpaceState: EWO space");
+  }
+  if (cfg_.table_backed) {
+    table_ = &sw.add_exact_table(cfg_.name + ".table", cfg_.size, 64, cfg_.value_bits);
+  } else {
+    values_ = &sw.add_register_array(cfg_.name + ".values", cfg_.size, cfg_.value_bits);
+  }
+  const std::size_t guards = cfg_.effective_guard_slots();
+  guard_seq_ = &sw.add_register_array(cfg_.name + ".seq", guards, 32);
+  if (cfg_.cls == ConsistencyClass::kSRO) {
+    // ERO drops the pending bits entirely (§6.1).
+    guard_pending_ = &sw.add_register_array(cfg_.name + ".pending", guards, 1);
+  }
+}
+
+std::size_t SroSpaceState::slot(std::uint64_t key) const noexcept {
+  return static_cast<std::size_t>(mix64(key) % cfg_.effective_guard_slots());
+}
+
+std::optional<std::uint64_t> SroSpaceState::read(std::uint64_t key) const {
+  if (table_) return table_->lookup(key);
+  if (key >= values_->size()) return std::nullopt;
+  return values_->read(static_cast<RegisterIndex>(key));
+}
+
+void SroSpaceState::apply(std::uint64_t key, std::uint64_t value, pisa::CpToken token) {
+  if (table_) {
+    if (value == kTombstone) {
+      table_->erase(token, key);
+    } else {
+      table_->insert(token, key, value);
+    }
+    return;
+  }
+  if (key >= values_->size()) return;  // malformed op: ignore
+  values_->write(static_cast<RegisterIndex>(key), value);
+}
+
+SeqNum SroSpaceState::guard_seq(std::size_t slot) const {
+  return guard_seq_->read(static_cast<RegisterIndex>(slot));
+}
+
+void SroSpaceState::set_guard_seq(std::size_t slot, SeqNum seq) {
+  guard_seq_->write(static_cast<RegisterIndex>(slot), seq);
+}
+
+bool SroSpaceState::pending(std::size_t slot) const {
+  if (!guard_pending_) return false;
+  return guard_pending_->read(static_cast<RegisterIndex>(slot)) != 0;
+}
+
+void SroSpaceState::set_pending(std::size_t slot) {
+  if (guard_pending_) guard_pending_->write(static_cast<RegisterIndex>(slot), 1);
+}
+
+void SroSpaceState::clear_pending_up_to(std::size_t slot, SeqNum acked_seq) {
+  if (!guard_pending_) return;
+  if (guard_seq(slot) <= acked_seq) {
+    guard_pending_->write(static_cast<RegisterIndex>(slot), 0);
+  }
+}
+
+std::vector<SroSpaceState::SnapshotEntry> SroSpaceState::snapshot() const {
+  std::vector<SnapshotEntry> out;
+  if (table_) {
+    out.reserve(table_->entry_count());
+    for (const auto& [key, value] : table_->entries()) {
+      out.push_back({pkt::WriteOp{cfg_.id, key, value}, guard_seq(slot(key))});
+    }
+  } else {
+    for (std::size_t i = 0; i < values_->size(); ++i) {
+      const std::uint64_t v = values_->read(static_cast<RegisterIndex>(i));
+      if (v == 0) continue;  // zero registers need no transfer
+      out.push_back({pkt::WriteOp{cfg_.id, i, v}, guard_seq(slot(i))});
+    }
+  }
+  return out;
+}
+
+void SroSpaceState::reset(pisa::CpToken token) {
+  if (table_) table_->clear(token);
+  if (values_) values_->fill(0);
+  guard_seq_->fill(0);
+  if (guard_pending_) guard_pending_->fill(0);
+}
+
+EwoSpaceState::EwoSpaceState(pisa::Switch& sw, const SpaceConfig& config,
+                             const std::vector<SwitchId>& replicas, SwitchId self)
+    : cfg_(config), self_(self), replicas_(replicas) {
+  if (cfg_.cls != ConsistencyClass::kEWO) {
+    throw std::invalid_argument("EwoSpaceState: non-EWO space");
+  }
+  for (std::size_t i = 0; i < replicas_.size(); ++i) member_index_[replicas_[i]] = i;
+  if (!member_index_.contains(self_)) {
+    throw std::invalid_argument("EwoSpaceState: self not in replica list");
+  }
+
+  if (cfg_.merge == MergePolicy::kLww) {
+    values_ = &sw.add_register_array(cfg_.name + ".values", cfg_.size, cfg_.value_bits);
+    versions_ = &sw.add_register_array(cfg_.name + ".versions", cfg_.size, 64);
+    return;
+  }
+  if (cfg_.merge == MergePolicy::kGSet) {
+    // A G-set needs no versions and no per-replica vector: OR-merge is
+    // idempotent and commutative over one shared bitmap array.
+    values_ = &sw.add_register_array(cfg_.name + ".bits", cfg_.size, cfg_.value_bits);
+    return;
+  }
+  // CRDT vector: one array per replica (§6.2 / §7), pairs for PN counters.
+  pos_slots_.reserve(replicas_.size());
+  for (SwitchId r : replicas_) {
+    pos_slots_.push_back(
+        &sw.add_register_array(cfg_.name + ".pos." + std::to_string(r), cfg_.size, cfg_.value_bits));
+  }
+  if (cfg_.merge == MergePolicy::kPNCounter) {
+    neg_slots_.reserve(replicas_.size());
+    for (SwitchId r : replicas_) {
+      neg_slots_.push_back(&sw.add_register_array(cfg_.name + ".neg." + std::to_string(r),
+                                                  cfg_.size, cfg_.value_bits));
+    }
+  }
+}
+
+std::size_t EwoSpaceState::member_index(SwitchId sw) const {
+  auto it = member_index_.find(sw);
+  if (it == member_index_.end()) throw std::out_of_range("EwoSpaceState: unknown replica");
+  return it->second;
+}
+
+std::uint64_t EwoSpaceState::read(std::uint64_t key) const {
+  const auto i = static_cast<RegisterIndex>(key);
+  if (cfg_.merge == MergePolicy::kLww || cfg_.merge == MergePolicy::kGSet) {
+    return values_->read(i);
+  }
+  std::uint64_t sum = 0;
+  for (const auto* arr : pos_slots_) sum += arr->read(i);
+  for (const auto* arr : neg_slots_) sum -= arr->read(i);
+  return sum;
+}
+
+void EwoSpaceState::write_local(std::uint64_t key, std::uint64_t value, RawVersion version) {
+  if (cfg_.merge != MergePolicy::kLww) {
+    throw std::logic_error("write_local on CRDT space; use add_local");
+  }
+  const auto i = static_cast<RegisterIndex>(key);
+  // Atomic (value, version) update: single-event packet processing (§2).
+  values_->write(i, value);
+  versions_->write(i, version);
+}
+
+std::uint64_t EwoSpaceState::add_local(std::uint64_t key, std::int64_t delta) {
+  if (cfg_.merge == MergePolicy::kLww || cfg_.merge == MergePolicy::kGSet) {
+    throw std::logic_error("add_local requires a counter space");
+  }
+  const auto i = static_cast<RegisterIndex>(key);
+  const std::size_t me = member_index_.at(self_);
+  if (delta >= 0) {
+    pos_slots_[me]->add(i, static_cast<std::uint64_t>(delta));
+  } else {
+    if (cfg_.merge != MergePolicy::kPNCounter) {
+      throw std::logic_error("negative delta requires a PN-counter space");
+    }
+    neg_slots_[me]->add(i, static_cast<std::uint64_t>(-delta));
+  }
+  return read(key);
+}
+
+std::uint64_t EwoSpaceState::set_add_local(std::uint64_t key, std::uint64_t bits) {
+  if (cfg_.merge != MergePolicy::kGSet) {
+    throw std::logic_error("set_add_local requires a kGSet space");
+  }
+  return values_->merge_or(static_cast<RegisterIndex>(key), bits);
+}
+
+bool EwoSpaceState::merge(const pkt::EwoEntry& entry) {
+  const auto i = static_cast<RegisterIndex>(entry.key);
+  if (cfg_.merge == MergePolicy::kGSet) {
+    if (i >= values_->size()) return false;
+    const std::uint64_t before = values_->read(i);
+    return values_->merge_or(i, entry.value) != before;
+  }
+  if (cfg_.merge == MergePolicy::kLww) {
+    if (i >= values_->size()) return false;
+    if (entry.version <= versions_->read(i)) return false;
+    values_->write(i, entry.value);
+    versions_->write(i, entry.version);
+    return true;
+  }
+  // CRDT: version field carries (owner << 1) | negative.
+  const auto owner = static_cast<SwitchId>(entry.version >> 1);
+  const bool negative = (entry.version & 1) != 0;
+  auto it = member_index_.find(owner);
+  if (it == member_index_.end()) return false;
+  const auto& slots = negative ? neg_slots_ : pos_slots_;
+  if (slots.empty() || i >= slots[it->second]->size()) return false;
+  const std::uint64_t before = slots[it->second]->read(i);
+  return slots[it->second]->merge_max(i, entry.value) != before;
+}
+
+void EwoSpaceState::collect_own_entries(std::uint64_t key,
+                                        std::vector<pkt::EwoEntry>& out) const {
+  const auto i = static_cast<RegisterIndex>(key);
+  if (cfg_.merge == MergePolicy::kLww) {
+    out.push_back({cfg_.id, key, versions_->read(i), values_->read(i)});
+    return;
+  }
+  if (cfg_.merge == MergePolicy::kGSet) {
+    out.push_back({cfg_.id, key, 0, values_->read(i)});
+    return;
+  }
+  const std::size_t me = member_index_.at(self_);
+  out.push_back({cfg_.id, key, crdt_tag(self_, false), pos_slots_[me]->read(i)});
+  if (!neg_slots_.empty()) {
+    out.push_back({cfg_.id, key, crdt_tag(self_, true), neg_slots_[me]->read(i)});
+  }
+}
+
+void EwoSpaceState::collect_sync_entries(std::vector<pkt::EwoEntry>& out) const {
+  if (cfg_.merge == MergePolicy::kGSet) {
+    for (std::size_t k = 0; k < cfg_.size; ++k) {
+      const auto i = static_cast<RegisterIndex>(k);
+      const std::uint64_t bits = values_->read(i);
+      if (bits != 0) out.push_back({cfg_.id, k, 0, bits});
+    }
+    return;
+  }
+  if (cfg_.merge == MergePolicy::kLww) {
+    for (std::size_t k = 0; k < cfg_.size; ++k) {
+      const auto i = static_cast<RegisterIndex>(k);
+      const RawVersion v = versions_->read(i);
+      if (v == 0) continue;  // never written
+      out.push_back({cfg_.id, k, v, values_->read(i)});
+    }
+    return;
+  }
+  for (std::size_t m = 0; m < replicas_.size(); ++m) {
+    for (std::size_t k = 0; k < cfg_.size; ++k) {
+      const auto i = static_cast<RegisterIndex>(k);
+      const std::uint64_t pos = pos_slots_[m]->read(i);
+      if (pos != 0) out.push_back({cfg_.id, k, crdt_tag(replicas_[m], false), pos});
+      if (!neg_slots_.empty()) {
+        const std::uint64_t neg = neg_slots_[m]->read(i);
+        if (neg != 0) out.push_back({cfg_.id, k, crdt_tag(replicas_[m], true), neg});
+      }
+    }
+  }
+}
+
+void EwoSpaceState::reset() {
+  if (values_) values_->fill(0);
+  if (versions_) versions_->fill(0);
+  for (auto* arr : pos_slots_) arr->fill(0);
+  for (auto* arr : neg_slots_) arr->fill(0);
+}
+
+}  // namespace swish::shm

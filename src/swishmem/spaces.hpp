@@ -1,0 +1,136 @@
+// Per-switch storage for SwiShmem register spaces, backed by PISA stateful
+// objects so switch memory accounting is real (§7 "Implementation sketch").
+//
+// SRO/ERO: a value store (register array, or control-plane table for
+// table-backed state) plus a guard table of {sequence number, pending bit}
+// per slot. Guard slots may be shared across hashed keys to save memory (§7).
+//
+// EWO: last-writer-wins spaces hold {value, version} pairs; CRDT counter
+// spaces hold one register array per replica (the vector), merged by max.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "packet/swish_wire.hpp"
+#include "pisa/switch.hpp"
+#include "swishmem/config.hpp"
+
+namespace swish::shm {
+
+/// Table-backed SRO spaces treat this value as "erase the key" (connection
+/// teardown in NAT / firewall / LB tables).
+inline constexpr std::uint64_t kTombstone = ~0ULL;
+
+class SroSpaceState {
+ public:
+  SroSpaceState(pisa::Switch& sw, const SpaceConfig& config);
+
+  [[nodiscard]] const SpaceConfig& config() const noexcept { return cfg_; }
+
+  /// Guard slot of a key (hash-shared when guard_slots < size, §7).
+  [[nodiscard]] std::size_t slot(std::uint64_t key) const noexcept;
+
+  [[nodiscard]] std::optional<std::uint64_t> read(std::uint64_t key) const;
+
+  /// Applies a committed value. Table-backed spaces require the CP token
+  /// (chain hops route table updates through their control planes, §6.1).
+  void apply(std::uint64_t key, std::uint64_t value, pisa::CpToken token);
+
+  // -- Guard table -----------------------------------------------------------
+
+  [[nodiscard]] SeqNum guard_seq(std::size_t slot) const;
+  void set_guard_seq(std::size_t slot, SeqNum seq);
+
+  [[nodiscard]] bool pending(std::size_t slot) const;  ///< always false for ERO
+  void set_pending(std::size_t slot);
+
+  /// Clears the pending bit iff no write newer than `acked_seq` has been
+  /// applied locally (a later in-flight write keeps the register pending).
+  void clear_pending_up_to(std::size_t slot, SeqNum acked_seq);
+
+  // -- Recovery ----------------------------------------------------------------
+
+  /// Snapshot of all live values with the guard seq at snapshot time, used by
+  /// the donor's control plane to rebuild a recovering replica (§6.3).
+  struct SnapshotEntry {
+    pkt::WriteOp op;
+    SeqNum seq;
+  };
+  [[nodiscard]] std::vector<SnapshotEntry> snapshot() const;
+
+  /// Wipes values and guards (a replacement switch boots empty).
+  void reset(pisa::CpToken token);
+
+ private:
+  SpaceConfig cfg_;
+  pisa::RegisterArray* values_ = nullptr;     // register-backed
+  pisa::ExactTable* table_ = nullptr;         // table-backed
+  pisa::RegisterArray* guard_seq_ = nullptr;
+  pisa::RegisterArray* guard_pending_ = nullptr;  // null for ERO
+};
+
+class EwoSpaceState {
+ public:
+  /// `replicas` is the full deployment (the paper assumes every register is
+  /// replicated on every switch, §5); `self` selects this switch's own slot.
+  EwoSpaceState(pisa::Switch& sw, const SpaceConfig& config,
+                const std::vector<SwitchId>& replicas, SwitchId self);
+
+  [[nodiscard]] const SpaceConfig& config() const noexcept { return cfg_; }
+
+  /// Local read: LWW value, or the vector sum for counters (§6.2).
+  [[nodiscard]] std::uint64_t read(std::uint64_t key) const;
+
+  /// LWW local write; records the version for mirroring. Invalid for CRDTs.
+  void write_local(std::uint64_t key, std::uint64_t value, RawVersion version);
+
+  /// Counter update on this switch's own slot; negative deltas require
+  /// kPNCounter. Returns the new aggregated value. Invalid for LWW/sets.
+  std::uint64_t add_local(std::uint64_t key, std::int64_t delta);
+
+  /// G-set insertion: ORs `bits` into the key's membership bitmap. Returns
+  /// the new bitmap. Valid only for kGSet spaces.
+  std::uint64_t set_add_local(std::uint64_t key, std::uint64_t bits);
+
+  /// Merges one remote entry; returns true if local state changed.
+  bool merge(const pkt::EwoEntry& entry);
+
+  /// Entries describing this switch's latest knowledge of `key` for the
+  /// immediate per-write mirror (own LWW winner, or own CRDT slot(s)).
+  void collect_own_entries(std::uint64_t key, std::vector<pkt::EwoEntry>& out) const;
+
+  /// Full-state scan for periodic synchronization: gossips everything this
+  /// switch knows, including other replicas' slots, so a crashed broadcaster's
+  /// updates still converge (§6.3 EWO failover).
+  void collect_sync_entries(std::vector<pkt::EwoEntry>& out) const;
+
+  /// Wipes all slots (a replacement switch boots empty).
+  void reset();
+
+ private:
+  /// CRDT entries carry the slot owner in the version field:
+  /// version = (owner_switch << 1) | is_negative_vector.
+  static RawVersion crdt_tag(SwitchId owner, bool negative) noexcept {
+    return (static_cast<RawVersion>(owner) << 1) | (negative ? 1 : 0);
+  }
+
+  [[nodiscard]] std::size_t member_index(SwitchId sw) const;
+
+  SpaceConfig cfg_;
+  SwitchId self_;
+  std::vector<SwitchId> replicas_;
+  std::unordered_map<SwitchId, std::size_t> member_index_;
+
+  // LWW storage.
+  pisa::RegisterArray* values_ = nullptr;
+  pisa::RegisterArray* versions_ = nullptr;
+
+  // CRDT storage: one array per replica (plus negatives for PN counters).
+  std::vector<pisa::RegisterArray*> pos_slots_;
+  std::vector<pisa::RegisterArray*> neg_slots_;
+};
+
+}  // namespace swish::shm

@@ -1,0 +1,30 @@
+// Last-writer-wins version numbers (§6.2): a timestamp with the switch id as
+// tiebreaker, packed into 64 bits so a version fits one register.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace swish::shm {
+
+/// version = (timestamp_ns & 2^56-1) << 8 | (switch_id & 0xff).
+/// 56 bits of nanoseconds cover ~2.3 simulated years; 8 bits of switch id
+/// cover the replica-group sizes that fit switch memory anyway.
+class Version {
+ public:
+  static constexpr RawVersion pack(TimeNs timestamp, SwitchId sw) noexcept {
+    return (static_cast<RawVersion>(timestamp) & ((1ULL << 56) - 1)) << 8 |
+           (static_cast<RawVersion>(sw) & 0xff);
+  }
+
+  static constexpr TimeNs timestamp(RawVersion v) noexcept {
+    return static_cast<TimeNs>(v >> 8);
+  }
+
+  static constexpr SwitchId switch_id(RawVersion v) noexcept {
+    return static_cast<SwitchId>(v & 0xff);
+  }
+};
+
+}  // namespace swish::shm

@@ -1,0 +1,43 @@
+// Volumetric DDoS attack traffic (§4.2): spoofed-source packets flooding one
+// victim, spread across every ingress switch so that no single switch sees
+// the full attack volume — detection requires the fabric-wide sketch.
+#pragma once
+
+#include "common/rng.hpp"
+#include "swishmem/fabric.hpp"
+
+namespace swish::workload {
+
+struct AttackConfig {
+  pkt::Ipv4Addr victim{10, 200, 0, 99};
+  double packets_per_sec = 50'000;
+  TimeNs start = 0;
+  TimeNs duration = 100 * kMs;
+  std::size_t payload_bytes = 64;
+  std::uint64_t seed = 7;
+};
+
+class AttackGenerator {
+ public:
+  struct Stats {
+    std::uint64_t packets_sent = 0;
+  };
+
+  AttackGenerator(shm::Fabric& fabric, AttackConfig config)
+      : fabric_(fabric), config_(config), rng_(config.seed) {}
+
+  void start();
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  void send_one(TimeNs deadline);
+
+  shm::Fabric& fabric_;
+  AttackConfig config_;
+  Rng rng_;
+  Stats stats_;
+  std::size_t next_ingress_ = 0;
+};
+
+}  // namespace swish::workload

@@ -1,0 +1,44 @@
+// Measurement stamp carried in generated packets' payloads so the delivery
+// sink can compute end-to-end latency and per-flow delivery without any
+// side-channel bookkeeping — the way a real testbed instruments traffic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "common/types.hpp"
+
+namespace swish::workload {
+
+struct Stamp {
+  std::uint64_t flow_id = 0;
+  std::uint32_t seq = 0;        ///< packet index within the flow
+  std::uint64_t send_time = 0;  ///< virtual ns at injection
+
+  static constexpr std::size_t kSize = 20;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode(std::size_t pad_to = kSize) const {
+    ByteWriter w(pad_to);
+    w.u64(flow_id);
+    w.u32(seq);
+    w.u64(send_time);
+    std::vector<std::uint8_t> bytes = std::move(w).take();
+    if (bytes.size() < pad_to) bytes.resize(pad_to, 0);
+    return bytes;
+  }
+
+  static std::optional<Stamp> decode(std::span<const std::uint8_t> payload) noexcept {
+    if (payload.size() < kSize) return std::nullopt;
+    ByteReader r(payload);
+    Stamp s;
+    s.flow_id = r.u64();
+    s.seq = r.u32();
+    s.send_time = r.u64();
+    return s;
+  }
+};
+
+}  // namespace swish::workload

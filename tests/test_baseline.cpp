@@ -1,0 +1,175 @@
+// Tests: baselines — control-plane replication falls behind under load
+// (§3.3), sharded LB breaks PCC under re-routing (§3.2), fixed-rate server
+// model saturates at its configured pps (§3.1).
+#include <gtest/gtest.h>
+
+#include "baseline/cp_replication.hpp"
+#include "baseline/sharded_lb.hpp"
+#include "baseline/software_nf.hpp"
+#include "swishmem/fabric.hpp"
+
+namespace swish::baseline {
+namespace {
+
+pkt::Packet udp_from(pkt::Ipv4Addr src) {
+  pkt::PacketSpec spec;
+  spec.ip_src = src;
+  spec.ip_dst = pkt::Ipv4Addr(9, 9, 9, 9);
+  spec.protocol = pkt::kProtoUdp;
+  spec.src_port = 1;
+  spec.dst_port = 2;
+  spec.payload = {0};
+  return pkt::build_packet(spec);
+}
+
+struct CprRig {
+  shm::Fabric fabric;
+  std::vector<CpReplCounterApp*> apps;
+
+  explicit CprRig(double cp_ops_per_sec) : fabric(make_cfg(cp_ops_per_sec)) {
+    fabric.install([this]() {
+      CpReplCounterApp::Config cfg;
+      cfg.keys = 16;
+      cfg.peers = fabric.switch_ids();
+      auto app = std::make_unique<CpReplCounterApp>(cfg);
+      apps.push_back(app.get());
+      return app;
+    });
+    fabric.start();
+  }
+  static shm::FabricConfig make_cfg(double ops) {
+    shm::FabricConfig c;
+    c.num_switches = 3;
+    c.switch_config.control_plane.ops_per_sec = ops;
+    c.switch_config.control_plane.max_queue = 64;
+    return c;
+  }
+};
+
+TEST(CpRepl, LowRateReplicatesFully) {
+  CprRig rig(/*cp_ops=*/100'000);
+  for (int i = 0; i < 20; ++i) rig.fabric.sw(0).inject(udp_from(pkt::Ipv4Addr(1, 1, 1, 1)));
+  rig.fabric.run_for(500 * kMs);
+  const std::size_t key = pkt::Ipv4Addr(1, 1, 1, 1).value() % 16;
+  EXPECT_EQ(rig.apps[0]->own(key), 20u);
+  EXPECT_EQ(rig.apps[1]->visible(key), 20u);
+  EXPECT_EQ(rig.apps[2]->visible(key), 20u);
+}
+
+TEST(CpRepl, OverloadDropsUpdatesPermanently) {
+  CprRig rig(/*cp_ops=*/1'000);  // slow CPU
+  // Burst far beyond the CP queue.
+  for (int i = 0; i < 2000; ++i) rig.fabric.sw(0).inject(udp_from(pkt::Ipv4Addr(1, 1, 1, 1)));
+  rig.fabric.run_for(3 * kSec);  // plenty of time: losses are permanent, not lag
+  const std::size_t key = pkt::Ipv4Addr(1, 1, 1, 1).value() % 16;
+  EXPECT_EQ(rig.apps[0]->own(key), 2000u);           // local state is fine
+  EXPECT_LT(rig.apps[1]->visible(key), 2000u);       // replica lost updates
+  EXPECT_GT(rig.apps[0]->stats().updates_dropped_cp, 0u);
+}
+
+TEST(CpRepl, StalenessGrowsWithWriteRate) {
+  auto gap_at_rate = [](int packets) {
+    CprRig rig(/*cp_ops=*/5'000);
+    for (int i = 0; i < packets; ++i) {
+      rig.fabric.sw(0).inject(udp_from(pkt::Ipv4Addr(1, 1, 1, 1)));
+    }
+    rig.fabric.run_for(200 * kMs);
+    const std::size_t key = pkt::Ipv4Addr(1, 1, 1, 1).value() % 16;
+    return rig.apps[0]->own(key) - rig.apps[1]->visible(key);
+  };
+  EXPECT_GT(gap_at_rate(3000), gap_at_rate(50));
+}
+
+const std::vector<pkt::Ipv4Addr> kBackends{{10, 1, 0, 1}, {10, 1, 0, 2}};
+const pkt::Ipv4Addr kVip{10, 200, 0, 1};
+
+pkt::Packet vip_tcp(std::uint16_t sport, std::uint8_t flags) {
+  pkt::PacketSpec spec;
+  spec.ip_src = pkt::Ipv4Addr(192, 168, 1, 1);
+  spec.ip_dst = kVip;
+  spec.protocol = pkt::kProtoTcp;
+  spec.src_port = sport;
+  spec.dst_port = 80;
+  spec.tcp_flags = flags;
+  spec.payload = {0};
+  return pkt::build_packet(spec);
+}
+
+struct ShardedRig {
+  shm::Fabric fabric;
+  std::vector<ShardedLbApp*> apps;
+
+  ShardedRig() : fabric(make_cfg()) {
+    fabric.install([this]() {
+      auto app = std::make_unique<ShardedLbApp>(ShardedLbApp::Config{kVip, kBackends, 4096});
+      apps.push_back(app.get());
+      return app;
+    });
+    fabric.start();
+  }
+  static shm::FabricConfig make_cfg() {
+    shm::FabricConfig c;
+    c.num_switches = 3;
+    return c;
+  }
+};
+
+TEST(ShardedLb, SameSwitchFlowWorks) {
+  ShardedRig rig;
+  rig.fabric.sw(0).inject(vip_tcp(100, pkt::TcpFlags::kSyn));
+  rig.fabric.sw(0).inject(vip_tcp(100, pkt::TcpFlags::kAck));
+  rig.fabric.run_for(50 * kMs);
+  EXPECT_EQ(rig.apps[0]->stats().pcc_violations, 0u);
+  EXPECT_EQ(rig.apps[0]->stats().forwarded, 2u);
+}
+
+TEST(ShardedLb, ReroutedFlowBreaks) {
+  ShardedRig rig;
+  rig.fabric.sw(0).inject(vip_tcp(100, pkt::TcpFlags::kSyn));
+  rig.fabric.sw(1).inject(vip_tcp(100, pkt::TcpFlags::kAck));  // re-routed
+  rig.fabric.run_for(50 * kMs);
+  EXPECT_EQ(rig.apps[1]->stats().pcc_violations, 1u);
+}
+
+TEST(FixedRateProcessor, SaturatesAtConfiguredRate) {
+  sim::Simulator sim;
+  FixedRateProcessor server(sim, 1, {.pps = 1000, .max_queue = 10});
+  // Offer 100 packets in 10 ms: capacity in that window is ~10 + queue.
+  for (int i = 0; i < 100; ++i) {
+    sim.schedule_at(i * 100 * kUs, [&] { server.offer(pkt::Packet{}); });
+  }
+  sim.run();
+  EXPECT_GT(server.stats().dropped, 0u);
+  EXPECT_LT(server.stats().processed, 100u);
+}
+
+TEST(FixedRateProcessor, UnderloadLosesNothing) {
+  sim::Simulator sim;
+  FixedRateProcessor server(sim, 1, {.pps = 1'000'000, .max_queue = 64});
+  for (int i = 0; i < 100; ++i) {
+    sim.schedule_at((i + 1) * 10 * kUs, [&] { server.offer(pkt::Packet{}); });
+  }
+  sim.run();
+  EXPECT_EQ(server.stats().processed, 100u);
+  EXPECT_EQ(server.stats().dropped, 0u);
+}
+
+TEST(FixedRateProcessor, RatioMatchesConfiguredCapacities) {
+  // The C1 claim in miniature: same offered load, 100x capacity gap.
+  sim::Simulator sim;
+  FixedRateProcessor slow(sim, 1, {.pps = 10'000, .max_queue = 16});
+  FixedRateProcessor fast(sim, 2, {.pps = 1'000'000, .max_queue = 16});
+  for (int i = 0; i < 20000; ++i) {
+    sim.schedule_at((i + 1) * 1 * kUs, [&] {  // 1 Mpps offered
+      slow.offer(pkt::Packet{});
+      fast.offer(pkt::Packet{});
+    });
+  }
+  sim.run();
+  EXPECT_EQ(fast.stats().dropped, 0u);
+  // Slow processor delivers ~1% of the load.
+  EXPECT_LT(slow.stats().processed, 20000u / 50);
+}
+
+}  // namespace
+}  // namespace swish::baseline

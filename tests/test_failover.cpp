@@ -1,0 +1,284 @@
+// Failure handling tests (§6.3): heartbeat detection, chain repair for each
+// failed role (head / middle / tail), writer retry across epochs, EWO group
+// robustness, and full recovery via the tail's snapshot stream.
+#include <gtest/gtest.h>
+
+#include "swishmem/fabric.hpp"
+
+namespace swish::shm {
+namespace {
+
+constexpr std::uint32_t kSpace = 40;
+constexpr std::uint32_t kCtr = 41;
+
+class Driver : public NfApp {
+ public:
+  void process(pisa::PacketContext& ctx, ShmRuntime& rt) override {
+    if (!ctx.parsed || !ctx.parsed->udp) return;
+    const std::uint16_t port = ctx.parsed->udp->dst_port;
+    pisa::Switch* sw = &ctx.sw;
+    if (port >= 1000 && port < 2000) {
+      std::vector<pkt::WriteOp> ops{
+          {kSpace, static_cast<std::uint64_t>(port - 1000), ctx.parsed->udp->src_port}};
+      rt.sro_write(std::move(ops), std::move(ctx.packet),
+                   [sw](pkt::Packet&& p) { sw->deliver(std::move(p)); });
+    } else if (port >= 3000 && port < 4000) {
+      rt.ewo_add(kCtr, port - 3000, 1);
+      ctx.sw.deliver(std::move(ctx.packet));
+    }
+  }
+};
+
+pkt::Packet udp(std::uint16_t src_port, std::uint16_t dst_port) {
+  pkt::PacketSpec spec;
+  spec.ip_src = pkt::Ipv4Addr(1, 2, 3, 4);
+  spec.ip_dst = pkt::Ipv4Addr(9, 9, 9, 9);
+  spec.protocol = pkt::kProtoUdp;
+  spec.src_port = src_port;
+  spec.dst_port = dst_port;
+  spec.payload = {0};
+  return pkt::build_packet(spec);
+}
+
+struct Rig {
+  shm::Fabric fabric;
+  std::uint64_t delivered = 0;
+
+  explicit Rig(FabricConfig cfg) : fabric(cfg) {
+    SpaceConfig sp;
+    sp.id = kSpace;
+    sp.name = "fo";
+    sp.cls = ConsistencyClass::kSRO;
+    sp.size = 128;
+    fabric.add_space(sp);
+    SpaceConfig ctr;
+    ctr.id = kCtr;
+    ctr.name = "foctr";
+    ctr.cls = ConsistencyClass::kEWO;
+    ctr.merge = MergePolicy::kGCounter;
+    ctr.size = 32;
+    fabric.add_space(ctr);
+    fabric.install([]() { return std::make_unique<Driver>(); });
+    fabric.start();
+    fabric.set_delivery_sink([this](const pkt::Packet&) { ++delivered; });
+  }
+};
+
+FabricConfig cfg4() {
+  FabricConfig c;
+  c.num_switches = 4;
+  c.runtime.heartbeat_period = 5 * kMs;
+  c.controller.heartbeat_timeout = 20 * kMs;
+  c.controller.check_period = 5 * kMs;
+  c.runtime.write_retry_timeout = 3 * kMs;
+  return c;
+}
+
+TEST(Failover, HeartbeatDetectionFiresWithinTimeout) {
+  Rig rig(cfg4());
+  SwitchId detected = kInvalidNode;
+  TimeNs detected_at = 0;
+  rig.fabric.controller().on_failure_detected = [&](SwitchId id, TimeNs t) {
+    detected = id;
+    detected_at = t;
+  };
+  rig.fabric.run_for(50 * kMs);  // warm: heartbeats flowing
+  const TimeNs kill_time = rig.fabric.simulator().now();
+  rig.fabric.kill_switch(2);
+  rig.fabric.run_for(100 * kMs);
+  EXPECT_EQ(detected, rig.fabric.sw(2).id());
+  EXPECT_GT(detected_at, kill_time);
+  EXPECT_LT(detected_at - kill_time, 40 * kMs);  // timeout + check period + slack
+}
+
+TEST(Failover, ChainShrinksAfterFailure) {
+  Rig rig(cfg4());
+  rig.fabric.run_for(50 * kMs);
+  rig.fabric.kill_switch(1);
+  rig.fabric.run_for(100 * kMs);
+  const auto& chain = rig.fabric.controller().chain().chain;
+  EXPECT_EQ(chain.size(), 3u);
+  EXPECT_EQ(std::count(chain.begin(), chain.end(), rig.fabric.sw(1).id()), 0);
+}
+
+class RoleFailover : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RoleFailover, WritesCommitAfterAnyRoleFails) {
+  // Param: which chain position to kill (0=head, 1=middle, 3=tail).
+  Rig rig(cfg4());
+  rig.fabric.run_for(50 * kMs);
+  rig.fabric.kill_switch(GetParam());
+  rig.fabric.run_for(100 * kMs);  // detection + repair
+
+  // Writes from every surviving switch still commit everywhere.
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (i == GetParam()) continue;
+    rig.fabric.sw(i).inject(udp(static_cast<std::uint16_t>(50 + i),
+                                static_cast<std::uint16_t>(1000 + i)));
+  }
+  rig.fabric.run_for(300 * kMs);
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (i == GetParam()) continue;
+    EXPECT_EQ(rig.fabric.runtime(i).stats().writes_committed, 1u) << "writer " << i;
+    for (std::size_t j = 0; j < 4; ++j) {
+      if (j == GetParam()) continue;
+      EXPECT_EQ(rig.fabric.runtime(j).sro_space(kSpace)->read(i).value(), 50 + i)
+          << "replica " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Roles, RoleFailover, ::testing::Values(0, 1, 3));
+
+TEST(Failover, InFlightWriteSurvivesTailFailure) {
+  FabricConfig cfg = cfg4();
+  cfg.link.propagation_delay = 2 * kMs;  // widen the in-flight window
+  Rig rig(cfg);
+  rig.fabric.run_for(50 * kMs);
+  // Inject a write, then kill the tail before the ack can be produced.
+  rig.fabric.sw(1).inject(udp(66, 1009));
+  rig.fabric.run_for(3 * kMs);
+  rig.fabric.kill_switch(3);
+  rig.fabric.run_for(500 * kMs);  // detection, repair, writer retry
+  EXPECT_EQ(rig.fabric.runtime(1).stats().writes_committed, 1u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(rig.fabric.runtime(i).sro_space(kSpace)->read(9).value(), 66u);
+  }
+  EXPECT_EQ(rig.delivered, 1u);
+}
+
+TEST(Failover, EwoCountersSurviveFailureOfNonWriter) {
+  Rig rig(cfg4());
+  rig.fabric.run_for(50 * kMs);
+  for (int i = 0; i < 8; ++i) rig.fabric.sw(0).inject(udp(0, 3001));
+  rig.fabric.run_for(20 * kMs);
+  rig.fabric.kill_switch(2);
+  rig.fabric.run_for(200 * kMs);
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (i == 2) continue;
+    EXPECT_EQ(rig.fabric.runtime(i).ewo_read(kCtr, 1), 8u) << "switch " << i;
+  }
+}
+
+TEST(Failover, EwoGossipSpreadsDeadSwitchsCounts) {
+  // Switch 2 increments, its counts replicate, then it dies; survivors must
+  // still agree on its contribution (any receiver re-syncs the others, §6.3).
+  FabricConfig cfg = cfg4();
+  cfg.runtime.sync_period = 2 * kMs;
+  Rig rig(cfg);
+  rig.fabric.run_for(50 * kMs);
+  for (int i = 0; i < 5; ++i) rig.fabric.sw(2).inject(udp(0, 3003));
+  rig.fabric.run_for(10 * kMs);  // at least one mirror/sync out
+  rig.fabric.kill_switch(2);
+  rig.fabric.run_for(300 * kMs);
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (i == 2) continue;
+    EXPECT_EQ(rig.fabric.runtime(i).ewo_read(kCtr, 3), 5u) << "switch " << i;
+  }
+}
+
+TEST(Recovery, SroStateRestoredToReplacementSwitch) {
+  Rig rig(cfg4());
+  rig.fabric.run_for(50 * kMs);
+  // Populate state.
+  for (int k = 0; k < 10; ++k) {
+    rig.fabric.sw(0).inject(udp(static_cast<std::uint16_t>(200 + k),
+                                static_cast<std::uint16_t>(1000 + k)));
+  }
+  rig.fabric.run_for(100 * kMs);
+
+  rig.fabric.kill_switch(1);
+  rig.fabric.run_for(100 * kMs);  // failover completes
+
+  SwitchId recovered = kInvalidNode;
+  rig.fabric.controller().on_recovery_complete = [&](SwitchId id, TimeNs) { recovered = id; };
+  rig.fabric.revive_switch(1);
+  rig.fabric.run_for(500 * kMs);
+
+  EXPECT_EQ(recovered, rig.fabric.sw(1).id());
+  // Replacement has the full state, transferred via the snapshot stream.
+  for (int k = 0; k < 10; ++k) {
+    EXPECT_EQ(rig.fabric.runtime(1).sro_space(kSpace)->read(k).value(), 200u + k);
+  }
+  // And it rejoined as chain tail.
+  EXPECT_EQ(rig.fabric.controller().chain().chain.back(), rig.fabric.sw(1).id());
+  EXPECT_GT(rig.fabric.runtime(1).stats().recovery_chunks_applied, 0u);
+}
+
+TEST(Recovery, WritesDuringRecoveryReachReplacement) {
+  FabricConfig cfg = cfg4();
+  cfg.controller.mgmt_latency = 2 * kMs;
+  Rig rig(cfg);
+  rig.fabric.run_for(50 * kMs);
+  for (int k = 0; k < 20; ++k) {
+    rig.fabric.sw(0).inject(udp(static_cast<std::uint16_t>(100 + k),
+                                static_cast<std::uint16_t>(1000 + k)));
+  }
+  rig.fabric.run_for(100 * kMs);
+  rig.fabric.kill_switch(2);
+  rig.fabric.run_for(100 * kMs);
+  rig.fabric.revive_switch(2);
+  // Concurrent writes while the snapshot streams.
+  for (int k = 20; k < 30; ++k) {
+    rig.fabric.sw(0).inject(udp(static_cast<std::uint16_t>(100 + k),
+                                static_cast<std::uint16_t>(1000 + k)));
+  }
+  rig.fabric.run_for(1 * kSec);
+  for (int k = 0; k < 30; ++k) {
+    EXPECT_EQ(rig.fabric.runtime(2).sro_space(kSpace)->read(k).value(), 100u + k)
+        << "key " << k;
+  }
+}
+
+TEST(Recovery, SnapshotStreamSurvivesLoss) {
+  FabricConfig cfg = cfg4();
+  cfg.link.loss_probability = 0.3;
+  Rig rig(cfg);
+  rig.fabric.run_for(50 * kMs);
+  for (int k = 0; k < 15; ++k) {
+    rig.fabric.sw(0).inject(udp(static_cast<std::uint16_t>(70 + k),
+                                static_cast<std::uint16_t>(1000 + k)));
+  }
+  rig.fabric.run_for(500 * kMs);
+  rig.fabric.kill_switch(3);
+  rig.fabric.run_for(200 * kMs);
+  rig.fabric.revive_switch(3);
+  rig.fabric.run_for(3 * kSec);  // stop-and-wait with retransmissions
+  for (int k = 0; k < 15; ++k) {
+    EXPECT_EQ(rig.fabric.runtime(3).sro_space(kSpace)->read(k).value(), 70u + k);
+  }
+}
+
+TEST(Recovery, EwoReplacementRefilledByPeriodicSync) {
+  FabricConfig cfg = cfg4();
+  cfg.runtime.sync_period = 2 * kMs;
+  Rig rig(cfg);
+  rig.fabric.run_for(50 * kMs);
+  for (int i = 0; i < 9; ++i) rig.fabric.sw(i % 4).inject(udp(0, 3005));
+  rig.fabric.run_for(50 * kMs);
+  rig.fabric.kill_switch(0);
+  rig.fabric.run_for(100 * kMs);
+  rig.fabric.revive_switch(0);
+  EXPECT_EQ(rig.fabric.runtime(0).ewo_read(kCtr, 5), 0u);  // boots empty
+  rig.fabric.run_for(300 * kMs);
+  // Gossip restored everything, including switch 0's own pre-crash slot.
+  EXPECT_EQ(rig.fabric.runtime(0).ewo_read(kCtr, 5), 9u);
+}
+
+TEST(Recovery, RecoveredSwitchServesStrongReadsOnlyAfterJoin) {
+  Rig rig(cfg4());
+  rig.fabric.run_for(50 * kMs);
+  rig.fabric.sw(0).inject(udp(42, 1001));
+  rig.fabric.run_for(100 * kMs);
+  rig.fabric.kill_switch(1);
+  rig.fabric.run_for(100 * kMs);
+  rig.fabric.revive_switch(1);
+  // Immediately after revival (not yet in chain) the runtime must not claim
+  // chain membership.
+  EXPECT_FALSE(rig.fabric.runtime(1).in_chain());
+  rig.fabric.run_for(500 * kMs);
+  EXPECT_TRUE(rig.fabric.runtime(1).in_chain());
+}
+
+}  // namespace
+}  // namespace swish::shm

@@ -1,0 +1,338 @@
+// Unit tests: PISA stateful objects, control-plane CPU model, switch
+// processing (forwarding, recirculation, multicast, packet generator,
+// capacity, memory budget).
+#include <gtest/gtest.h>
+
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "pisa/switch.hpp"
+
+namespace swish::pisa {
+namespace {
+
+TEST(RegisterArray, ReadWriteAddMax) {
+  RegisterArray r("r", 8, 64);
+  EXPECT_EQ(r.read(3), 0u);
+  r.write(3, 42);
+  EXPECT_EQ(r.read(3), 42u);
+  EXPECT_EQ(r.add(3, 8), 50u);
+  EXPECT_EQ(r.merge_max(3, 10), 50u);
+  EXPECT_EQ(r.merge_max(3, 100), 100u);
+  r.fill(7);
+  for (RegisterIndex i = 0; i < 8; ++i) EXPECT_EQ(r.read(i), 7u);
+}
+
+TEST(RegisterArray, NarrowEntriesMask) {
+  RegisterArray r("r", 4, 8);
+  r.write(0, 0x1FF);
+  EXPECT_EQ(r.read(0), 0xFFu);
+  RegisterArray bit("b", 4, 1);
+  bit.write(1, 1);
+  EXPECT_EQ(bit.read(1), 1u);
+  bit.write(1, 2);
+  EXPECT_EQ(bit.read(1), 0u);
+}
+
+TEST(RegisterArray, OutOfRangeThrows) {
+  RegisterArray r("r", 2, 64);
+  EXPECT_THROW(r.read(2), std::out_of_range);
+  EXPECT_THROW(r.write(5, 1), std::out_of_range);
+}
+
+TEST(RegisterArray, MemoryAccounting) {
+  EXPECT_EQ(RegisterArray("a", 1000, 64).memory_bytes(), 8000u);
+  EXPECT_EQ(RegisterArray("b", 1000, 1).memory_bytes(), 125u);
+  EXPECT_EQ(RegisterArray("c", 1000, 32).memory_bytes(), 4000u);
+}
+
+TEST(RegisterArray, BadBitsThrow) {
+  EXPECT_THROW(RegisterArray("x", 4, 0), std::invalid_argument);
+  EXPECT_THROW(RegisterArray("x", 4, 65), std::invalid_argument);
+}
+
+TEST(CounterArray, CountsPacketsAndBytes) {
+  CounterArray c("c", 4);
+  c.count(1, 100);
+  c.count(1, 50);
+  EXPECT_EQ(c.packets(1), 2u);
+  EXPECT_EQ(c.bytes(1), 150u);
+  EXPECT_EQ(c.packets(0), 0u);
+}
+
+TEST(MeterArray, GreenWithinRate) {
+  MeterArray m("m", 1, {.rate_bytes_per_sec = 1'000'000, .committed_burst = 1000,
+                        .excess_burst = 2000});
+  EXPECT_EQ(m.update(0, 100, 0), MeterColor::kGreen);
+}
+
+TEST(MeterArray, RedWhenExhausted) {
+  MeterArray m("m", 1, {.rate_bytes_per_sec = 1000, .committed_burst = 100,
+                        .excess_burst = 200});
+  EXPECT_NE(m.update(0, 200, 0), MeterColor::kRed);  // burst available
+  EXPECT_EQ(m.update(0, 200, 0), MeterColor::kRed);  // bucket drained
+}
+
+TEST(MeterArray, RefillsOverTime) {
+  MeterArray m("m", 1, {.rate_bytes_per_sec = 1'000'000, .committed_burst = 500,
+                        .excess_burst = 1000});
+  EXPECT_NE(m.update(0, 1000, 0), MeterColor::kRed);
+  EXPECT_EQ(m.update(0, 1000, 0), MeterColor::kRed);
+  // 1 ms at 1 MB/s refills 1000 bytes.
+  EXPECT_NE(m.update(0, 1000, 1 * kMs), MeterColor::kRed);
+}
+
+TEST(ExactTable, InsertLookupEraseCapacity) {
+  ExactTable t("t", 2);
+  const CpToken token = [] {
+    sim::Simulator sim;
+    return ControlPlane(sim, {}).token();
+  }();
+  EXPECT_FALSE(t.lookup(1).has_value());
+  EXPECT_TRUE(t.insert(token, 1, 100));
+  EXPECT_TRUE(t.insert(token, 2, 200));
+  EXPECT_FALSE(t.insert(token, 3, 300));  // full
+  EXPECT_TRUE(t.insert(token, 1, 111));   // overwrite OK when full
+  EXPECT_EQ(t.lookup(1).value(), 111u);
+  EXPECT_TRUE(t.erase(token, 1));
+  EXPECT_FALSE(t.erase(token, 1));
+  EXPECT_EQ(t.entry_count(), 1u);
+  t.clear(token);
+  EXPECT_EQ(t.entry_count(), 0u);
+}
+
+TEST(LpmTable, LongestPrefixWins) {
+  sim::Simulator sim;
+  ControlPlane cp(sim, {});
+  LpmTable t("t", 16);
+  ASSERT_TRUE(t.insert(cp.token(), pkt::Ipv4Addr(10, 0, 0, 0), 8, 1));
+  ASSERT_TRUE(t.insert(cp.token(), pkt::Ipv4Addr(10, 1, 0, 0), 16, 2));
+  ASSERT_TRUE(t.insert(cp.token(), pkt::Ipv4Addr(0, 0, 0, 0), 0, 99));
+  EXPECT_EQ(t.lookup(pkt::Ipv4Addr(10, 1, 2, 3)).value(), 2u);
+  EXPECT_EQ(t.lookup(pkt::Ipv4Addr(10, 9, 9, 9)).value(), 1u);
+  EXPECT_EQ(t.lookup(pkt::Ipv4Addr(8, 8, 8, 8)).value(), 99u);  // default route
+  EXPECT_TRUE(t.erase(cp.token(), pkt::Ipv4Addr(10, 1, 0, 0), 16));
+  EXPECT_EQ(t.lookup(pkt::Ipv4Addr(10, 1, 2, 3)).value(), 1u);
+}
+
+TEST(TernaryTable, PriorityAndMask) {
+  sim::Simulator sim;
+  ControlPlane cp(sim, {});
+  TernaryTable t("t", 8);
+  ASSERT_TRUE(t.insert(cp.token(), {.value = 0xAA00, .mask = 0xFF00, .priority = 1, .action = 1}));
+  ASSERT_TRUE(t.insert(cp.token(), {.value = 0xAABB, .mask = 0xFFFF, .priority = 9, .action = 2}));
+  EXPECT_EQ(t.lookup(0xAABB).value(), 2u);  // higher priority exact
+  EXPECT_EQ(t.lookup(0xAACC).value(), 1u);  // falls to masked entry
+  EXPECT_FALSE(t.lookup(0xBB00).has_value());
+  EXPECT_EQ(t.erase(cp.token(), 0xAA00, 0xFF00), 1u);
+  EXPECT_FALSE(t.lookup(0xAACC).has_value());
+}
+
+TEST(ControlPlane, ServiceRatePacesJobs) {
+  sim::Simulator sim;
+  ControlPlane cp(sim, {.ops_per_sec = 1000, .max_queue = 100});  // 1 ms per op
+  std::vector<TimeNs> done;
+  for (int i = 0; i < 3; ++i) {
+    cp.submit([&] { done.push_back(sim.now()); });
+  }
+  sim.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0], 1 * kMs);
+  EXPECT_EQ(done[1], 2 * kMs);
+  EXPECT_EQ(done[2], 3 * kMs);
+}
+
+TEST(ControlPlane, QueueOverflowDrops) {
+  sim::Simulator sim;
+  ControlPlane cp(sim, {.ops_per_sec = 1000, .max_queue = 10});
+  int executed = 0;
+  int accepted = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (cp.submit([&] { ++executed; })) ++accepted;
+  }
+  sim.run();
+  EXPECT_LE(accepted, 12);
+  EXPECT_EQ(executed, accepted);
+  EXPECT_EQ(cp.stats().dropped, 100u - static_cast<unsigned>(accepted));
+}
+
+TEST(ControlPlane, GateSuppressesJobs) {
+  sim::Simulator sim;
+  ControlPlane cp(sim, {});
+  bool alive = true;
+  cp.set_gate([&] { return alive; });
+  int ran = 0;
+  cp.submit([&] { ++ran; });
+  alive = false;
+  cp.submit([&] { ++ran; });
+  sim.run();
+  EXPECT_EQ(ran, 0);  // first job also gated: liveness checked at run time
+}
+
+struct SwitchRig {
+  sim::Simulator sim;
+  net::Network net{sim, 5};
+  Switch a{sim, net, 1, {}};
+  Switch b{sim, net, 2, {}};
+  SwitchRig() {
+    net.attach(a);
+    net.attach(b);
+    net.connect(1, 2, net::LinkParams{});
+    auto tables = net::compute_routes(net);
+    a.set_routing(std::move(tables[1]));
+    b.set_routing(std::move(tables[2]));
+  }
+};
+
+class EchoProgram : public PipelineProgram {
+ public:
+  void process(PacketContext& ctx) override {
+    ++seen;
+    last_ingress = ctx.ingress_port;
+    if (deliver_all) ctx.sw.deliver(std::move(ctx.packet));
+  }
+  int seen = 0;
+  bool deliver_all = false;
+  net::PortId last_ingress = net::kInvalidPort;
+};
+
+pkt::Packet some_packet() {
+  pkt::PacketSpec spec;
+  spec.ip_src = pkt::Ipv4Addr(1, 1, 1, 1);
+  spec.ip_dst = pkt::Ipv4Addr(2, 2, 2, 2);
+  spec.payload = {1, 2, 3};
+  return pkt::build_packet(spec);
+}
+
+TEST(Switch, InjectReachesProgram) {
+  SwitchRig rig;
+  auto prog = std::make_unique<EchoProgram>();
+  EchoProgram* p = prog.get();
+  rig.a.install_program(std::move(prog));
+  rig.a.inject(some_packet());
+  rig.sim.run();
+  EXPECT_EQ(p->seen, 1);
+  EXPECT_EQ(rig.a.stats().injected, 1u);
+  EXPECT_EQ(rig.a.stats().processed, 1u);
+}
+
+TEST(Switch, SendToNodeTraversesLink) {
+  SwitchRig rig;
+  auto prog_b = std::make_unique<EchoProgram>();
+  EchoProgram* pb = prog_b.get();
+  rig.b.install_program(std::move(prog_b));
+  rig.a.send_to_node(2, some_packet(), 0);
+  rig.sim.run();
+  EXPECT_EQ(pb->seen, 1);
+}
+
+TEST(Switch, SendToSelfRecirculates) {
+  SwitchRig rig;
+  auto prog = std::make_unique<EchoProgram>();
+  EchoProgram* p = prog.get();
+  rig.a.install_program(std::move(prog));
+  rig.a.send_to_node(1, some_packet(), 0);
+  rig.sim.run();
+  EXPECT_EQ(p->seen, 1);
+  EXPECT_EQ(rig.a.stats().recirculated, 1u);
+}
+
+TEST(Switch, DeliverySinkInvoked) {
+  SwitchRig rig;
+  auto prog = std::make_unique<EchoProgram>();
+  prog->deliver_all = true;
+  rig.a.install_program(std::move(prog));
+  int delivered = 0;
+  rig.a.set_delivery_sink([&](const pkt::Packet&) { ++delivered; });
+  rig.a.inject(some_packet());
+  rig.sim.run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(rig.a.stats().delivered, 1u);
+}
+
+TEST(Switch, PipelineLatencyAppliedToEgress) {
+  SwitchRig rig;
+  auto prog = std::make_unique<EchoProgram>();
+  prog->deliver_all = true;
+  rig.a.install_program(std::move(prog));
+  TimeNs delivered_at = -1;
+  rig.a.set_delivery_sink([&](const pkt::Packet&) { delivered_at = rig.sim.now(); });
+  rig.a.inject(some_packet());
+  rig.sim.run();
+  EXPECT_EQ(delivered_at, rig.a.config().pipeline_latency);
+}
+
+TEST(Switch, MulticastSkipsSelf) {
+  SwitchRig rig;
+  auto prog_b = std::make_unique<EchoProgram>();
+  EchoProgram* pb = prog_b.get();
+  rig.b.install_program(std::move(prog_b));
+  auto prog_a = std::make_unique<EchoProgram>();
+  EchoProgram* pa = prog_a.get();
+  rig.a.install_program(std::move(prog_a));
+  const std::vector<SwitchId> group{1, 2};
+  rig.a.multicast_nodes(group, some_packet());
+  rig.sim.run();
+  EXPECT_EQ(pb->seen, 1);
+  EXPECT_EQ(pa->seen, 0);
+}
+
+TEST(Switch, FailedSwitchDropsEverything) {
+  SwitchRig rig;
+  auto prog = std::make_unique<EchoProgram>();
+  EchoProgram* p = prog.get();
+  rig.a.install_program(std::move(prog));
+  rig.a.fail();
+  rig.a.inject(some_packet());
+  rig.sim.run();
+  EXPECT_EQ(p->seen, 0);
+  rig.a.recover();
+  rig.a.inject(some_packet());
+  rig.sim.run();
+  EXPECT_EQ(p->seen, 1);
+}
+
+TEST(Switch, CapacityDropsWhenOverloaded) {
+  sim::Simulator sim;
+  net::Network net{sim, 5};
+  Switch::Config cfg;
+  cfg.dataplane_pps = 1e6;  // 1 us per packet
+  cfg.dataplane_queue = 10;
+  Switch sw{sim, net, 1, cfg};
+  net.attach(sw);
+  sw.install_program(std::make_unique<EchoProgram>());
+  for (int i = 0; i < 1000; ++i) sw.inject(some_packet());  // all at t=0
+  sim.run();
+  EXPECT_GT(sw.stats().dropped_capacity, 0u);
+  EXPECT_LT(sw.stats().processed, 1000u);
+}
+
+TEST(Switch, PacketGeneratorRunsPeriodically) {
+  SwitchRig rig;
+  int fired = 0;
+  rig.a.start_packet_generator(10 * kUs, [&] { ++fired; });
+  rig.sim.run_until(100 * kUs);
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Switch, PacketGeneratorPausesWhileDead) {
+  SwitchRig rig;
+  int fired = 0;
+  rig.a.start_packet_generator(10 * kUs, [&] { ++fired; });
+  rig.sim.run_until(50 * kUs);
+  rig.a.fail();
+  rig.sim.run_until(100 * kUs);
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(Switch, MemoryBudgetTracksObjects) {
+  SwitchRig rig;
+  EXPECT_EQ(rig.a.memory_bytes(), 0u);
+  rig.a.add_register_array("r", 1024, 64);
+  EXPECT_EQ(rig.a.memory_bytes(), 8192u);
+  EXPECT_TRUE(rig.a.within_memory_budget());
+  rig.a.add_register_array("big", 2 * 1024 * 1024, 64);  // 16 MB
+  EXPECT_FALSE(rig.a.within_memory_budget());
+}
+
+}  // namespace
+}  // namespace swish::pisa

@@ -1,0 +1,156 @@
+// Unit tests: SwiShmem protocol message serialization (round-trips, edge
+// cases, malformed input) including parameterized sweeps over payload sizes.
+#include <gtest/gtest.h>
+
+#include "packet/swish_wire.hpp"
+
+namespace swish::pkt {
+namespace {
+
+template <typename T>
+T roundtrip(const T& msg) {
+  auto bytes = encode_message(msg);
+  auto decoded = decode_message(bytes);
+  EXPECT_TRUE(decoded.has_value());
+  const T* out = std::get_if<T>(&*decoded);
+  EXPECT_NE(out, nullptr);
+  return *out;
+}
+
+TEST(Wire, WriteRequestRoundTripUnsequenced) {
+  WriteRequest m;
+  m.epoch = 3;
+  m.writer = 7;
+  m.write_id = 0xABCDEF;
+  m.ops = {{1, 42, 100}, {2, 0xFFFFFFFFFFULL, 200}};
+  EXPECT_EQ(roundtrip(m), m);
+}
+
+TEST(Wire, WriteRequestRoundTripSequenced) {
+  WriteRequest m;
+  m.epoch = 1;
+  m.writer = 2;
+  m.write_id = 5;
+  m.snapshot_replay = true;
+  m.ops = {{1, 9, 10}};
+  m.seqs = {77};
+  EXPECT_EQ(roundtrip(m), m);
+}
+
+TEST(Wire, WriteAckRoundTrip) {
+  WriteAck m;
+  m.epoch = 9;
+  m.writer = 4;
+  m.write_id = 123456789;
+  m.ops = {{3, 1, 2}};
+  m.seqs = {42};
+  EXPECT_EQ(roundtrip(m), m);
+}
+
+TEST(Wire, EwoUpdateRoundTrip) {
+  EwoUpdate m;
+  m.origin = 11;
+  m.periodic = true;
+  m.entries = {{5, 10, 0xAABB, 77}, {5, 11, 0xCCDD, 88}};
+  EXPECT_EQ(roundtrip(m), m);
+}
+
+TEST(Wire, HeartbeatRoundTrip) {
+  Heartbeat m{13, 999999};
+  EXPECT_EQ(roundtrip(m), m);
+}
+
+TEST(Wire, ChainConfigRoundTrip) {
+  ChainConfig m{7, {1, 2, 3, 4}};
+  EXPECT_EQ(roundtrip(m), m);
+}
+
+TEST(Wire, GroupConfigRoundTrip) {
+  GroupConfig m{8, {9, 8, 7}};
+  EXPECT_EQ(roundtrip(m), m);
+}
+
+TEST(Wire, ReadRedirectRoundTrip) {
+  ReadRedirect m{3, {1, 2, 3, 4, 5}};
+  EXPECT_EQ(roundtrip(m), m);
+}
+
+TEST(Wire, EmptyCollectionsRoundTrip) {
+  EXPECT_EQ(roundtrip(WriteRequest{}), WriteRequest{});
+  EXPECT_EQ(roundtrip(EwoUpdate{}), EwoUpdate{});
+  EXPECT_EQ(roundtrip(ChainConfig{}), ChainConfig{});
+  EXPECT_EQ(roundtrip(ReadRedirect{}), ReadRedirect{});
+}
+
+TEST(Wire, UnknownTypeRejected) {
+  std::vector<std::uint8_t> bytes{0x7F, 0, 0, 0};
+  EXPECT_FALSE(decode_message(bytes).has_value());
+}
+
+TEST(Wire, EmptyPayloadRejected) {
+  EXPECT_FALSE(decode_message(std::span<const std::uint8_t>{}).has_value());
+}
+
+TEST(Wire, TruncationRejectedEverywhere) {
+  WriteRequest m;
+  m.ops = {{1, 2, 3}, {4, 5, 6}};
+  m.seqs = {7, 8};
+  const auto bytes = encode_message(m);
+  // Every strict prefix must fail to decode or decode to a different message;
+  // none may crash.
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    auto cut = decode_message(std::span(bytes.data(), len));
+    if (cut) {
+      const auto* wr = std::get_if<WriteRequest>(&*cut);
+      EXPECT_TRUE(wr == nullptr || !(*wr == m));
+    }
+  }
+  EXPECT_TRUE(decode_message(bytes).has_value());
+}
+
+TEST(Wire, EncodedSizeMatchesEncoding) {
+  EwoUpdate m;
+  m.origin = 1;
+  for (int i = 0; i < 10; ++i) {
+    m.entries.push_back({1, static_cast<std::uint64_t>(i), 1, 2});
+  }
+  EXPECT_EQ(encoded_size(m), encode_message(m).size());
+}
+
+TEST(Wire, SmallMessagesStaySmall) {
+  // The paper's premise: NF register updates are tiny (~100 B objects).
+  WriteRequest m;
+  m.ops = {{1, 2, 3}};
+  EXPECT_LE(encode_message(m).size(), 64u);
+  EwoUpdate u;
+  u.entries = {{1, 2, 3, 4}};
+  EXPECT_LE(encode_message(u).size(), 64u);
+}
+
+class WireSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WireSweep, EwoUpdateRoundTripAtSize) {
+  EwoUpdate m;
+  m.origin = 2;
+  for (std::size_t i = 0; i < GetParam(); ++i) {
+    m.entries.push_back({static_cast<std::uint32_t>(i % 7), i, i * 3 + 1, i * 5});
+  }
+  EXPECT_EQ(roundtrip(m), m);
+  // 28 bytes per entry + 8 header.
+  EXPECT_EQ(encoded_size(m), 8 + GetParam() * 28);
+}
+
+TEST_P(WireSweep, WriteRequestRoundTripAtSize) {
+  WriteRequest m;
+  m.write_id = GetParam();
+  for (std::size_t i = 0; i < GetParam(); ++i) {
+    m.ops.push_back({1, i, i * 2});
+    m.seqs.push_back(i + 1);
+  }
+  EXPECT_EQ(roundtrip(m), m);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, WireSweep, ::testing::Values(0, 1, 2, 16, 64, 255, 1000));
+
+}  // namespace
+}  // namespace swish::pkt

@@ -1,0 +1,279 @@
+// swish_sim: command-line scenario runner for SwiShmem deployments.
+//
+// Runs one of the bundled NFs on a simulated multi-switch fabric with
+// configurable topology, link model, workload, failures, and attack traffic,
+// then prints a summary. Protocol traffic can be captured to a pcap file.
+//
+// Examples:
+//   swish_sim --nf nat --switches 4 --reroute 0.3 --duration-ms 500
+//   swish_sim --nf lb --kill 1:200 --flows-per-sec 1000
+//   swish_sim --nf ddos --attack 60000:100:200 --sync-period-us 1000
+//   swish_sim --nf firewall --loss 0.05 --pcap fabric.pcap
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/table.hpp"
+#include "nf/ddos.hpp"
+#include "nf/firewall.hpp"
+#include "nf/ips.hpp"
+#include "nf/lb.hpp"
+#include "nf/nat.hpp"
+#include "nf/ratelimiter.hpp"
+#include "packet/pcap.hpp"
+#include "swishmem/fabric.hpp"
+#include "workload/attack.hpp"
+#include "workload/traffic.hpp"
+
+using namespace swish;
+
+namespace {
+
+struct Options {
+  std::string nf = "nat";
+  std::size_t switches = 4;
+  std::string topology = "mesh";
+  std::size_t spines = 2;
+  double loss = 0.0;
+  TimeNs link_delay = 1 * kUs;
+  double flows_per_sec = 2000;
+  double packets_per_flow = 8;
+  double reroute = 0.0;
+  TimeNs duration = 500 * kMs;
+  TimeNs sync_period = 1 * kMs;
+  std::uint64_t seed = 1;
+  std::vector<std::pair<std::size_t, TimeNs>> kills;
+  std::vector<std::pair<std::size_t, TimeNs>> revives;
+  std::optional<std::array<std::uint64_t, 3>> attack;  // pps, start_ms, dur_ms
+  std::string pcap;
+  bool quiet = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --nf nat|firewall|lb|ips|ddos|ratelimiter|none   NF to deploy (default nat)\n"
+      << "  --switches N            fabric size (default 4)\n"
+      << "  --topology mesh|chain|leafspine\n"
+      << "  --spines N              spine count for leafspine (default 2)\n"
+      << "  --loss P                per-link loss probability (default 0)\n"
+      << "  --link-delay-us N       one-way link latency (default 1)\n"
+      << "  --flows-per-sec N       workload connection rate (default 2000)\n"
+      << "  --packets-per-flow N    mean flow length (default 8)\n"
+      << "  --reroute P             per-packet ingress re-route probability\n"
+      << "  --duration-ms N         traffic duration (default 500)\n"
+      << "  --sync-period-us N      EWO periodic sync period (default 1000)\n"
+      << "  --kill IDX:MS           fail switch IDX at MS (repeatable)\n"
+      << "  --revive IDX:MS         revive switch IDX at MS (repeatable)\n"
+      << "  --attack PPS:START:DUR  UDP flood (times in ms)\n"
+      << "  --pcap FILE             capture all fabric traffic\n"
+      << "  --seed N                RNG seed (default 1)\n"
+      << "  --quiet                 summary only\n";
+  std::exit(2);
+}
+
+std::pair<std::size_t, TimeNs> parse_idx_ms(const std::string& s, const char* argv0) {
+  const auto colon = s.find(':');
+  if (colon == std::string::npos) usage(argv0);
+  return {std::stoul(s.substr(0, colon)), std::stoll(s.substr(colon + 1)) * kMs};
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  auto need = [&](int& i) -> std::string {
+    if (++i >= argc) usage(argv[0]);
+    return argv[i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--nf") opt.nf = need(i);
+    else if (a == "--switches") opt.switches = std::stoul(need(i));
+    else if (a == "--topology") opt.topology = need(i);
+    else if (a == "--spines") opt.spines = std::stoul(need(i));
+    else if (a == "--loss") opt.loss = std::stod(need(i));
+    else if (a == "--link-delay-us") opt.link_delay = std::stoll(need(i)) * kUs;
+    else if (a == "--flows-per-sec") opt.flows_per_sec = std::stod(need(i));
+    else if (a == "--packets-per-flow") opt.packets_per_flow = std::stod(need(i));
+    else if (a == "--reroute") opt.reroute = std::stod(need(i));
+    else if (a == "--duration-ms") opt.duration = std::stoll(need(i)) * kMs;
+    else if (a == "--sync-period-us") opt.sync_period = std::stoll(need(i)) * kUs;
+    else if (a == "--kill") opt.kills.push_back(parse_idx_ms(need(i), argv[0]));
+    else if (a == "--revive") opt.revives.push_back(parse_idx_ms(need(i), argv[0]));
+    else if (a == "--attack") {
+      const std::string s = need(i);
+      const auto c1 = s.find(':');
+      const auto c2 = s.find(':', c1 + 1);
+      if (c1 == std::string::npos || c2 == std::string::npos) usage(argv[0]);
+      opt.attack = {{std::stoull(s.substr(0, c1)), std::stoull(s.substr(c1 + 1, c2 - c1 - 1)),
+                     std::stoull(s.substr(c2 + 1))}};
+    } else if (a == "--pcap") opt.pcap = need(i);
+    else if (a == "--seed") opt.seed = std::stoull(need(i));
+    else if (a == "--quiet") opt.quiet = true;
+    else usage(argv[0]);
+  }
+  return opt;
+}
+
+const std::vector<pkt::Ipv4Addr> kBackends{{10, 1, 0, 1}, {10, 1, 0, 2}, {10, 1, 0, 3}};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+
+  shm::FabricConfig cfg;
+  cfg.num_switches = opt.switches;
+  cfg.seed = opt.seed;
+  cfg.link.loss_probability = opt.loss;
+  cfg.link.propagation_delay = opt.link_delay;
+  cfg.runtime.sync_period = opt.sync_period;
+  cfg.runtime.heartbeat_period = 5 * kMs;
+  cfg.controller.heartbeat_timeout = 30 * kMs;
+  cfg.controller.check_period = 5 * kMs;
+  if (opt.topology == "chain") cfg.topology = shm::FabricConfig::Topology::kChain;
+  else if (opt.topology == "leafspine") cfg.topology = shm::FabricConfig::Topology::kLeafSpine;
+  else if (opt.topology != "mesh") usage(argv[0]);
+  cfg.spine_count = opt.spines;
+
+  shm::Fabric fabric(cfg);
+
+  // Declare the NF's spaces and factory.
+  std::vector<shm::NfApp*> apps;
+  std::function<std::unique_ptr<shm::NfApp>()> factory;
+  pkt::Ipv4Addr server_ip{8, 8, 8, 8};
+  if (opt.nf == "nat") {
+    fabric.add_space(nf::NatApp::space());
+    factory = [&] {
+      auto a = std::make_unique<nf::NatApp>(nf::NatApp::Config{});
+      apps.push_back(a.get());
+      return std::unique_ptr<shm::NfApp>(std::move(a));
+    };
+  } else if (opt.nf == "firewall") {
+    fabric.add_space(nf::FirewallApp::space());
+    factory = [&] {
+      auto a = std::make_unique<nf::FirewallApp>(nf::FirewallApp::Config{});
+      apps.push_back(a.get());
+      return std::unique_ptr<shm::NfApp>(std::move(a));
+    };
+  } else if (opt.nf == "lb") {
+    fabric.add_space(nf::LoadBalancerApp::space());
+    server_ip = pkt::Ipv4Addr(10, 200, 0, 1);
+    factory = [&] {
+      auto a = std::make_unique<nf::LoadBalancerApp>(
+          nf::LoadBalancerApp::Config{pkt::Ipv4Addr(10, 200, 0, 1), kBackends, 65536});
+      apps.push_back(a.get());
+      return std::unique_ptr<shm::NfApp>(std::move(a));
+    };
+  } else if (opt.nf == "ips") {
+    fabric.add_space(nf::IpsApp::space());
+    factory = [&] {
+      auto a = std::make_unique<nf::IpsApp>(nf::IpsApp::Config{});
+      apps.push_back(a.get());
+      return std::unique_ptr<shm::NfApp>(std::move(a));
+    };
+  } else if (opt.nf == "ddos") {
+    fabric.add_space(nf::DdosDetectorApp::sketch_space());
+    fabric.add_space(nf::DdosDetectorApp::total_space());
+    factory = [&] {
+      auto a = std::make_unique<nf::DdosDetectorApp>(nf::DdosDetectorApp::Config{});
+      apps.push_back(a.get());
+      return std::unique_ptr<shm::NfApp>(std::move(a));
+    };
+  } else if (opt.nf == "ratelimiter") {
+    fabric.add_space(nf::RateLimiterApp::space());
+    factory = [&] {
+      auto a = std::make_unique<nf::RateLimiterApp>(nf::RateLimiterApp::Config{});
+      apps.push_back(a.get());
+      return std::unique_ptr<shm::NfApp>(std::move(a));
+    };
+  } else if (opt.nf != "none") {
+    usage(argv[0]);
+  }
+  fabric.install(factory);
+  fabric.start();
+
+  std::unique_ptr<pkt::PcapWriter> pcap;
+  if (!opt.pcap.empty()) {
+    pcap = std::make_unique<pkt::PcapWriter>(opt.pcap);
+    fabric.network().set_tap(
+        [&pcap](NodeId, NodeId, const pkt::Packet& p, TimeNs t) { pcap->write(t, p); });
+  }
+
+  workload::MeasuringSink sink(fabric.simulator());
+  workload::TrafficConfig traffic;
+  traffic.flows_per_sec = opt.flows_per_sec;
+  traffic.mean_packets_per_flow = opt.packets_per_flow;
+  traffic.reroute_probability = opt.reroute;
+  traffic.server_ip = server_ip;
+  traffic.seed = opt.seed + 1;
+  workload::TrafficGenerator gen(fabric, traffic);
+  fabric.set_delivery_sink([&](const pkt::Packet& p) {
+    sink.observe(p);
+    auto parsed = p.parse();
+    if (!parsed) return;
+    if (auto stamp = workload::Stamp::decode(p.l4_payload(*parsed))) {
+      gen.notify_delivered(*stamp);
+    }
+  });
+  gen.start(opt.duration);
+
+  std::unique_ptr<workload::AttackGenerator> attacker;
+  if (opt.attack) {
+    workload::AttackConfig acfg;
+    acfg.packets_per_sec = static_cast<double>((*opt.attack)[0]);
+    acfg.start = static_cast<TimeNs>((*opt.attack)[1]) * kMs;
+    acfg.duration = static_cast<TimeNs>((*opt.attack)[2]) * kMs;
+    attacker = std::make_unique<workload::AttackGenerator>(fabric, acfg);
+    attacker->start();
+  }
+
+  for (const auto& [idx, at] : opt.kills) {
+    fabric.simulator().schedule_at(at, [&fabric, idx = idx]() { fabric.kill_switch(idx); });
+  }
+  for (const auto& [idx, at] : opt.revives) {
+    fabric.simulator().schedule_at(at, [&fabric, idx = idx]() { fabric.revive_switch(idx); });
+  }
+
+  fabric.run_for(opt.duration + 500 * kMs);  // traffic + settling
+
+  // ---- Report ---------------------------------------------------------------
+  std::cout << "scenario: nf=" << opt.nf << " switches=" << opt.switches << " topology="
+            << opt.topology << " loss=" << opt.loss << " duration=" << opt.duration / 1000000
+            << "ms\n\n";
+  std::cout << "workload: " << gen.stats().flows_started << " flows, "
+            << gen.stats().packets_sent << " packets, " << gen.stats().reroutes
+            << " reroutes\n";
+  std::cout << "delivered: " << sink.delivered() << " packets, p50 latency "
+            << sink.latency().p50() / 1000.0 << " us, p99 " << sink.latency().p99() / 1000.0
+            << " us\n";
+  if (attacker) std::cout << "attack packets: " << attacker->stats().packets_sent << "\n";
+  std::cout << "\n";
+
+  if (!opt.quiet) {
+    TextTable table("per-switch protocol activity");
+    table.header({"switch", "alive", "processed", "writes committed", "write p99 (us)",
+                  "reads local", "reads redirected", "EWO updates rx", "CP backlog drops"});
+    for (std::size_t i = 0; i < fabric.size(); ++i) {
+      const auto& st = fabric.runtime(i).stats();
+      table.row({std::to_string(i), fabric.sw(i).alive() ? "yes" : "no",
+                 std::to_string(fabric.sw(i).stats().processed),
+                 std::to_string(st.writes_committed),
+                 format_double(st.write_latency.p99() / 1000.0, 1),
+                 std::to_string(st.reads_local), std::to_string(st.reads_redirected),
+                 std::to_string(st.ewo_updates_received),
+                 std::to_string(fabric.sw(i).control_plane().stats().dropped)});
+    }
+    table.print(std::cout);
+    const auto net_stats = fabric.network().total_stats();
+    std::cout << "\nfabric links: " << net_stats.packets_sent << " packets, "
+              << net_stats.bytes_sent << " bytes, " << net_stats.packets_dropped_loss
+              << " lost, " << net_stats.packets_dropped_queue << " queue-dropped\n";
+  }
+  if (pcap) {
+    pcap->flush();
+    std::cout << "pcap: wrote " << pcap->packets_written() << " packets to " << opt.pcap << "\n";
+  }
+  return 0;
+}
