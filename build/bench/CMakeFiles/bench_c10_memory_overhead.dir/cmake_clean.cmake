@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c10_memory_overhead.dir/bench_c10_memory_overhead.cpp.o"
+  "CMakeFiles/bench_c10_memory_overhead.dir/bench_c10_memory_overhead.cpp.o.d"
+  "bench_c10_memory_overhead"
+  "bench_c10_memory_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c10_memory_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_c10_memory_overhead.
+# This may be replaced when dependencies are built.

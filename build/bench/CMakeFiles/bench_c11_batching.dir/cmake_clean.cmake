@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c11_batching.dir/bench_c11_batching.cpp.o"
+  "CMakeFiles/bench_c11_batching.dir/bench_c11_batching.cpp.o.d"
+  "bench_c11_batching"
+  "bench_c11_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c11_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c12_ddos_accuracy.dir/bench_c12_ddos_accuracy.cpp.o"
+  "CMakeFiles/bench_c12_ddos_accuracy.dir/bench_c12_ddos_accuracy.cpp.o.d"
+  "bench_c12_ddos_accuracy"
+  "bench_c12_ddos_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c12_ddos_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_c12_ddos_accuracy.
+# This may be replaced when dependencies are built.

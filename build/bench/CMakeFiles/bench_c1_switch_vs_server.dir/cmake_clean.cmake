@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c1_switch_vs_server.dir/bench_c1_switch_vs_server.cpp.o"
+  "CMakeFiles/bench_c1_switch_vs_server.dir/bench_c1_switch_vs_server.cpp.o.d"
+  "bench_c1_switch_vs_server"
+  "bench_c1_switch_vs_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c1_switch_vs_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c2_dataplane_vs_controlplane.dir/bench_c2_dataplane_vs_controlplane.cpp.o"
+  "CMakeFiles/bench_c2_dataplane_vs_controlplane.dir/bench_c2_dataplane_vs_controlplane.cpp.o.d"
+  "bench_c2_dataplane_vs_controlplane"
+  "bench_c2_dataplane_vs_controlplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c2_dataplane_vs_controlplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

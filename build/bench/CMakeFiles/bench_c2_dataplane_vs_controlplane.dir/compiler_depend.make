@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_c2_dataplane_vs_controlplane.
+# This may be replaced when dependencies are built.

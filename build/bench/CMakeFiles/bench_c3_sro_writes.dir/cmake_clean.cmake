@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c3_sro_writes.dir/bench_c3_sro_writes.cpp.o"
+  "CMakeFiles/bench_c3_sro_writes.dir/bench_c3_sro_writes.cpp.o.d"
+  "bench_c3_sro_writes"
+  "bench_c3_sro_writes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c3_sro_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

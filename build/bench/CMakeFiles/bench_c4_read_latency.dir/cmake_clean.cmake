@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c4_read_latency.dir/bench_c4_read_latency.cpp.o"
+  "CMakeFiles/bench_c4_read_latency.dir/bench_c4_read_latency.cpp.o.d"
+  "bench_c4_read_latency"
+  "bench_c4_read_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c4_read_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c5_sync_bandwidth.dir/bench_c5_sync_bandwidth.cpp.o"
+  "CMakeFiles/bench_c5_sync_bandwidth.dir/bench_c5_sync_bandwidth.cpp.o.d"
+  "bench_c5_sync_bandwidth"
+  "bench_c5_sync_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c5_sync_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c6_ewo_convergence.dir/bench_c6_ewo_convergence.cpp.o"
+  "CMakeFiles/bench_c6_ewo_convergence.dir/bench_c6_ewo_convergence.cpp.o.d"
+  "bench_c6_ewo_convergence"
+  "bench_c6_ewo_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c6_ewo_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

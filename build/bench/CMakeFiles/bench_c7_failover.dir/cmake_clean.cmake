@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c7_failover.dir/bench_c7_failover.cpp.o"
+  "CMakeFiles/bench_c7_failover.dir/bench_c7_failover.cpp.o.d"
+  "bench_c7_failover"
+  "bench_c7_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c7_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

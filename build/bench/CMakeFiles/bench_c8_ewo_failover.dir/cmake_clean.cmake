@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c8_ewo_failover.dir/bench_c8_ewo_failover.cpp.o"
+  "CMakeFiles/bench_c8_ewo_failover.dir/bench_c8_ewo_failover.cpp.o.d"
+  "bench_c8_ewo_failover"
+  "bench_c8_ewo_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c8_ewo_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c9_pcc_violations.dir/bench_c9_pcc_violations.cpp.o"
+  "CMakeFiles/bench_c9_pcc_violations.dir/bench_c9_pcc_violations.cpp.o.d"
+  "bench_c9_pcc_violations"
+  "bench_c9_pcc_violations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c9_pcc_violations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

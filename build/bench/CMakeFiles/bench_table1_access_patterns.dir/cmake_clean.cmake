@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_access_patterns.dir/bench_table1_access_patterns.cpp.o"
+  "CMakeFiles/bench_table1_access_patterns.dir/bench_table1_access_patterns.cpp.o.d"
+  "bench_table1_access_patterns"
+  "bench_table1_access_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_access_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

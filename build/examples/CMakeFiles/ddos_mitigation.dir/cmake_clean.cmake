@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddos_mitigation.dir/ddos_mitigation.cpp.o"
+  "CMakeFiles/ddos_mitigation.dir/ddos_mitigation.cpp.o.d"
+  "ddos_mitigation"
+  "ddos_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddos_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_nat.dir/distributed_nat.cpp.o"
+  "CMakeFiles/distributed_nat.dir/distributed_nat.cpp.o.d"
+  "distributed_nat"
+  "distributed_nat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_nat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_rate_limit.dir/global_rate_limit.cpp.o"
+  "CMakeFiles/global_rate_limit.dir/global_rate_limit.cpp.o.d"
+  "global_rate_limit"
+  "global_rate_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_rate_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for global_rate_limit.
+# This may be replaced when dependencies are built.

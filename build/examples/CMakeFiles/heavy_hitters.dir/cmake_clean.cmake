@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heavy_hitters.dir/heavy_hitters.cpp.o"
+  "CMakeFiles/heavy_hitters.dir/heavy_hitters.cpp.o.d"
+  "heavy_hitters"
+  "heavy_hitters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heavy_hitters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

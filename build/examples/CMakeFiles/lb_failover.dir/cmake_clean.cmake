@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lb_failover.dir/lb_failover.cpp.o"
+  "CMakeFiles/lb_failover.dir/lb_failover.cpp.o.d"
+  "lb_failover"
+  "lb_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lb_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swish_baseline.dir/cp_replication.cpp.o"
+  "CMakeFiles/swish_baseline.dir/cp_replication.cpp.o.d"
+  "CMakeFiles/swish_baseline.dir/sharded_lb.cpp.o"
+  "CMakeFiles/swish_baseline.dir/sharded_lb.cpp.o.d"
+  "libswish_baseline.a"
+  "libswish_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swish_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swish_common.dir/log.cpp.o"
+  "CMakeFiles/swish_common.dir/log.cpp.o.d"
+  "CMakeFiles/swish_common.dir/rng.cpp.o"
+  "CMakeFiles/swish_common.dir/rng.cpp.o.d"
+  "CMakeFiles/swish_common.dir/stats.cpp.o"
+  "CMakeFiles/swish_common.dir/stats.cpp.o.d"
+  "CMakeFiles/swish_common.dir/table.cpp.o"
+  "CMakeFiles/swish_common.dir/table.cpp.o.d"
+  "libswish_common.a"
+  "libswish_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swish_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swish_net.dir/network.cpp.o"
+  "CMakeFiles/swish_net.dir/network.cpp.o.d"
+  "CMakeFiles/swish_net.dir/routing.cpp.o"
+  "CMakeFiles/swish_net.dir/routing.cpp.o.d"
+  "CMakeFiles/swish_net.dir/topology.cpp.o"
+  "CMakeFiles/swish_net.dir/topology.cpp.o.d"
+  "libswish_net.a"
+  "libswish_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swish_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swish_nf.dir/ddos.cpp.o"
+  "CMakeFiles/swish_nf.dir/ddos.cpp.o.d"
+  "CMakeFiles/swish_nf.dir/firewall.cpp.o"
+  "CMakeFiles/swish_nf.dir/firewall.cpp.o.d"
+  "CMakeFiles/swish_nf.dir/heavyhitter.cpp.o"
+  "CMakeFiles/swish_nf.dir/heavyhitter.cpp.o.d"
+  "CMakeFiles/swish_nf.dir/ips.cpp.o"
+  "CMakeFiles/swish_nf.dir/ips.cpp.o.d"
+  "CMakeFiles/swish_nf.dir/lb.cpp.o"
+  "CMakeFiles/swish_nf.dir/lb.cpp.o.d"
+  "CMakeFiles/swish_nf.dir/nat.cpp.o"
+  "CMakeFiles/swish_nf.dir/nat.cpp.o.d"
+  "CMakeFiles/swish_nf.dir/ratelimiter.cpp.o"
+  "CMakeFiles/swish_nf.dir/ratelimiter.cpp.o.d"
+  "libswish_nf.a"
+  "libswish_nf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swish_nf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

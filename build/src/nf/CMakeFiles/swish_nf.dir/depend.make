@@ -1,0 +1,2 @@
+# Empty dependencies file for swish_nf.
+# This may be replaced when dependencies are built.

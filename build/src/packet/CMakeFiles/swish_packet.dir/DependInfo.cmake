@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/packet/addr.cpp" "src/packet/CMakeFiles/swish_packet.dir/addr.cpp.o" "gcc" "src/packet/CMakeFiles/swish_packet.dir/addr.cpp.o.d"
+  "/root/repo/src/packet/headers.cpp" "src/packet/CMakeFiles/swish_packet.dir/headers.cpp.o" "gcc" "src/packet/CMakeFiles/swish_packet.dir/headers.cpp.o.d"
+  "/root/repo/src/packet/packet.cpp" "src/packet/CMakeFiles/swish_packet.dir/packet.cpp.o" "gcc" "src/packet/CMakeFiles/swish_packet.dir/packet.cpp.o.d"
+  "/root/repo/src/packet/pcap.cpp" "src/packet/CMakeFiles/swish_packet.dir/pcap.cpp.o" "gcc" "src/packet/CMakeFiles/swish_packet.dir/pcap.cpp.o.d"
+  "/root/repo/src/packet/swish_wire.cpp" "src/packet/CMakeFiles/swish_packet.dir/swish_wire.cpp.o" "gcc" "src/packet/CMakeFiles/swish_packet.dir/swish_wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/swish_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

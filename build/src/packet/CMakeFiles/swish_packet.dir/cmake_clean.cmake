@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swish_packet.dir/addr.cpp.o"
+  "CMakeFiles/swish_packet.dir/addr.cpp.o.d"
+  "CMakeFiles/swish_packet.dir/headers.cpp.o"
+  "CMakeFiles/swish_packet.dir/headers.cpp.o.d"
+  "CMakeFiles/swish_packet.dir/packet.cpp.o"
+  "CMakeFiles/swish_packet.dir/packet.cpp.o.d"
+  "CMakeFiles/swish_packet.dir/pcap.cpp.o"
+  "CMakeFiles/swish_packet.dir/pcap.cpp.o.d"
+  "CMakeFiles/swish_packet.dir/swish_wire.cpp.o"
+  "CMakeFiles/swish_packet.dir/swish_wire.cpp.o.d"
+  "libswish_packet.a"
+  "libswish_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swish_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pisa/control_plane.cpp" "src/pisa/CMakeFiles/swish_pisa.dir/control_plane.cpp.o" "gcc" "src/pisa/CMakeFiles/swish_pisa.dir/control_plane.cpp.o.d"
+  "/root/repo/src/pisa/objects.cpp" "src/pisa/CMakeFiles/swish_pisa.dir/objects.cpp.o" "gcc" "src/pisa/CMakeFiles/swish_pisa.dir/objects.cpp.o.d"
+  "/root/repo/src/pisa/switch.cpp" "src/pisa/CMakeFiles/swish_pisa.dir/switch.cpp.o" "gcc" "src/pisa/CMakeFiles/swish_pisa.dir/switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/swish_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/swish_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/swish_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/swish_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

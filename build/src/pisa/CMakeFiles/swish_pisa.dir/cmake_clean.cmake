@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swish_pisa.dir/control_plane.cpp.o"
+  "CMakeFiles/swish_pisa.dir/control_plane.cpp.o.d"
+  "CMakeFiles/swish_pisa.dir/objects.cpp.o"
+  "CMakeFiles/swish_pisa.dir/objects.cpp.o.d"
+  "CMakeFiles/swish_pisa.dir/switch.cpp.o"
+  "CMakeFiles/swish_pisa.dir/switch.cpp.o.d"
+  "libswish_pisa.a"
+  "libswish_pisa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swish_pisa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swish_sim.dir/simulator.cpp.o"
+  "CMakeFiles/swish_sim.dir/simulator.cpp.o.d"
+  "libswish_sim.a"
+  "libswish_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swish_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

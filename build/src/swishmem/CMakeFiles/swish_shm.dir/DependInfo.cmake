@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/swishmem/controller.cpp" "src/swishmem/CMakeFiles/swish_shm.dir/controller.cpp.o" "gcc" "src/swishmem/CMakeFiles/swish_shm.dir/controller.cpp.o.d"
+  "/root/repo/src/swishmem/fabric.cpp" "src/swishmem/CMakeFiles/swish_shm.dir/fabric.cpp.o" "gcc" "src/swishmem/CMakeFiles/swish_shm.dir/fabric.cpp.o.d"
+  "/root/repo/src/swishmem/runtime.cpp" "src/swishmem/CMakeFiles/swish_shm.dir/runtime.cpp.o" "gcc" "src/swishmem/CMakeFiles/swish_shm.dir/runtime.cpp.o.d"
+  "/root/repo/src/swishmem/spaces.cpp" "src/swishmem/CMakeFiles/swish_shm.dir/spaces.cpp.o" "gcc" "src/swishmem/CMakeFiles/swish_shm.dir/spaces.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/swish_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/swish_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/swish_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/swish_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pisa/CMakeFiles/swish_pisa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

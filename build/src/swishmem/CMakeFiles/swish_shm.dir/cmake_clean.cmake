@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swish_shm.dir/controller.cpp.o"
+  "CMakeFiles/swish_shm.dir/controller.cpp.o.d"
+  "CMakeFiles/swish_shm.dir/fabric.cpp.o"
+  "CMakeFiles/swish_shm.dir/fabric.cpp.o.d"
+  "CMakeFiles/swish_shm.dir/runtime.cpp.o"
+  "CMakeFiles/swish_shm.dir/runtime.cpp.o.d"
+  "CMakeFiles/swish_shm.dir/spaces.cpp.o"
+  "CMakeFiles/swish_shm.dir/spaces.cpp.o.d"
+  "libswish_shm.a"
+  "libswish_shm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swish_shm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

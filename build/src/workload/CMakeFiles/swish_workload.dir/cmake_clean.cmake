@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swish_workload.dir/attack.cpp.o"
+  "CMakeFiles/swish_workload.dir/attack.cpp.o.d"
+  "CMakeFiles/swish_workload.dir/traffic.cpp.o"
+  "CMakeFiles/swish_workload.dir/traffic.cpp.o.d"
+  "libswish_workload.a"
+  "libswish_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swish_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nf.dir/test_nf.cpp.o"
+  "CMakeFiles/test_nf.dir/test_nf.cpp.o.d"
+  "test_nf"
+  "test_nf.pdb"
+  "test_nf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

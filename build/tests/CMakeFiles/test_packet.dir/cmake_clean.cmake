@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packet.dir/test_packet.cpp.o"
+  "CMakeFiles/test_packet.dir/test_packet.cpp.o.d"
+  "test_packet"
+  "test_packet.pdb"
+  "test_packet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

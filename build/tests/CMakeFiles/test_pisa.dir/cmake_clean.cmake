@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pisa.dir/test_pisa.cpp.o"
+  "CMakeFiles/test_pisa.dir/test_pisa.cpp.o.d"
+  "test_pisa"
+  "test_pisa.pdb"
+  "test_pisa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pisa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

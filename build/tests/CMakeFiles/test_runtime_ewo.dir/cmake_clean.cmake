@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_ewo.dir/test_runtime_ewo.cpp.o"
+  "CMakeFiles/test_runtime_ewo.dir/test_runtime_ewo.cpp.o.d"
+  "test_runtime_ewo"
+  "test_runtime_ewo.pdb"
+  "test_runtime_ewo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_ewo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

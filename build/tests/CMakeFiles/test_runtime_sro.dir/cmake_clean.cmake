@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_sro.dir/test_runtime_sro.cpp.o"
+  "CMakeFiles/test_runtime_sro.dir/test_runtime_sro.cpp.o.d"
+  "test_runtime_sro"
+  "test_runtime_sro.pdb"
+  "test_runtime_sro[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_sro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

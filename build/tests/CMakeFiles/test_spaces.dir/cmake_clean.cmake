@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spaces.dir/test_spaces.cpp.o"
+  "CMakeFiles/test_spaces.dir/test_spaces.cpp.o.d"
+  "test_spaces"
+  "test_spaces.pdb"
+  "test_spaces[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_packet[1]_include.cmake")
+include("/root/repo/build/tests/test_wire[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_pisa[1]_include.cmake")
+include("/root/repo/build/tests/test_spaces[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime_sro[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime_ewo[1]_include.cmake")
+include("/root/repo/build/tests/test_failover[1]_include.cmake")
+include("/root/repo/build/tests/test_nf[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_baseline[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_directory[1]_include.cmake")
+include("/root/repo/build/tests/test_fabric[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime_misc[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swish_sim_cli.dir/swish_sim.cpp.o"
+  "CMakeFiles/swish_sim_cli.dir/swish_sim.cpp.o.d"
+  "swish_sim"
+  "swish_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swish_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
