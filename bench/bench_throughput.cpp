@@ -1,0 +1,288 @@
+// Wall-clock throughput benchmark of the simulated data path (perf
+// trajectory anchor — see DESIGN.md "Data-path performance model" for the
+// JSON schema).
+//
+// Drives a leaf-spine fabric running the heavy-hitter NF at saturating load:
+// every leaf injects back-to-back batches of prebuilt packets, the NF bumps a
+// shared EWO counter per packet (which multicasts mirror updates across the
+// fabric), and delivered packets exit through the delivery sink. The bench
+// reports how fast the *simulator* chews through that work in wall-clock
+// terms: events/sec, simulated packets/sec, and (when the packet layer is
+// instrumented) bytes deep-copied per delivered packet plus the parse-cache
+// hit rate.
+//
+//   bench_throughput --out BENCH_throughput.json --baseline bench/baseline_throughput.json
+//
+// With --baseline, the named file's contents (a previous run object) are
+// embedded verbatim so the artifact carries its own before/after comparison.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "nf/heavyhitter.hpp"
+#include "packet/packet.hpp"
+#include "swishmem/fabric.hpp"
+
+using namespace swish;
+
+namespace {
+
+struct Options {
+  std::size_t leaves = 4;
+  std::size_t spines = 2;
+  std::size_t flows = 512;       ///< distinct prebuilt packets (src addresses)
+  std::size_t batch = 4;         ///< packets injected per pump firing per leaf
+  TimeNs gap = 1 * kUs;          ///< pump period
+  TimeNs sim_duration = 20 * kMs;
+  std::uint64_t threshold = 1'000'000'000;  ///< keep the HH detector counting
+  std::string out;
+  std::string baseline;
+  std::string label = "current";
+  bool quiet = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " [options]\n"
+            << "  --leaves N        leaf switches (default 4)\n"
+            << "  --spines N        spine switches (default 2)\n"
+            << "  --flows N         distinct packets in the injection pool (default 512)\n"
+            << "  --batch N         packets per pump firing per leaf (default 4)\n"
+            << "  --gap-ns N        pump period in ns (default 1000)\n"
+            << "  --sim-ms N        simulated duration (default 20)\n"
+            << "  --label S         run label recorded in the JSON (default current)\n"
+            << "  --out FILE        write the JSON result document\n"
+            << "  --baseline FILE   embed FILE's run object as the baseline\n"
+            << "  --quiet           suppress the human-readable summary\n";
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  auto need = [&](int& i) -> std::string {
+    if (++i >= argc) usage(argv[0]);
+    return argv[i];
+  };
+  auto num = [&](int& i) -> long long {
+    const std::string v = need(i);
+    try {
+      std::size_t used = 0;
+      const long long n = std::stoll(v, &used);
+      if (used != v.size() || n < 0) usage(argv[0]);
+      return n;
+    } catch (const std::exception&) {
+      std::cerr << argv[0] << ": bad numeric value '" << v << "' for " << argv[i - 1] << "\n";
+      std::exit(2);
+    }
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--leaves") opt.leaves = static_cast<std::size_t>(num(i));
+    else if (a == "--spines") opt.spines = static_cast<std::size_t>(num(i));
+    else if (a == "--flows") opt.flows = static_cast<std::size_t>(num(i));
+    else if (a == "--batch") opt.batch = static_cast<std::size_t>(num(i));
+    else if (a == "--gap-ns") opt.gap = num(i);
+    else if (a == "--sim-ms") opt.sim_duration = num(i) * kMs;
+    else if (a == "--label") opt.label = need(i);
+    else if (a == "--out") opt.out = need(i);
+    else if (a == "--baseline") opt.baseline = need(i);
+    else if (a == "--quiet") opt.quiet = true;
+    else usage(argv[0]);
+  }
+  return opt;
+}
+
+/// Self-rescheduling injector: one per leaf, firing every `gap` ns.
+class InjectionPump {
+ public:
+  InjectionPump(shm::Fabric& fabric, std::size_t leaf, const std::vector<pkt::Packet>& pool,
+                TimeNs gap, std::size_t batch)
+      : fabric_(fabric), leaf_(leaf), pool_(pool), gap_(gap), batch_(batch) {}
+
+  void start(TimeNs deadline) { arm(deadline); }
+
+ private:
+  void arm(TimeNs deadline) {
+    fabric_.simulator().post_after(gap_, [this, deadline]() {
+      if (fabric_.simulator().now() >= deadline) return;
+      for (std::size_t i = 0; i < batch_; ++i) {
+        fabric_.sw(leaf_).inject(pool_[cursor_]);  // by-value: exercises the copy path
+        cursor_ = (cursor_ + 1) % pool_.size();
+      }
+      arm(deadline);
+    });
+  }
+
+  shm::Fabric& fabric_;
+  std::size_t leaf_;
+  const std::vector<pkt::Packet>& pool_;
+  TimeNs gap_;
+  std::size_t batch_;
+  std::size_t cursor_ = 0;
+};
+
+std::string json_num(double v) {
+  std::ostringstream os;
+  os.precision(10);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+
+  shm::FabricConfig cfg;
+  cfg.num_switches = opt.leaves;
+  cfg.topology = shm::FabricConfig::Topology::kLeafSpine;
+  cfg.spine_count = opt.spines;
+  cfg.seed = 7;
+
+  shm::Fabric fabric(cfg);
+  fabric.add_space(nf::HeavyHitterApp::space(4096));
+  nf::HeavyHitterApp::Config hh;
+  hh.threshold = opt.threshold;
+  fabric.install([&]() { return std::make_unique<nf::HeavyHitterApp>(hh); });
+  fabric.start();
+
+  std::uint64_t delivered = 0;
+  fabric.set_delivery_sink([&](const pkt::Packet&) { ++delivered; });
+
+  // Prebuilt pool: distinct sources spread over /24 prefixes so the NF's
+  // counter slots disperse; injection copies from the pool every time.
+  std::vector<pkt::Packet> pool;
+  pool.reserve(opt.flows);
+  for (std::size_t i = 0; i < opt.flows; ++i) {
+    pkt::PacketSpec spec;
+    spec.eth_src = pkt::MacAddr::for_node(0xfeed);
+    spec.ip_src = pkt::Ipv4Addr(static_cast<std::uint32_t>(
+        (50u << 24) | ((i % 64) << 8) | (1 + i / 64)));
+    spec.ip_dst = pkt::Ipv4Addr(10, 200, 0, 1);
+    spec.protocol = pkt::kProtoUdp;
+    spec.src_port = static_cast<std::uint16_t>(20000 + i);
+    spec.dst_port = 80;
+    spec.payload.assign(64, 0xAB);
+    pool.push_back(pkt::build_packet(spec));
+  }
+
+  std::vector<std::unique_ptr<InjectionPump>> pumps;
+  const TimeNs deadline = fabric.simulator().now() + opt.sim_duration;
+  for (std::size_t leaf = 0; leaf < opt.leaves; ++leaf) {
+    pumps.push_back(
+        std::make_unique<InjectionPump>(fabric, leaf, pool, opt.gap, opt.batch));
+    pumps.back()->start(deadline);
+  }
+
+#ifdef SWISH_PACKET_STATS
+  pkt::PacketStats::global().reset();
+#endif
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::uint64_t events_before = fabric.simulator().executed_events();
+  fabric.run_for(opt.sim_duration + 2 * kMs);  // drain in-flight traffic
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  const double wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  const std::uint64_t events = fabric.simulator().executed_events() - events_before;
+
+  std::uint64_t injected = 0, processed = 0, sw_delivered = 0;
+  for (std::size_t i = 0; i < fabric.size(); ++i) {
+    injected += fabric.sw(i).stats().injected;
+    processed += fabric.sw(i).stats().processed;
+    sw_delivered += fabric.sw(i).stats().delivered;
+  }
+  const net::LinkStats link = fabric.network().total_stats();
+
+  std::ostringstream run;
+  run << "{\n"
+      << "  \"label\": \"" << opt.label << "\",\n"
+      << "  \"params\": {\"leaves\": " << opt.leaves << ", \"spines\": " << opt.spines
+      << ", \"flows\": " << opt.flows << ", \"batch\": " << opt.batch
+      << ", \"gap_ns\": " << opt.gap << ", \"sim_ms\": " << opt.sim_duration / kMs
+      << "},\n"
+      << "  \"results\": {\n"
+      << "    \"wall_seconds\": " << json_num(wall_seconds) << ",\n"
+      << "    \"sim_seconds\": " << json_num(static_cast<double>(opt.sim_duration) / kSec)
+      << ",\n"
+      << "    \"executed_events\": " << events << ",\n"
+      << "    \"events_per_wall_sec\": " << json_num(events / wall_seconds) << ",\n"
+      << "    \"packets_injected\": " << injected << ",\n"
+      << "    \"packets_processed\": " << processed << ",\n"
+      << "    \"packets_delivered\": " << delivered << ",\n"
+      << "    \"packets_per_wall_sec\": " << json_num(processed / wall_seconds) << ",\n"
+      << "    \"delivered_per_wall_sec\": " << json_num(delivered / wall_seconds) << ",\n"
+      << "    \"link_packets_sent\": " << link.packets_sent << ",\n"
+      << "    \"link_bytes_sent\": " << link.bytes_sent << ",\n";
+#ifdef SWISH_PACKET_STATS
+  const auto& ps = pkt::PacketStats::global();
+  const double hit_rate =
+      ps.parse_executions + ps.parse_cache_hits == 0
+          ? 0.0
+          : static_cast<double>(ps.parse_cache_hits) /
+                static_cast<double>(ps.parse_executions + ps.parse_cache_hits);
+  run << "    \"parse_executions\": " << ps.parse_executions << ",\n"
+      << "    \"parse_cache_hits\": " << ps.parse_cache_hits << ",\n"
+      << "    \"parse_cache_hit_rate\": " << json_num(hit_rate) << ",\n"
+      << "    \"buffer_deep_copies\": " << ps.rewrite_copies << ",\n"
+      << "    \"bytes_copied_per_delivered\": "
+      << json_num(delivered == 0 ? 0.0
+                                 : static_cast<double>(ps.rewrite_bytes) /
+                                       static_cast<double>(delivered))
+      << ",\n";
+#else
+  run << "    \"parse_executions\": null,\n"
+      << "    \"parse_cache_hits\": null,\n"
+      << "    \"parse_cache_hit_rate\": null,\n"
+      << "    \"buffer_deep_copies\": null,\n"
+      << "    \"bytes_copied_per_delivered\": null,\n";
+#endif
+  run << "    \"switch_delivered\": " << sw_delivered << "\n"
+      << "  }\n"
+      << "}";
+
+  std::string doc;
+  if (!opt.baseline.empty()) {
+    std::ifstream in(opt.baseline);
+    if (!in.good()) {
+      std::cerr << "bench_throughput: cannot read baseline " << opt.baseline << "\n";
+      return 1;
+    }
+    std::stringstream base;
+    base << in.rdbuf();
+    doc = "{\n\"bench\": \"throughput\",\n\"schema\": 1,\n\"baseline\": " + base.str() +
+          ",\n\"current\": " + run.str() + "\n}\n";
+  } else {
+    doc = run.str() + "\n";
+  }
+
+  if (!opt.out.empty()) {
+    std::ofstream out(opt.out);
+    out << doc;
+  }
+
+  if (!opt.quiet) {
+    std::cout << "bench_throughput [" << opt.label << "]\n"
+              << "  wall time          " << json_num(wall_seconds) << " s for "
+              << json_num(static_cast<double>(opt.sim_duration) / kSec) << " simulated s\n"
+              << "  events             " << events << " (" << json_num(events / wall_seconds)
+              << "/s wall)\n"
+              << "  packets processed  " << processed << " ("
+              << json_num(processed / wall_seconds) << "/s wall)\n"
+              << "  packets delivered  " << delivered << "\n"
+              << "  link traffic       " << link.packets_sent << " pkts, " << link.bytes_sent
+              << " bytes\n";
+#ifdef SWISH_PACKET_STATS
+    const auto& stats = pkt::PacketStats::global();
+    std::cout << "  parse executions   " << stats.parse_executions << " (cache hits "
+              << stats.parse_cache_hits << ")\n"
+              << "  deep copies        " << stats.rewrite_copies << " ("
+              << stats.rewrite_bytes << " bytes)\n";
+#endif
+  }
+  return 0;
+}

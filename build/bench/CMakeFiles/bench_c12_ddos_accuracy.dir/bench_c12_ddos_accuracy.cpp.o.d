@@ -216,19 +216,20 @@ bench/CMakeFiles/bench_c12_ddos_accuracy.dir/bench_c12_ddos_accuracy.cpp.o: \
  /usr/include/c++/12/limits /root/repo/src/packet/packet.hpp \
  /usr/include/c++/12/optional /root/repo/src/packet/headers.hpp \
  /root/repo/src/common/buffer.hpp /root/repo/src/packet/addr.hpp \
- /root/repo/src/sim/simulator.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/sim/simulator.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/swishmem/controller.hpp /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /root/repo/src/swishmem/runtime.hpp /root/repo/src/common/stats.hpp \
- /root/repo/src/packet/flow.hpp /root/repo/src/packet/swish_wire.hpp \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/pisa/switch.hpp /root/repo/src/net/routing.hpp \
- /root/repo/src/pisa/control_plane.hpp /root/repo/src/pisa/objects.hpp \
- /root/repo/src/swishmem/config.hpp /root/repo/src/swishmem/spaces.hpp \
- /root/repo/src/nf/ddos.hpp /usr/include/c++/12/unordered_set \
+ /root/repo/src/swishmem/runtime.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/common/stats.hpp /root/repo/src/packet/flow.hpp \
+ /root/repo/src/packet/swish_wire.hpp /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/pisa/switch.hpp \
+ /root/repo/src/net/routing.hpp /root/repo/src/pisa/control_plane.hpp \
+ /root/repo/src/pisa/objects.hpp /root/repo/src/swishmem/config.hpp \
+ /root/repo/src/swishmem/spaces.hpp /root/repo/src/nf/ddos.hpp \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/nf/common.hpp \
  /root/repo/src/workload/attack.hpp /root/repo/src/workload/traffic.hpp \
  /root/repo/src/workload/stamp.hpp

@@ -222,9 +222,7 @@ bench/CMakeFiles/bench_micro_primitives.dir/bench_micro_primitives.cpp.o: \
  /root/repo/src/packet/packet.hpp /usr/include/c++/12/optional \
  /usr/include/c++/12/span /root/repo/src/packet/headers.hpp \
  /root/repo/src/common/buffer.hpp /root/repo/src/packet/addr.hpp \
- /root/repo/src/sim/simulator.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/packet/flow.hpp /root/repo/src/packet/swish_wire.hpp \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/sim/simulator.hpp /root/repo/src/packet/flow.hpp \
+ /root/repo/src/packet/swish_wire.hpp /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/pisa/control_plane.hpp /root/repo/src/pisa/objects.hpp

@@ -177,12 +177,7 @@ examples/CMakeFiles/heavy_hitters.dir/heavy_hitters.cpp.o: \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/nf/common.hpp \
  /root/repo/src/packet/flow.hpp /root/repo/src/packet/addr.hpp \
- /root/repo/src/packet/packet.hpp /usr/include/c++/12/optional \
- /usr/include/c++/12/span /usr/include/c++/12/cstddef \
- /root/repo/src/packet/headers.hpp /root/repo/src/common/buffer.hpp \
- /root/repo/src/swishmem/runtime.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/memory \
+ /root/repo/src/packet/packet.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h \
@@ -219,13 +214,17 @@ examples/CMakeFiles/heavy_hitters.dir/heavy_hitters.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/span /usr/include/c++/12/cstddef \
+ /root/repo/src/packet/headers.hpp /root/repo/src/common/buffer.hpp \
+ /root/repo/src/swishmem/runtime.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/common/stats.hpp /root/repo/src/packet/swish_wire.hpp \
  /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/common/types.hpp /usr/include/c++/12/limits \
  /root/repo/src/pisa/switch.hpp /root/repo/src/net/network.hpp \
  /root/repo/src/common/rng.hpp /root/repo/src/sim/simulator.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/net/routing.hpp /root/repo/src/pisa/control_plane.hpp \
  /root/repo/src/pisa/objects.hpp /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \

@@ -213,9 +213,7 @@ src/net/CMakeFiles/swish_net.dir/network.cpp.o: \
  /usr/include/c++/12/span /usr/include/c++/12/cstddef \
  /root/repo/src/packet/headers.hpp /root/repo/src/common/buffer.hpp \
  /root/repo/src/packet/addr.hpp /root/repo/src/sim/simulator.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/common/log.hpp \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/common/log.hpp /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

@@ -215,6 +215,4 @@ src/net/CMakeFiles/swish_net.dir/topology.cpp.o: \
  /root/repo/src/packet/packet.hpp /usr/include/c++/12/optional \
  /root/repo/src/packet/headers.hpp /root/repo/src/common/buffer.hpp \
  /root/repo/src/packet/addr.hpp /root/repo/src/sim/simulator.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h

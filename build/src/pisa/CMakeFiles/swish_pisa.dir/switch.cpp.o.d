@@ -213,12 +213,11 @@ src/pisa/CMakeFiles/swish_pisa.dir/switch.cpp.o: \
  /usr/include/c++/12/limits /root/repo/src/packet/packet.hpp \
  /usr/include/c++/12/optional /root/repo/src/packet/headers.hpp \
  /root/repo/src/common/buffer.hpp /root/repo/src/packet/addr.hpp \
- /root/repo/src/sim/simulator.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/net/routing.hpp /root/repo/src/pisa/control_plane.hpp \
- /root/repo/src/pisa/objects.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/sim/simulator.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/net/routing.hpp \
+ /root/repo/src/pisa/control_plane.hpp /root/repo/src/pisa/objects.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/common/log.hpp \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \

@@ -217,9 +217,9 @@ src/swishmem/CMakeFiles/swish_shm.dir/controller.cpp.o: \
  /usr/include/c++/12/span /usr/include/c++/12/cstddef \
  /root/repo/src/packet/headers.hpp /root/repo/src/common/buffer.hpp \
  /root/repo/src/packet/addr.hpp /root/repo/src/sim/simulator.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/swishmem/runtime.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/swishmem/runtime.hpp \
  /root/repo/src/common/stats.hpp /root/repo/src/packet/flow.hpp \
  /root/repo/src/packet/swish_wire.hpp /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/pisa/switch.hpp \

@@ -302,8 +302,7 @@ tests/CMakeFiles/test_baseline.dir/test_baseline.cpp.o: \
  /root/repo/src/common/buffer.hpp /root/repo/src/packet/swish_wire.hpp \
  /root/repo/src/common/types.hpp /root/repo/src/pisa/switch.hpp \
  /root/repo/src/net/network.hpp /root/repo/src/common/rng.hpp \
- /root/repo/src/sim/simulator.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/net/routing.hpp \
+ /root/repo/src/sim/simulator.hpp /root/repo/src/net/routing.hpp \
  /root/repo/src/pisa/control_plane.hpp /root/repo/src/pisa/objects.hpp \
  /root/repo/src/swishmem/config.hpp /root/repo/src/swishmem/spaces.hpp \
  /root/repo/src/baseline/sharded_lb.hpp /root/repo/src/nf/common.hpp \

@@ -303,8 +303,7 @@ tests/CMakeFiles/test_fabric.dir/test_fabric.cpp.o: \
  /root/repo/src/common/stats.hpp /root/repo/src/packet/swish_wire.hpp \
  /root/repo/src/common/types.hpp /root/repo/src/pisa/switch.hpp \
  /root/repo/src/net/network.hpp /root/repo/src/common/rng.hpp \
- /root/repo/src/sim/simulator.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/net/routing.hpp \
+ /root/repo/src/sim/simulator.hpp /root/repo/src/net/routing.hpp \
  /root/repo/src/pisa/control_plane.hpp /root/repo/src/pisa/objects.hpp \
  /root/repo/src/swishmem/config.hpp /root/repo/src/swishmem/spaces.hpp \
  /root/repo/src/nf/firewall.hpp /root/repo/src/nf/heavyhitter.hpp \

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_packet_sharing.cpp" "tests/CMakeFiles/test_packet_sharing.dir/test_packet_sharing.cpp.o" "gcc" "tests/CMakeFiles/test_packet_sharing.dir/test_packet_sharing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/swish_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/swish_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/swish_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/swish_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pisa/CMakeFiles/swish_pisa.dir/DependInfo.cmake"
+  "/root/repo/build/src/swishmem/CMakeFiles/swish_shm.dir/DependInfo.cmake"
+  "/root/repo/build/src/nf/CMakeFiles/swish_nf.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/swish_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/swish_baseline.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packet_sharing.dir/test_packet_sharing.cpp.o"
+  "CMakeFiles/test_packet_sharing.dir/test_packet_sharing.cpp.o.d"
+  "test_packet_sharing"
+  "test_packet_sharing.pdb"
+  "test_packet_sharing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packet_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

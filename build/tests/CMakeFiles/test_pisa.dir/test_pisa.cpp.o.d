@@ -298,8 +298,5 @@ tests/CMakeFiles/test_pisa.dir/test_pisa.cpp.o: \
  /root/repo/src/packet/packet.hpp /usr/include/c++/12/span \
  /root/repo/src/packet/headers.hpp /root/repo/src/common/buffer.hpp \
  /root/repo/src/packet/addr.hpp /root/repo/src/sim/simulator.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/net/topology.hpp \
- /root/repo/src/pisa/switch.hpp /root/repo/src/pisa/control_plane.hpp \
- /root/repo/src/pisa/objects.hpp
+ /root/repo/src/net/topology.hpp /root/repo/src/pisa/switch.hpp \
+ /root/repo/src/pisa/control_plane.hpp /root/repo/src/pisa/objects.hpp

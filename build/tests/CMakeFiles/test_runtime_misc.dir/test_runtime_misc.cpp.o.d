@@ -298,12 +298,11 @@ tests/CMakeFiles/test_runtime_misc.dir/test_runtime_misc.cpp.o: \
  /root/repo/src/common/rng.hpp /root/repo/src/common/types.hpp \
  /root/repo/src/packet/packet.hpp /root/repo/src/packet/headers.hpp \
  /root/repo/src/common/buffer.hpp /root/repo/src/packet/addr.hpp \
- /root/repo/src/sim/simulator.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/swishmem/controller.hpp \
- /root/repo/src/swishmem/runtime.hpp /root/repo/src/common/stats.hpp \
- /root/repo/src/packet/flow.hpp /root/repo/src/packet/swish_wire.hpp \
- /root/repo/src/pisa/switch.hpp /root/repo/src/net/routing.hpp \
- /root/repo/src/pisa/control_plane.hpp /root/repo/src/pisa/objects.hpp \
- /root/repo/src/swishmem/config.hpp /root/repo/src/swishmem/spaces.hpp
+ /root/repo/src/sim/simulator.hpp /root/repo/src/swishmem/controller.hpp \
+ /root/repo/src/swishmem/runtime.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/common/stats.hpp /root/repo/src/packet/flow.hpp \
+ /root/repo/src/packet/swish_wire.hpp /root/repo/src/pisa/switch.hpp \
+ /root/repo/src/net/routing.hpp /root/repo/src/pisa/control_plane.hpp \
+ /root/repo/src/pisa/objects.hpp /root/repo/src/swishmem/config.hpp \
+ /root/repo/src/swishmem/spaces.hpp

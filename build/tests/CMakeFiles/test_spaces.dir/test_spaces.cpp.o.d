@@ -299,8 +299,6 @@ tests/CMakeFiles/test_spaces.dir/test_spaces.cpp.o: \
  /root/repo/src/net/network.hpp /root/repo/src/common/rng.hpp \
  /root/repo/src/packet/packet.hpp /root/repo/src/packet/headers.hpp \
  /root/repo/src/packet/addr.hpp /root/repo/src/sim/simulator.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/net/routing.hpp \
- /root/repo/src/pisa/control_plane.hpp /root/repo/src/pisa/objects.hpp \
- /root/repo/src/swishmem/config.hpp /root/repo/src/swishmem/version.hpp
+ /root/repo/src/net/routing.hpp /root/repo/src/pisa/control_plane.hpp \
+ /root/repo/src/pisa/objects.hpp /root/repo/src/swishmem/config.hpp \
+ /root/repo/src/swishmem/version.hpp

@@ -7,7 +7,9 @@
 include("/root/repo/build/tests/test_smoke[1]_include.cmake")
 include("/root/repo/build/tests/test_common[1]_include.cmake")
 include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_determinism[1]_include.cmake")
 include("/root/repo/build/tests/test_packet[1]_include.cmake")
+include("/root/repo/build/tests/test_packet_sharing[1]_include.cmake")
 include("/root/repo/build/tests/test_wire[1]_include.cmake")
 include("/root/repo/build/tests/test_net[1]_include.cmake")
 include("/root/repo/build/tests/test_pisa[1]_include.cmake")

@@ -223,8 +223,8 @@ tools/CMakeFiles/swish_sim_cli.dir/swish_sim.cpp.o: \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/common/types.hpp \
  /usr/include/c++/12/limits /root/repo/src/pisa/switch.hpp \
  /root/repo/src/net/network.hpp /root/repo/src/common/rng.hpp \
- /root/repo/src/sim/simulator.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/net/routing.hpp \
+ /root/repo/src/sim/simulator.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/net/routing.hpp \
  /root/repo/src/pisa/control_plane.hpp /root/repo/src/pisa/objects.hpp \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \

@@ -29,19 +29,26 @@ class ByteWriter {
 
   void u8(std::uint8_t v) { bytes_.push_back(v); }
 
+  // Multi-byte writes grow the vector once and store bytes directly, rather
+  // than paying a capacity check per byte — the wire codec serializes sync
+  // batches of hundreds of fields and is hot in protocol-heavy runs.
   void u16(std::uint16_t v) {
-    bytes_.push_back(static_cast<std::uint8_t>(v >> 8));
-    bytes_.push_back(static_cast<std::uint8_t>(v));
+    std::uint8_t* p = grow(2);
+    p[0] = static_cast<std::uint8_t>(v >> 8);
+    p[1] = static_cast<std::uint8_t>(v);
   }
 
   void u32(std::uint32_t v) {
-    u16(static_cast<std::uint16_t>(v >> 16));
-    u16(static_cast<std::uint16_t>(v));
+    std::uint8_t* p = grow(4);
+    p[0] = static_cast<std::uint8_t>(v >> 24);
+    p[1] = static_cast<std::uint8_t>(v >> 16);
+    p[2] = static_cast<std::uint8_t>(v >> 8);
+    p[3] = static_cast<std::uint8_t>(v);
   }
 
   void u64(std::uint64_t v) {
-    u32(static_cast<std::uint32_t>(v >> 32));
-    u32(static_cast<std::uint32_t>(v));
+    std::uint8_t* p = grow(8);
+    for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (56 - 8 * i));
   }
 
   void raw(std::span<const std::uint8_t> data) {
@@ -60,6 +67,13 @@ class ByteWriter {
   [[nodiscard]] std::vector<std::uint8_t> take() && { return std::move(bytes_); }
 
  private:
+  /// Extends the buffer by `n` bytes and returns a pointer to the new region.
+  std::uint8_t* grow(std::size_t n) {
+    const std::size_t at = bytes_.size();
+    bytes_.resize(at + n);
+    return bytes_.data() + at;
+  }
+
   std::vector<std::uint8_t> bytes_;
 };
 
@@ -76,6 +90,7 @@ class ByteReader {
     return data_[pos_++];
   }
 
+  // Multi-byte reads bounds-check once per field, not per byte.
   std::uint16_t u16() {
     require(2);
     auto v = static_cast<std::uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
@@ -84,13 +99,19 @@ class ByteReader {
   }
 
   std::uint32_t u32() {
-    auto hi = static_cast<std::uint32_t>(u16());
-    return (hi << 16) | u16();
+    require(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + i];
+    pos_ += 4;
+    return v;
   }
 
   std::uint64_t u64() {
-    auto hi = static_cast<std::uint64_t>(u32());
-    return (hi << 32) | u32();
+    require(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | data_[pos_ + i];
+    pos_ += 8;
+    return v;
   }
 
   std::span<const std::uint8_t> raw(std::size_t n) {

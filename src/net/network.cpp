@@ -45,11 +45,13 @@ const Network::HalfLink& Network::half(NodeId node, PortId port) const {
   return it->second[port];
 }
 
-void Network::send(NodeId from, PortId port, pkt::Packet packet) {
+void Network::send(NodeId from, PortId port, pkt::Packet packet, TimeNs egress_delay) {
   HalfLink& link = half(from, port);
-  const TimeNs now = sim_.now();
+  const TimeNs now = sim_.now() + egress_delay;
 
-  // Serialization / queueing on the transmit side.
+  // Serialization / queueing on the transmit side. A queue-dropped packet
+  // never occupies the wire: next_free_time stays put, no sent/bytes are
+  // charged, and the tap (which observes transmissions) does not see it.
   TimeNs tx_start = std::max(now, link.next_free_time);
   if (tx_start - now > link.params.max_queue_delay) {
     ++link.stats.packets_dropped_queue;
@@ -65,7 +67,9 @@ void Network::send(NodeId from, PortId port, pkt::Packet packet) {
   link.stats.bytes_sent += packet.size();
   if (tap_) tap_(from, link.to, packet, tx_start);
 
-  // Loss after transmission starts (models on-wire corruption/drop).
+  // Loss after transmission starts (models on-wire corruption/drop): the
+  // transmitter has already paid the serialization time, so the wire stays
+  // occupied and the packet stays counted in packets_sent.
   if (link.params.loss_probability > 0.0 && rng_.chance(link.params.loss_probability)) {
     ++link.stats.packets_dropped_loss;
     return;
@@ -77,11 +81,15 @@ void Network::send(NodeId from, PortId port, pkt::Packet packet) {
   const TimeNs delivery = link.next_free_time + link.params.propagation_delay + jitter;
   const NodeId to = link.to;
   const PortId to_port = link.to_port;
-  sim_.schedule_at(delivery, [this, to, to_port, p = std::move(packet)]() mutable {
+  // Fire-and-forget delivery: no cancellation handle. The HalfLink is
+  // re-resolved at delivery time because connect() may reallocate the port
+  // vectors between scheduling and firing.
+  sim_.post_at(delivery, [this, from, port, to, to_port, p = std::move(packet)]() mutable {
     auto it = nodes_.find(to);
     if (it == nodes_.end()) return;
     Node* n = it->second;
     if (!n->alive()) return;  // failed switches black-hole traffic
+    ++half(from, port).stats.packets_delivered;
     n->handle_packet(std::move(p), to_port);
   });
 }
@@ -104,6 +112,7 @@ LinkStats Network::total_stats() const {
     for (const auto& h : halves) {
       total.packets_sent += h.stats.packets_sent;
       total.bytes_sent += h.stats.bytes_sent;
+      total.packets_delivered += h.stats.packets_delivered;
       total.packets_dropped_loss += h.stats.packets_dropped_loss;
       total.packets_dropped_queue += h.stats.packets_dropped_queue;
     }

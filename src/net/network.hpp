@@ -54,10 +54,18 @@ struct LinkParams {
   TimeNs max_queue_delay = 1 * kMs;    ///< tail-drop threshold for the serialization queue
 };
 
-/// Per-direction link counters.
+/// Per-direction link counters. Accounting invariants:
+///  - packets_sent / bytes_sent count only packets that actually occupied the
+///    wire (queue-dropped packets never transmit and are excluded);
+///  - packets_dropped_loss ⊆ packets_sent (loss strikes mid-flight, after the
+///    transmitter has spent the serialization time);
+///  - packets_delivered counts packets handed to a live peer, so
+///    packets_sent - packets_delivered is the precise on-wire + dead-peer
+///    loss seen by benches.
 struct LinkStats {
   std::uint64_t packets_sent = 0;
   std::uint64_t bytes_sent = 0;
+  std::uint64_t packets_delivered = 0;
   std::uint64_t packets_dropped_loss = 0;
   std::uint64_t packets_dropped_queue = 0;
 };
@@ -83,8 +91,13 @@ class Network {
   /// Transmits a packet out of (from, port). The packet experiences
   /// serialization (bandwidth), queueing (tail drop past max_queue_delay),
   /// propagation delay, jitter, and Bernoulli loss; survivors are delivered
-  /// to the peer's handle_packet.
-  void send(NodeId from, PortId port, pkt::Packet packet);
+  /// to the peer's handle_packet. `egress_delay` shifts the transmit start
+  /// (and the queue-delay reference point) that many ns into the future —
+  /// senders with a fixed pipeline latency pass it here instead of wrapping
+  /// the packet in their own one-shot egress event; because the offset is
+  /// constant per sender and a half-link has exactly one sender, the wire
+  /// timeline is identical to the event-per-egress formulation.
+  void send(NodeId from, PortId port, pkt::Packet packet, TimeNs egress_delay = 0);
 
   [[nodiscard]] std::size_t port_count(NodeId node) const;
 

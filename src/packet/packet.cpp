@@ -2,9 +2,11 @@
 
 namespace swish::pkt {
 
-std::optional<ParsedPacket> Packet::parse() const {
+namespace {
+
+std::optional<ParsedPacket> parse_bytes(const std::vector<std::uint8_t>& bytes) {
   try {
-    ByteReader r(bytes_);
+    ByteReader r(bytes);
     ParsedPacket out;
     out.eth = EthernetHeader::decode(r);
     if (out.eth.ether_type != kEtherTypeIpv4) {
@@ -26,6 +28,45 @@ std::optional<ParsedPacket> Packet::parse() const {
   } catch (const BufferError&) {
     return std::nullopt;
   }
+}
+
+}  // namespace
+
+PacketStats& PacketStats::global() noexcept {
+  static PacketStats stats;
+  return stats;
+}
+
+Packet::Packet(std::vector<std::uint8_t> bytes) {
+  auto& stats = PacketStats::global();
+  ++stats.buffers_created;
+  stats.buffer_bytes += bytes.size();
+  auto buf = std::make_shared<Buffer>();
+  buf->bytes = std::move(bytes);
+  buf_ = std::move(buf);
+}
+
+const std::vector<std::uint8_t>& Packet::empty_bytes() noexcept {
+  static const std::vector<std::uint8_t> empty;
+  return empty;
+}
+
+const ParsedPacket* Packet::parsed() const {
+  if (!buf_) return nullptr;
+  if (!buf_->parse_done) {
+    ++PacketStats::global().parse_executions;
+    buf_->parsed = parse_bytes(buf_->bytes);
+    buf_->parse_done = true;
+  } else {
+    ++PacketStats::global().parse_cache_hits;
+  }
+  return buf_->parsed ? &*buf_->parsed : nullptr;
+}
+
+std::optional<ParsedPacket> Packet::parse() const {
+  const ParsedPacket* p = parsed();
+  if (!p) return std::nullopt;
+  return *p;
 }
 
 Packet build_packet(const PacketSpec& spec) {
@@ -82,7 +123,11 @@ Packet rewrite_l3l4(const Packet& packet, const ParsedPacket& parsed,
   }
   auto payload = packet.l4_payload(parsed);
   spec.payload.assign(payload.begin(), payload.end());
-  return build_packet(spec);
+  Packet out = build_packet(spec);
+  auto& stats = PacketStats::global();
+  ++stats.rewrite_copies;
+  stats.rewrite_bytes += out.size();
+  return out;
 }
 
 }  // namespace swish::pkt

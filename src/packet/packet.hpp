@@ -1,12 +1,26 @@
-// The simulated packet: an owned byte string plus a lazily-parsed L2-L4 view.
+// The simulated packet: a refcounted immutable byte buffer plus a
+// lazily-parsed, cached L2-L4 view.
+//
+// Copying a Packet never copies bytes — copies share one underlying buffer,
+// so forwarding, multicast fan-out, egress-queue closures, and taps are all
+// zero-copy. Rewrites (rewrite_l3l4, the NAT/LB data paths) produce a fresh
+// buffer: copy-on-write semantics. Because buffers are immutable, the parse
+// result is computed at most once per distinct buffer and shared by every
+// Packet handle referencing it (a packet parsed at the ingress switch is not
+// re-parsed at later hops, taps, or recirculations).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "packet/headers.hpp"
+
+// Marker for code (benches) that reports the data-path instrumentation
+// counters; absent in older revisions of this header.
+#define SWISH_PACKET_STATS 1
 
 namespace swish::pkt {
 
@@ -29,28 +43,71 @@ struct ParsedPacket {
   }
 };
 
-/// An immutable-ish network packet. Rewrites (e.g. NAT translation) go
+/// Data-path instrumentation (single global instance; the simulation is
+/// single-threaded). Cheap enough to keep always-on: a few integer bumps per
+/// buffer/parse, nothing per-copy.
+struct PacketStats {
+  std::uint64_t buffers_created = 0;   ///< fresh buffer allocations
+  std::uint64_t buffer_bytes = 0;      ///< bytes placed into fresh buffers
+  std::uint64_t parse_executions = 0;  ///< full header-stack parses run
+  std::uint64_t parse_cache_hits = 0;  ///< parse() answered from the buffer cache
+  std::uint64_t rewrite_copies = 0;    ///< copy-on-write buffer materializations
+  std::uint64_t rewrite_bytes = 0;     ///< bytes copied by those rewrites
+
+  void reset() { *this = PacketStats{}; }
+  static PacketStats& global() noexcept;
+};
+
+/// An immutable network packet backed by a shared buffer. Rewrites go
 /// through the builder helpers, producing fresh bytes with fixed checksums.
 class Packet {
  public:
   Packet() = default;
-  explicit Packet(std::vector<std::uint8_t> bytes) : bytes_(std::move(bytes)) {}
+  explicit Packet(std::vector<std::uint8_t> bytes);
 
-  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept { return bytes_; }
-  [[nodiscard]] std::size_t size() const noexcept { return bytes_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return bytes_.empty(); }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
+    return buf_ ? buf_->bytes : empty_bytes();
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_ ? buf_->bytes.size() : 0; }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
 
   /// Parses the header stack; returns nullopt on truncation / bad checksum /
-  /// non-IPv4. Parsing is pure and does not mutate the packet.
+  /// non-IPv4. The result is cached on the shared buffer, so repeated calls
+  /// (including through copies of this packet) parse at most once.
   [[nodiscard]] std::optional<ParsedPacket> parse() const;
 
+  /// Cached-parse accessor without the optional copy: nullptr when the
+  /// packet is empty or unparseable.
+  [[nodiscard]] const ParsedPacket* parsed() const;
+
   [[nodiscard]] std::span<const std::uint8_t> l4_payload(const ParsedPacket& p) const noexcept {
-    if (p.l4_payload_offset >= bytes_.size()) return {};
-    return std::span<const std::uint8_t>(bytes_).subspan(p.l4_payload_offset);
+    const auto& b = bytes();
+    if (p.l4_payload_offset >= b.size()) return {};
+    return std::span<const std::uint8_t>(b).subspan(p.l4_payload_offset);
   }
 
+  /// True when both packets reference the same underlying buffer (i.e. no
+  /// byte copy separates them).
+  [[nodiscard]] bool shares_buffer_with(const Packet& other) const noexcept {
+    return buf_ != nullptr && buf_ == other.buf_;
+  }
+
+  /// Number of Packet handles sharing this packet's buffer (0 for empty).
+  [[nodiscard]] long buffer_use_count() const noexcept { return buf_ ? buf_.use_count() : 0; }
+
  private:
-  std::vector<std::uint8_t> bytes_;
+  struct Buffer {
+    std::vector<std::uint8_t> bytes;
+    // Parse cache: valid once parse_done; immutability of `bytes` makes the
+    // cache trivially coherent. `mutable` because caching happens through
+    // shared_ptr<const Buffer>.
+    mutable std::optional<ParsedPacket> parsed;
+    mutable bool parse_done = false;
+  };
+
+  static const std::vector<std::uint8_t>& empty_bytes() noexcept;
+
+  std::shared_ptr<const Buffer> buf_;
 };
 
 /// Fields a caller supplies to build an L3/L4 packet; lengths and checksums
@@ -74,6 +131,8 @@ Packet build_packet(const PacketSpec& spec);
 
 /// Returns a copy of `packet` with rewritten IPv4 addresses/ports (the NAT
 /// and load-balancer data paths use this). Recomputes lengths and checksums.
+/// This is the copy-on-write point: the original packet's buffer and cached
+/// parse are untouched.
 Packet rewrite_l3l4(const Packet& packet, const ParsedPacket& parsed,
                     std::optional<Ipv4Addr> new_src_ip, std::optional<Ipv4Addr> new_dst_ip,
                     std::optional<std::uint16_t> new_src_port,

@@ -8,7 +8,7 @@ std::size_t ControlPlane::backlog() const noexcept {
   return static_cast<std::size_t>((cpu_free_time_ - now) / std::max<TimeNs>(service_time(), 1));
 }
 
-bool ControlPlane::submit(std::function<void()> job) {
+bool ControlPlane::submit(sim::EventFn job) {
   if (backlog() >= config_.max_queue) {
     ++stats_.dropped;
     return false;
@@ -16,7 +16,8 @@ bool ControlPlane::submit(std::function<void()> job) {
   const TimeNs start = std::max(sim_.now(), cpu_free_time_);
   const TimeNs done = start + service_time();
   cpu_free_time_ = done;
-  sim_.schedule_at(done, [this, job = std::move(job)]() {
+  // Completion is fire-and-forget: no cancellation handle needed.
+  sim_.post_at(done, [this, job = std::move(job)]() mutable {
     if (gate_ && !gate_()) return;
     ++stats_.executed;
     job();
@@ -25,9 +26,9 @@ bool ControlPlane::submit(std::function<void()> job) {
 }
 
 sim::TimerHandle ControlPlane::schedule_after(TimeNs delay, std::function<void()> fn) {
-  return sim_.schedule_after(delay, [this, fn = std::move(fn)]() {
+  return sim_.schedule_after(delay, [this, fn = std::move(fn)]() mutable {
     if (gate_ && !gate_()) return;
-    submit(fn);
+    submit(std::move(fn));
   });
 }
 

@@ -30,7 +30,9 @@ class ControlPlane {
   };
 
   ControlPlane(sim::Simulator& simulator, Config config)
-      : sim_(simulator), config_(config) {}
+      : sim_(simulator),
+        config_(config),
+        service_time_(static_cast<TimeNs>(static_cast<double>(kSec) / config.ops_per_sec)) {}
 
   /// Capability for table mutation; see CpToken.
   [[nodiscard]] CpToken token() const noexcept { return CpToken{}; }
@@ -38,7 +40,7 @@ class ControlPlane {
   /// Queues a job costing one CPU service slot. Returns false (job dropped)
   /// when the queue is full — callers relying on the job (e.g. SRO write
   /// submission) observe this as loss and recover via retry.
-  bool submit(std::function<void()> job);
+  bool submit(sim::EventFn job);
 
   /// Arms a timer; when it fires the callback is charged as a CPU job.
   sim::TimerHandle schedule_after(TimeNs delay, std::function<void()> fn);
@@ -52,12 +54,13 @@ class ControlPlane {
   [[nodiscard]] std::size_t backlog() const noexcept;
 
  private:
-  [[nodiscard]] TimeNs service_time() const noexcept {
-    return static_cast<TimeNs>(static_cast<double>(kSec) / config_.ops_per_sec);
-  }
+  /// Per-job service time, precomputed once (not worth a floating-point
+  /// division on every submit()/backlog() call).
+  [[nodiscard]] TimeNs service_time() const noexcept { return service_time_; }
 
   sim::Simulator& sim_;
   Config config_;
+  TimeNs service_time_ = 0;
   Stats stats_;
   TimeNs cpu_free_time_ = 0;
   std::function<bool()> gate_;

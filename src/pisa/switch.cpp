@@ -11,6 +11,8 @@ Switch::Switch(sim::Simulator& simulator, net::Network& network, NodeId id, Conf
       config_(config),
       control_plane_(simulator, config.control_plane) {
   control_plane_.set_gate([this]() { return alive(); });
+  dp_per_packet_ = static_cast<TimeNs>(static_cast<double>(kSec) / config_.dataplane_pps);
+  dp_backlog_limit_ = dp_per_packet_ * static_cast<TimeNs>(config_.dataplane_queue);
 }
 
 RegisterArray& Switch::add_register_array(std::string name, std::size_t size,
@@ -54,14 +56,12 @@ std::size_t Switch::memory_bytes() const noexcept {
 
 bool Switch::admit() {
   const TimeNs now = sim_.now();
-  const auto per_packet = static_cast<TimeNs>(static_cast<double>(kSec) / config_.dataplane_pps);
   const TimeNs backlog = dp_free_time_ > now ? dp_free_time_ - now : 0;
-  if (per_packet > 0 &&
-      backlog > per_packet * static_cast<TimeNs>(config_.dataplane_queue)) {
+  if (dp_per_packet_ > 0 && backlog > dp_backlog_limit_) {
     ++stats_.dropped_capacity;
     return false;
   }
-  dp_free_time_ = std::max(now, dp_free_time_) + per_packet;
+  dp_free_time_ = std::max(now, dp_free_time_) + dp_per_packet_;
   return true;
 }
 
@@ -81,15 +81,16 @@ void Switch::process(pkt::Packet packet, net::PortId ingress_port, bool from_edg
   if (!admit()) return;
   ++stats_.processed;
   if (!program_) return;  // no program installed: sink
-  PacketContext ctx{*this, std::move(packet), std::nullopt, ingress_port, from_edge,
+  PacketContext ctx{*this, std::move(packet), nullptr, ingress_port, from_edge,
                     recirc_count};
-  ctx.parsed = ctx.packet.parse();
+  ctx.parsed = ctx.packet.parsed();
   program_->process(ctx);
 }
 
-void Switch::send_to_node(NodeId dst, pkt::Packet packet, std::uint64_t flow_hash) {
+void Switch::send_to_node(NodeId dst, pkt::Packet packet, std::uint64_t flow_hash,
+                          unsigned recirc_count) {
   if (dst == id()) {
-    recirculate(std::move(packet));
+    recirculate(std::move(packet), recirc_count);
     return;
   }
   const net::PortId port = routing_.pick(dst, flow_hash);
@@ -102,36 +103,49 @@ void Switch::send_to_node(NodeId dst, pkt::Packet packet, std::uint64_t flow_has
 
 void Switch::send_to_port(net::PortId port, pkt::Packet packet) {
   ++stats_.sent;
-  const NodeId self = id();
-  // Egress after the pipeline traversal latency.
-  sim_.schedule_after(config_.pipeline_latency, [this, self, port, p = std::move(packet)]() mutable {
-    if (!alive()) return;
-    network_.send(self, port, std::move(p));
-  });
+  // Egress after the pipeline traversal latency, handed to the network
+  // directly instead of through a per-packet egress event: the latency is a
+  // fixed offset, so the wire timeline is identical and the simulator never
+  // sees the packet wrapped in a closure. (A switch that fails mid-pipeline
+  // still emits packets already past the pipeline, matching real hardware.)
+  network_.send(id(), port, std::move(packet), config_.pipeline_latency);
 }
 
 void Switch::deliver(pkt::Packet packet) {
   ++stats_.delivered;
   if (!delivery_sink_) return;
-  sim_.schedule_after(config_.pipeline_latency, [this, p = std::move(packet)]() {
+  sim_.post_after(config_.pipeline_latency, [this, p = std::move(packet)]() {
     if (delivery_sink_) delivery_sink_(p);
   });
 }
 
-void Switch::recirculate(pkt::Packet packet) {
+void Switch::recirculate(pkt::Packet packet, unsigned recirc_count) {
+  if (recirc_count >= config_.max_recirculations) {
+    ++stats_.dropped_recirc;
+    return;
+  }
   ++stats_.recirculated;
-  sim_.schedule_after(config_.pipeline_latency, [this, p = std::move(packet)]() mutable {
-    if (!alive()) return;
-    // A recirculated packet re-enters with its recirc count bumped; we do not
-    // thread the old count through the egress queue, so cap via stats only.
-    process(std::move(p), net::kInvalidPort, /*from_edge=*/false, /*recirc_count=*/1);
-  });
+  sim_.post_after(config_.pipeline_latency,
+                  [this, p = std::move(packet), recirc_count]() mutable {
+                    if (!alive()) return;
+                    process(std::move(p), net::kInvalidPort, /*from_edge=*/false,
+                            recirc_count + 1);
+                  });
 }
 
 void Switch::multicast_nodes(std::span<const SwitchId> nodes, const pkt::Packet& packet) {
+  // Fan out directly: each copy is a refcount bump on the shared buffer, not
+  // a byte copy, and no per-destination (or even per-group) egress closure is
+  // allocated — the pipeline latency rides on the network send.
   for (SwitchId dst : nodes) {
     if (dst == id()) continue;
-    send_to_node(dst, packet, /*flow_hash=*/dst);
+    const net::PortId port = routing_.pick(dst, /*flow_hash=*/dst);
+    if (port == net::kInvalidPort) {
+      SWISH_LOG_DEBUG("switch ", id(), ": no route to ", dst, ", dropping");
+      continue;
+    }
+    ++stats_.sent;
+    network_.send(id(), port, packet, config_.pipeline_latency);
   }
 }
 

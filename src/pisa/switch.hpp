@@ -30,7 +30,10 @@ class Switch;
 struct PacketContext {
   Switch& sw;
   pkt::Packet packet;
-  std::optional<pkt::ParsedPacket> parsed;
+  /// Cached parse borrowed from the packet's shared buffer (null when the
+  /// packet is unparseable). Stays valid across std::move(ctx.packet) —
+  /// whoever received the packet keeps the buffer, and the parse, alive.
+  const pkt::ParsedPacket* parsed = nullptr;
   net::PortId ingress_port = net::kInvalidPort;
   bool from_edge = false;     ///< injected at the cluster edge (vs fabric link)
   unsigned recirc_count = 0;
@@ -51,12 +54,14 @@ class Switch : public net::Node {
     double dataplane_pps = 100e6;          ///< processing capacity
     std::size_t dataplane_queue = 16384;   ///< packets buffered before tail drop
     std::size_t memory_budget = 10 * 1024 * 1024;  ///< ~10 MB SRAM (§1)
+    unsigned max_recirculations = 16;      ///< per-packet cap; 0 disables recirculation
     ControlPlane::Config control_plane;
   };
 
   struct Stats {
     std::uint64_t processed = 0;
     std::uint64_t dropped_capacity = 0;
+    std::uint64_t dropped_recirc = 0;  ///< recirculation-cap drops
     std::uint64_t injected = 0;
     std::uint64_t delivered = 0;
     std::uint64_t recirculated = 0;
@@ -105,16 +110,21 @@ class Switch : public net::Node {
 
   // -- Traffic-manager primitives (callable during processing and from CP) ---
 
-  /// Routes toward another fabric node via ECMP on flow_hash.
-  void send_to_node(NodeId dst, pkt::Packet packet, std::uint64_t flow_hash = 0);
+  /// Routes toward another fabric node via ECMP on flow_hash. `recirc_count`
+  /// (threaded from PacketContext) matters only when dst == this switch, in
+  /// which case the packet recirculates and the cap applies.
+  void send_to_node(NodeId dst, pkt::Packet packet, std::uint64_t flow_hash = 0,
+                    unsigned recirc_count = 0);
 
   void send_to_port(net::PortId port, pkt::Packet packet);
 
   /// The packet exits the NF cluster (reached its logical destination).
   void deliver(pkt::Packet packet);
 
-  /// Re-enters the pipeline after one traversal latency.
-  void recirculate(pkt::Packet packet);
+  /// Re-enters the pipeline after one traversal latency with its
+  /// recirculation count bumped. Pass the context's current recirc_count;
+  /// packets past config().max_recirculations are dropped (dropped_recirc).
+  void recirculate(pkt::Packet packet, unsigned recirc_count = 0);
 
   /// Replicates to each listed node (egress mirroring + multicast engine,
   /// §7); skips this switch's own id.
@@ -151,6 +161,10 @@ class Switch : public net::Node {
   std::function<void(const pkt::Packet&)> delivery_sink_;
   Stats stats_;
   TimeNs dp_free_time_ = 0;
+  // Hoisted out of the per-packet admit() path: service time per packet and
+  // the backlog bound, both derived from config once at construction.
+  TimeNs dp_per_packet_ = 0;
+  TimeNs dp_backlog_limit_ = 0;
 };
 
 }  // namespace swish::pisa

@@ -52,7 +52,7 @@ void Controller::push_space_chains(bool immediate) {
       if (immediate) {
         apply();
       } else {
-        sim_.schedule_after(config_.mgmt_latency, std::move(apply));
+        sim_.post_after(config_.mgmt_latency, std::move(apply));
       }
     }
   }
@@ -70,7 +70,7 @@ void Controller::migrate_space(std::uint32_t space, std::vector<SwitchId> new_re
     if (std::find(entry.replicas.begin(), entry.replicas.end(), id) == entry.replicas.end()) {
       joiners->push_back(id);
       ShmRuntime* rt = members_.at(id).runtime;
-      sim_.schedule_after(config_.mgmt_latency,
+      sim_.post_after(config_.mgmt_latency,
                           [rt, config = entry.config, new_replicas]() {
                             rt->add_space(config, new_replicas);
                           });
@@ -93,14 +93,14 @@ void Controller::migrate_space(std::uint32_t space, std::vector<SwitchId> new_re
     chain_.epoch = next_epoch_++;  // bump the epoch counter for the new chain
     push_space_chains(/*immediate=*/false);
     if (done) {
-      sim_.schedule_after(config_.mgmt_latency,
+      sim_.post_after(config_.mgmt_latency,
                           [this, done]() { done(sim_.now()); });
     }
   };
 
   if (donor_id == kInvalidNode || joiners->empty()) {
     // Pure shrink (or nothing to copy from): just switch the chain over.
-    sim_.schedule_after(config_.mgmt_latency, finish);
+    sim_.post_after(config_.mgmt_latency, finish);
     return;
   }
 
@@ -116,7 +116,7 @@ void Controller::migrate_space(std::uint32_t space, std::vector<SwitchId> new_re
     const SwitchId target = (*joiners)[(*index)++];
     donor->start_recovery_stream(target, [stream_next]() { (*stream_next)(); }, space);
   };
-  sim_.schedule_after(2 * config_.mgmt_latency, [stream_next]() { (*stream_next)(); });
+  sim_.post_after(2 * config_.mgmt_latency, [stream_next]() { (*stream_next)(); });
 }
 
 void Controller::start() {
@@ -163,7 +163,7 @@ void Controller::handle_failure(SwitchId failed) {
   push_space_chains(/*immediate=*/false);  // directory chains route around it too
 
   if (on_failover_complete) {
-    sim_.schedule_after(config_.mgmt_latency, [this, failed]() {
+    sim_.post_after(config_.mgmt_latency, [this, failed]() {
       on_failover_complete(failed, sim_.now());
     });
   }
@@ -186,7 +186,7 @@ void Controller::readmit_switch(SwitchId id) {
 
   if (!had_chain) {
     if (on_recovery_complete) {
-      sim_.schedule_after(config_.mgmt_latency, [this, id]() {
+      sim_.post_after(config_.mgmt_latency, [this, id]() {
         on_recovery_complete(id, sim_.now());
       });
     }
@@ -197,7 +197,7 @@ void Controller::readmit_switch(SwitchId id) {
   // the newcomer; only then does the newcomer join the chain — as the new
   // tail (§6.3).
   ShmRuntime* donor = members_.at(chain_.chain.back()).runtime;
-  sim_.schedule_after(config_.mgmt_latency, [this, donor, id]() {
+  sim_.post_after(config_.mgmt_latency, [this, donor, id]() {
     donor->start_recovery_stream(id, [this, id]() {
       const std::uint32_t epoch = next_epoch_++;
       chain_.epoch = epoch;
@@ -207,7 +207,7 @@ void Controller::readmit_switch(SwitchId id) {
       }
       push_configs(/*immediate=*/false);
       if (on_recovery_complete) {
-        sim_.schedule_after(config_.mgmt_latency, [this, id]() {
+        sim_.post_after(config_.mgmt_latency, [this, id]() {
           on_recovery_complete(id, sim_.now());
         });
       }
@@ -237,7 +237,7 @@ void Controller::push_configs(bool immediate) {
     if (immediate) {
       apply();
     } else {
-      sim_.schedule_after(config_.mgmt_latency, std::move(apply));
+      sim_.post_after(config_.mgmt_latency, std::move(apply));
     }
   }
 }

@@ -14,7 +14,7 @@ class TransitProgram : public pisa::PipelineProgram {
     // Destination node id is encoded in the management IP (net::node_ip).
     const NodeId dst = ctx.parsed->ipv4->dst.value() & 0x00ffffff;
     ctx.sw.send_to_node(dst, std::move(ctx.packet),
-                        pkt::FlowKey::from(*ctx.parsed).hash());
+                        pkt::FlowKey::from(*ctx.parsed).hash(), ctx.recirc_count);
   }
 };
 

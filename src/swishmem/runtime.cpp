@@ -484,9 +484,9 @@ ReadStatus ShmRuntime::sro_read(pisa::PacketContext& ctx, std::uint32_t space, s
 void ShmRuntime::on_read_redirect(const pkt::ReadRedirect& msg) {
   ++stats_.redirects_processed;
   if (!nf_reentry_) return;
-  pisa::PacketContext ctx{sw_, pkt::Packet(msg.original_packet), std::nullopt,
+  pisa::PacketContext ctx{sw_, pkt::Packet(msg.original_packet), nullptr,
                           net::kInvalidPort, /*from_edge=*/true, /*recirc_count=*/1};
-  ctx.parsed = ctx.packet.parse();
+  ctx.parsed = ctx.packet.parsed();
   authoritative_ = true;
   nf_reentry_(ctx);
   authoritative_ = false;
@@ -515,7 +515,7 @@ void ShmRuntime::ewo_write(std::uint32_t space, std::uint64_t key, std::uint64_t
   if (ts <= last_lww_timestamp_) ts = last_lww_timestamp_ + 1;
   last_lww_timestamp_ = ts;
   it->second->write_local(key, value, Version::pack(ts, sw_.id()));
-  if (it->second->config().mirror_writes) mirror_enqueue(space, key);
+  if (it->second->config().mirror_writes) mirror_enqueue(*it->second, key);
 }
 
 std::uint64_t ShmRuntime::ewo_add(std::uint32_t space, std::uint64_t key, std::int64_t delta) {
@@ -523,7 +523,7 @@ std::uint64_t ShmRuntime::ewo_add(std::uint32_t space, std::uint64_t key, std::i
   if (it == ewo_spaces_.end()) return 0;
   ++stats_.ewo_local_writes;
   const std::uint64_t result = it->second->add_local(key, delta);
-  if (it->second->config().mirror_writes) mirror_enqueue(space, key);
+  if (it->second->config().mirror_writes) mirror_enqueue(*it->second, key);
   return result;
 }
 
@@ -533,14 +533,13 @@ std::uint64_t ShmRuntime::ewo_set_add(std::uint32_t space, std::uint64_t key,
   if (it == ewo_spaces_.end()) return 0;
   ++stats_.ewo_local_writes;
   const std::uint64_t result = it->second->set_add_local(key, bits);
-  if (it->second->config().mirror_writes) mirror_enqueue(space, key);
+  if (it->second->config().mirror_writes) mirror_enqueue(*it->second, key);
   return result;
 }
 
-void ShmRuntime::mirror_enqueue(std::uint32_t space, std::uint64_t key) {
-  mirror_buffer_.emplace_back(space, key);
-  const auto& cfg = ewo_spaces_.at(space)->config();
-  if (mirror_buffer_.size() >= cfg.mirror_batch) flush_mirror_buffer();
+void ShmRuntime::mirror_enqueue(const EwoSpaceState& st, std::uint64_t key) {
+  mirror_buffer_.emplace_back(&st, key);
+  if (mirror_buffer_.size() >= st.config().mirror_batch) flush_mirror_buffer();
 }
 
 void ShmRuntime::flush_mirror_buffer() {
@@ -548,8 +547,8 @@ void ShmRuntime::flush_mirror_buffer() {
   pkt::EwoUpdate update;
   update.origin = sw_.id();
   update.periodic = false;
-  for (const auto& [space, key] : mirror_buffer_) {
-    ewo_spaces_.at(space)->collect_own_entries(key, update.entries);
+  for (const auto& [st, key] : mirror_buffer_) {
+    st->collect_own_entries(key, update.entries);
   }
   mirror_buffer_.clear();
   const auto targets = group_.members.empty() ? deployment_ : group_.members;
@@ -758,7 +757,7 @@ void ShmProgram::process(pisa::PacketContext& ctx) {
     const NodeId dst = ctx.parsed->ipv4->dst.value() & 0x00ffffff;
     if (dst != runtime_.self()) {
       const auto hash = pkt::FlowKey::from(*ctx.parsed).hash();
-      ctx.sw.send_to_node(dst, std::move(ctx.packet), hash);
+      ctx.sw.send_to_node(dst, std::move(ctx.packet), hash, ctx.recirc_count);
       return;
     }
   }

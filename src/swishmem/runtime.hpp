@@ -228,7 +228,7 @@ class ShmRuntime {
   void on_recovery_chunk(const pkt::WriteRequest& msg);
 
   // EWO mirroring / sync.
-  void mirror_enqueue(std::uint32_t space, std::uint64_t key);
+  void mirror_enqueue(const EwoSpaceState& st, std::uint64_t key);
   void flush_mirror_buffer();
   void periodic_sync();
 
@@ -267,8 +267,10 @@ class ShmRuntime {
   bool recovery_tap_ = false;  ///< tail forwards applied writes into the stream
   std::uint64_t last_recovery_applied_ = 0;
 
-  // EWO mirror batch buffer: (space, key) pairs awaiting flush.
-  std::vector<std::pair<std::uint32_t, std::uint64_t>> mirror_buffer_;
+  // EWO mirror batch buffer: (space state, key) pairs awaiting flush. Spaces
+  // are add-only and unique_ptr-owned, so the pointers stay valid and the
+  // flush avoids a map lookup per buffered entry.
+  std::vector<std::pair<const EwoSpaceState*, std::uint64_t>> mirror_buffer_;
 
   TimeNs last_lww_timestamp_ = 0;  ///< per-switch monotone LWW clock (§6.2)
 

@@ -126,8 +126,8 @@ EwoSpaceState::EwoSpaceState(pisa::Switch& sw, const SpaceConfig& config,
   if (cfg_.cls != ConsistencyClass::kEWO) {
     throw std::invalid_argument("EwoSpaceState: non-EWO space");
   }
-  for (std::size_t i = 0; i < replicas_.size(); ++i) member_index_[replicas_[i]] = i;
-  if (!member_index_.contains(self_)) {
+  self_index_ = member_slot(self_);
+  if (self_index_ == replicas_.size()) {
     throw std::invalid_argument("EwoSpaceState: self not in replica list");
   }
 
@@ -157,10 +157,10 @@ EwoSpaceState::EwoSpaceState(pisa::Switch& sw, const SpaceConfig& config,
   }
 }
 
-std::size_t EwoSpaceState::member_index(SwitchId sw) const {
-  auto it = member_index_.find(sw);
-  if (it == member_index_.end()) throw std::out_of_range("EwoSpaceState: unknown replica");
-  return it->second;
+std::size_t EwoSpaceState::member_slot(SwitchId sw) const noexcept {
+  std::size_t i = 0;
+  while (i < replicas_.size() && replicas_[i] != sw) ++i;
+  return i;
 }
 
 std::uint64_t EwoSpaceState::read(std::uint64_t key) const {
@@ -189,7 +189,7 @@ std::uint64_t EwoSpaceState::add_local(std::uint64_t key, std::int64_t delta) {
     throw std::logic_error("add_local requires a counter space");
   }
   const auto i = static_cast<RegisterIndex>(key);
-  const std::size_t me = member_index_.at(self_);
+  const std::size_t me = self_index_;
   if (delta >= 0) {
     pos_slots_[me]->add(i, static_cast<std::uint64_t>(delta));
   } else {
@@ -225,12 +225,12 @@ bool EwoSpaceState::merge(const pkt::EwoEntry& entry) {
   // CRDT: version field carries (owner << 1) | negative.
   const auto owner = static_cast<SwitchId>(entry.version >> 1);
   const bool negative = (entry.version & 1) != 0;
-  auto it = member_index_.find(owner);
-  if (it == member_index_.end()) return false;
+  const std::size_t owner_slot = member_slot(owner);
+  if (owner_slot == replicas_.size()) return false;
   const auto& slots = negative ? neg_slots_ : pos_slots_;
-  if (slots.empty() || i >= slots[it->second]->size()) return false;
-  const std::uint64_t before = slots[it->second]->read(i);
-  return slots[it->second]->merge_max(i, entry.value) != before;
+  if (slots.empty() || i >= slots[owner_slot]->size()) return false;
+  const std::uint64_t before = slots[owner_slot]->read(i);
+  return slots[owner_slot]->merge_max(i, entry.value) != before;
 }
 
 void EwoSpaceState::collect_own_entries(std::uint64_t key,
@@ -244,7 +244,7 @@ void EwoSpaceState::collect_own_entries(std::uint64_t key,
     out.push_back({cfg_.id, key, 0, values_->read(i)});
     return;
   }
-  const std::size_t me = member_index_.at(self_);
+  const std::size_t me = self_index_;
   out.push_back({cfg_.id, key, crdt_tag(self_, false), pos_slots_[me]->read(i)});
   if (!neg_slots_.empty()) {
     out.push_back({cfg_.id, key, crdt_tag(self_, true), neg_slots_[me]->read(i)});

@@ -11,7 +11,6 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "packet/swish_wire.hpp"
@@ -117,12 +116,16 @@ class EwoSpaceState {
     return (static_cast<RawVersion>(owner) << 1) | (negative ? 1 : 0);
   }
 
-  [[nodiscard]] std::size_t member_index(SwitchId sw) const;
+  /// Index of `sw` in replicas_, or replicas_.size() when unknown. Linear
+  /// scan on purpose: deployments are a handful of switches (the paper
+  /// replicates every register on every switch), and this sits on the
+  /// per-merge hot path where a hash lookup costs more than the scan.
+  [[nodiscard]] std::size_t member_slot(SwitchId sw) const noexcept;
 
   SpaceConfig cfg_;
   SwitchId self_;
   std::vector<SwitchId> replicas_;
-  std::unordered_map<SwitchId, std::size_t> member_index_;
+  std::size_t self_index_ = 0;  ///< this switch's slot in replicas_
 
   // LWW storage.
   pisa::RegisterArray* values_ = nullptr;

@@ -3,10 +3,10 @@
 namespace swish::workload {
 
 void AttackGenerator::start() {
-  fabric_.simulator().schedule_at(std::max(config_.start, fabric_.simulator().now() + 1),
-                                  [this]() {
-                                    send_one(config_.start + config_.duration);
-                                  });
+  fabric_.simulator().post_at(std::max(config_.start, fabric_.simulator().now() + 1),
+                              [this]() {
+                                send_one(config_.start + config_.duration);
+                              });
 }
 
 void AttackGenerator::send_one(TimeNs deadline) {
@@ -31,7 +31,7 @@ void AttackGenerator::send_one(TimeNs deadline) {
 
   const auto gap = static_cast<TimeNs>(
       rng_.exponential(static_cast<double>(kSec) / config_.packets_per_sec));
-  fabric_.simulator().schedule_after(gap + 1, [this, deadline]() { send_one(deadline); });
+  fabric_.simulator().post_after(gap + 1, [this, deadline]() { send_one(deadline); });
 }
 
 }  // namespace swish::workload

@@ -18,7 +18,8 @@ void TrafficGenerator::schedule_next_arrival(TimeNs deadline) {
   const double gap_ns = rng_.exponential(static_cast<double>(kSec) / config_.flows_per_sec);
   const TimeNs at = fabric_.simulator().now() + static_cast<TimeNs>(gap_ns) + 1;
   if (at >= deadline) return;
-  fabric_.simulator().schedule_at(at, [this, deadline]() {
+  // Fire-and-forget: arrival events are never cancelled.
+  fabric_.simulator().post_at(at, [this, deadline]() {
     start_flow(deadline);
     schedule_next_arrival(deadline);
   });
@@ -113,7 +114,7 @@ void TrafficGenerator::schedule_data_packet(Flow flow) {
     ++stats_.reroutes;
   }
   const double jitter = rng_.exponential(static_cast<double>(config_.packet_interval) * 0.1);
-  fabric_.simulator().schedule_after(
+  fabric_.simulator().post_after(
       config_.packet_interval + static_cast<TimeNs>(jitter),
       [this, flow = std::move(flow)]() mutable { send_packet(std::move(flow)); });
 }
@@ -128,7 +129,7 @@ void TrafficGenerator::notify_delivered(const Stamp& stamp) {
 }
 
 void TrafficGenerator::arm_syn_retransmit(std::uint64_t flow_id, unsigned attempt) {
-  fabric_.simulator().schedule_after(config_.syn_retransmit_timeout, [this, flow_id, attempt]() {
+  fabric_.simulator().post_after(config_.syn_retransmit_timeout, [this, flow_id, attempt]() {
     auto it = awaiting_syn_.find(flow_id);
     if (it == awaiting_syn_.end()) return;  // SYN delivered meanwhile
     if (attempt >= config_.max_syn_retries) {

@@ -174,6 +174,61 @@ TEST(Network, TotalStatsAggregates) {
   EXPECT_GT(total.bytes_sent, 0u);
 }
 
+TEST(Network, DeliveredCountsOnlyArrivals) {
+  // sent counts wire occupancy; delivered counts packets handed to a live
+  // peer; on-wire loss is exactly sent - delivered.
+  Rig rig;
+  LinkParams params;
+  params.loss_probability = 0.5;
+  params.bandwidth = 0;
+  rig.net.connect(1, 2, params);
+  for (int i = 0; i < 1000; ++i) rig.net.send(1, 0, packet_of_size(1));
+  rig.sim.run();
+  const auto& st = rig.net.stats(1, 0);
+  EXPECT_EQ(st.packets_sent, 1000u);
+  EXPECT_EQ(st.packets_delivered, rig.b.arrivals.size());
+  EXPECT_EQ(st.packets_sent - st.packets_delivered, st.packets_dropped_loss);
+}
+
+TEST(Network, QueueDropsNeverCountAsSentOrDelivered) {
+  Rig rig;
+  LinkParams params;
+  params.propagation_delay = 0;
+  params.bandwidth = 8 * kKbps;  // very slow: force tail drops
+  params.max_queue_delay = 1 * kMs;
+  rig.net.connect(1, 2, params);
+  for (int i = 0; i < 100; ++i) rig.net.send(1, 0, packet_of_size(100));
+  rig.sim.run();
+  const auto& st = rig.net.stats(1, 0);
+  EXPECT_GT(st.packets_dropped_queue, 0u);
+  // Queue-dropped packets never occupied the wire; everything that did was
+  // delivered (lossless link).
+  EXPECT_EQ(st.packets_sent, st.packets_delivered);
+  EXPECT_EQ(st.packets_sent + st.packets_dropped_queue, 100u);
+}
+
+TEST(Network, DeadPeerReceivesNothingButLinkStillSends) {
+  Rig rig;
+  rig.net.connect(1, 2, LinkParams{});
+  rig.b.fail();
+  rig.net.send(1, 0, packet_of_size(1));
+  rig.sim.run();
+  const auto& st = rig.net.stats(1, 0);
+  EXPECT_EQ(st.packets_sent, 1u);
+  EXPECT_EQ(st.packets_delivered, 0u);  // black-holed at the dead peer
+  EXPECT_EQ(st.packets_dropped_loss, 0u);
+}
+
+TEST(Network, TotalStatsIncludesDelivered) {
+  Rig rig;
+  rig.net.connect(1, 2, LinkParams{});
+  rig.net.send(1, 0, packet_of_size(10));
+  rig.net.send(2, 0, packet_of_size(10));
+  rig.sim.run();
+  const auto total = rig.net.total_stats();
+  EXPECT_EQ(total.packets_delivered, 2u);
+}
+
 TEST(Network, TapObservesAllTransmissions) {
   Rig rig;
   LinkParams params;

@@ -1,0 +1,151 @@
+// Tests for the zero-copy packet fast path: copies share one refcounted
+// buffer, the parse cache runs the header parser at most once per buffer,
+// and rewrites are copy-on-write (the original is never mutated).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "packet/packet.hpp"
+#include "pisa/switch.hpp"
+
+namespace swish {
+namespace {
+
+pkt::Packet make_udp_packet() {
+  pkt::PacketSpec spec;
+  spec.ip_src = pkt::Ipv4Addr(10, 0, 0, 1);
+  spec.ip_dst = pkt::Ipv4Addr(10, 0, 0, 2);
+  spec.src_port = 1234;
+  spec.dst_port = 5678;
+  spec.payload = {1, 2, 3, 4};
+  return pkt::build_packet(spec);
+}
+
+TEST(PacketSharing, CopiesShareOneBuffer) {
+  pkt::Packet original = make_udp_packet();
+  EXPECT_EQ(original.buffer_use_count(), 1);
+
+  pkt::Packet copy = original;
+  pkt::Packet another = copy;
+  EXPECT_TRUE(copy.shares_buffer_with(original));
+  EXPECT_TRUE(another.shares_buffer_with(original));
+  EXPECT_EQ(original.buffer_use_count(), 3);
+  // Same bytes object, not equal bytes: no copy happened.
+  EXPECT_EQ(&copy.bytes(), &original.bytes());
+
+  pkt::Packet moved = std::move(copy);
+  EXPECT_TRUE(moved.shares_buffer_with(original));
+  EXPECT_EQ(original.buffer_use_count(), 3);  // move transfers, not adds
+}
+
+TEST(PacketSharing, EmptyPacketsShareNothing) {
+  pkt::Packet a;
+  pkt::Packet b;
+  EXPECT_FALSE(a.shares_buffer_with(b));
+  EXPECT_EQ(a.buffer_use_count(), 0);
+  EXPECT_TRUE(a.bytes().empty());
+  EXPECT_FALSE(a.parse().has_value());
+  EXPECT_EQ(a.parsed(), nullptr);
+}
+
+TEST(PacketSharing, ParseRunsOncePerBufferAcrossCopies) {
+  pkt::Packet original = make_udp_packet();
+  pkt::Packet copy = original;
+
+  auto& stats = pkt::PacketStats::global();
+  stats.reset();
+  auto p1 = original.parse();
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_EQ(stats.parse_executions, 1u);
+
+  // Second parse through a *different handle* of the same buffer: cache hit.
+  auto p2 = copy.parse();
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_EQ(stats.parse_executions, 1u);
+  EXPECT_EQ(stats.parse_cache_hits, 1u);
+  EXPECT_EQ(p2->ipv4->src.value(), p1->ipv4->src.value());
+
+  // parsed() returns the same cached object for every sharing handle.
+  EXPECT_EQ(original.parsed(), copy.parsed());
+  EXPECT_EQ(stats.parse_executions, 1u);
+}
+
+TEST(PacketSharing, RewriteIsCopyOnWrite) {
+  pkt::Packet original = make_udp_packet();
+  const std::vector<std::uint8_t> bytes_before = original.bytes();
+  auto parsed = original.parse();
+  ASSERT_TRUE(parsed.has_value());
+  const pkt::ParsedPacket* cached_before = original.parsed();
+
+  auto& stats = pkt::PacketStats::global();
+  stats.reset();
+  pkt::Packet rewritten = pkt::rewrite_l3l4(original, *parsed, pkt::Ipv4Addr(9, 9, 9, 9),
+                                            std::nullopt, std::nullopt, std::nullopt);
+  EXPECT_GE(stats.rewrite_copies, 1u);
+
+  // The rewrite produced a fresh buffer; the original is untouched: same
+  // bytes, same cached parse object, and no sharing with the rewrite.
+  EXPECT_FALSE(rewritten.shares_buffer_with(original));
+  EXPECT_EQ(original.bytes(), bytes_before);
+  EXPECT_EQ(original.parsed(), cached_before);
+  ASSERT_TRUE(rewritten.parse().has_value());
+  EXPECT_EQ(rewritten.parse()->ipv4->src.value(), pkt::Ipv4Addr(9, 9, 9, 9).value());
+  EXPECT_EQ(original.parse()->ipv4->src.value(), pkt::Ipv4Addr(10, 0, 0, 1).value());
+}
+
+/// Captures every packet a switch's pipeline sees.
+class CaptureProgram : public pisa::PipelineProgram {
+ public:
+  void process(pisa::PacketContext& ctx) override {
+    packets.push_back(std::move(ctx.packet));
+  }
+  std::vector<pkt::Packet> packets;
+};
+
+TEST(PacketSharing, MulticastFanOutSharesOneBuffer) {
+  // One switch replicating to two peers: every delivered copy must reference
+  // the sender's original buffer — the fan-out is refcount bumps, not byte
+  // copies, end to end through egress, the link, and the peer pipeline.
+  sim::Simulator sim;
+  net::Network net{sim, 5};
+  pisa::Switch a{sim, net, 1, {}};
+  pisa::Switch b{sim, net, 2, {}};
+  pisa::Switch c{sim, net, 3, {}};
+  net.attach(a);
+  net.attach(b);
+  net.attach(c);
+  net.connect(1, 2, net::LinkParams{});
+  net.connect(1, 3, net::LinkParams{});
+  auto tables = net::compute_routes(net);
+  a.set_routing(std::move(tables[1]));
+
+  auto prog_b = std::make_unique<CaptureProgram>();
+  auto prog_c = std::make_unique<CaptureProgram>();
+  CaptureProgram* pb = prog_b.get();
+  CaptureProgram* pc = prog_c.get();
+  b.install_program(std::move(prog_b));
+  c.install_program(std::move(prog_c));
+
+  pkt::Packet original = make_udp_packet();
+  auto& stats = pkt::PacketStats::global();
+  stats.reset();
+  const std::vector<SwitchId> group{2, 3};
+  a.multicast_nodes(group, original);
+  sim.run();
+
+  ASSERT_EQ(pb->packets.size(), 1u);
+  ASSERT_EQ(pc->packets.size(), 1u);
+  EXPECT_TRUE(pb->packets[0].shares_buffer_with(original));
+  EXPECT_TRUE(pc->packets[0].shares_buffer_with(original));
+  EXPECT_EQ(&pb->packets[0].bytes(), &original.bytes());
+  // The entire fan-out allocated zero new buffers.
+  EXPECT_EQ(stats.buffers_created, 0u);
+  EXPECT_EQ(stats.rewrite_copies, 0u);
+}
+
+}  // namespace
+}  // namespace swish

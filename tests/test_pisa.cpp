@@ -276,6 +276,52 @@ TEST(Switch, MulticastSkipsSelf) {
   EXPECT_EQ(pa->seen, 0);
 }
 
+/// Forwards every packet back to the local switch, threading the real
+/// recirculation count — an infinite loop unless the cap intervenes.
+class RecircForeverProgram : public PipelineProgram {
+ public:
+  void process(PacketContext& ctx) override {
+    ctx.sw.send_to_node(ctx.sw.id(), std::move(ctx.packet), 0, ctx.recirc_count);
+  }
+};
+
+TEST(Switch, RecirculationCapDropsLoopingPackets) {
+  SwitchRig rig;
+  rig.a.install_program(std::make_unique<RecircForeverProgram>());
+  rig.a.inject(some_packet());
+  rig.sim.run();  // terminates only because the cap fires
+  EXPECT_EQ(rig.a.stats().recirculated, rig.a.config().max_recirculations);
+  EXPECT_EQ(rig.a.stats().dropped_recirc, 1u);
+}
+
+TEST(Switch, RecirculationCapConfigurable) {
+  sim::Simulator sim;
+  net::Network net{sim, 5};
+  Switch::Config cfg;
+  cfg.max_recirculations = 3;
+  Switch sw{sim, net, 1, cfg};
+  net.attach(sw);
+  sw.install_program(std::make_unique<RecircForeverProgram>());
+  sw.inject(some_packet());
+  sim.run();
+  EXPECT_EQ(sw.stats().recirculated, 3u);
+  EXPECT_EQ(sw.stats().dropped_recirc, 1u);
+}
+
+TEST(Switch, ZeroRecirculationCapDisablesRecirculation) {
+  sim::Simulator sim;
+  net::Network net{sim, 5};
+  Switch::Config cfg;
+  cfg.max_recirculations = 0;
+  Switch sw{sim, net, 1, cfg};
+  net.attach(sw);
+  sw.install_program(std::make_unique<RecircForeverProgram>());
+  sw.inject(some_packet());
+  sim.run();
+  EXPECT_EQ(sw.stats().recirculated, 0u);
+  EXPECT_EQ(sw.stats().dropped_recirc, 1u);
+}
+
 TEST(Switch, FailedSwitchDropsEverything) {
   SwitchRig rig;
   auto prog = std::make_unique<EchoProgram>();

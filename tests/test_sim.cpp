@@ -1,6 +1,9 @@
 // Unit tests: discrete-event simulator ordering, cancellation, periodics.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
+
 #include "sim/simulator.hpp"
 
 namespace swish::sim {
@@ -111,6 +114,62 @@ TEST(Simulator, ExecutedEventsCounter) {
   for (int i = 0; i < 7; ++i) sim.schedule_at(i + 1, [] {});
   sim.run();
   EXPECT_EQ(sim.executed_events(), 7u);
+}
+
+TEST(Simulator, PostAtRunsFireAndForgetEvents) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.post_at(20, [&] { order.push_back(2); });
+  sim.post_at(10, [&] { order.push_back(1); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.executed_events(), 2u);
+}
+
+TEST(Simulator, PostAfterUsesNow) {
+  Simulator sim;
+  TimeNs fired_at = -1;
+  sim.post_at(100, [&] {
+    sim.post_after(50, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(Simulator, PostInPastThrows) {
+  Simulator sim;
+  sim.post_at(10, [] {});
+  sim.run();
+  EXPECT_THROW(sim.post_at(5, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, PostAndScheduleInterleaveFifo) {
+  // post_* and schedule_* share the same (time, seq) total order: events at
+  // an equal timestamp fire in submission order regardless of which API
+  // enqueued them.
+  Simulator sim;
+  std::vector<int> order;
+  sim.post_at(5, [&] { order.push_back(0); });
+  sim.schedule_at(5, [&] { order.push_back(1); });
+  sim.post_at(5, [&] { order.push_back(2); });
+  sim.schedule_at(5, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Simulator, MoveOnlyCallablesAreAccepted) {
+  // EventFn is move-only type erasure: a callable owning a unique_ptr (which
+  // std::function cannot hold) must work on both the post_* and schedule_*
+  // paths, including the heap fallback for large captures.
+  Simulator sim;
+  int total = 0;
+  auto small = std::make_unique<int>(7);
+  sim.post_at(1, [&total, v = std::move(small)] { total += *v; });
+  auto big = std::make_unique<int>(35);
+  std::array<std::byte, 128> pad{};  // force the heap path (> inline buffer)
+  sim.schedule_at(2, [&total, v = std::move(big), pad] { total += *v + int(pad.size()) - 128; });
+  sim.run();
+  EXPECT_EQ(total, 42);
 }
 
 TEST(Simulator, EventsScheduledDuringRunExecute) {

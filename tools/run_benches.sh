@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Builds the benches in Release and emits BENCH_*.json artifacts at the repo
+# root. The throughput bench embeds the committed seed baseline so the
+# artifact carries its own before/after comparison (see DESIGN.md,
+# "Data-path performance model").
+#
+#   tools/run_benches.sh [--sim-ms N]
+set -euo pipefail
+
+SIM_MS=50  # must match bench/baseline_throughput.json's params.sim_ms
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --sim-ms) SIM_MS="$2"; shift 2 ;;
+    *) echo "usage: $0 [--sim-ms N]" >&2; exit 2 ;;
+  esac
+done
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/build-release"
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD" -j "$(nproc)" --target bench_throughput bench_micro_primitives >/dev/null
+
+"$BUILD/bench/bench_throughput" \
+  --sim-ms "$SIM_MS" \
+  --baseline "$ROOT/bench/baseline_throughput.json" \
+  --out "$ROOT/BENCH_throughput.json"
+
+"$BUILD/bench/bench_micro_primitives" \
+  --benchmark_format=console \
+  --benchmark_out_format=json \
+  --benchmark_out="$ROOT/BENCH_micro_primitives.json"
+
+echo
+echo "artifacts:"
+ls -l "$ROOT"/BENCH_*.json
