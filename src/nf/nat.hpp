@@ -1,7 +1,16 @@
 // Distributed NAT (§4.1): the translation table is shared with strong
 // consistency (SRO, table-backed — connection tables on real switches are
-// control-plane tables), while the free-port pool is sharded per switch so it
-// needs no shared state at all, exactly as the paper prescribes.
+// control-plane tables). The free-port pool has two modes:
+//
+//   sharded (default)  — each switch owns a disjoint port range, so the pool
+//                        needs no shared state at all, as the paper
+//                        prescribes for partitionable resources;
+//   shared (kOWN)      — one global next-port counter allocated with the
+//                        owner engine's linearizable fetch-add. The counter
+//                        key migrates to whichever switch allocates, so a
+//                        stable ingress allocates at data-plane speed while
+//                        correctness (no duplicate port handed to two
+//                        switches) holds under arbitrary re-routing.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +29,11 @@ class NatApp : public shm::NfApp {
     std::uint16_t port_base = 10000;
     std::uint16_t port_span = 2048;
     std::size_t table_size = 65536;
+    /// Allocate public ports from one fabric-wide pool (kNatPortPoolSpace,
+    /// kOWN) instead of the per-switch sharded ranges.
+    bool shared_port_pool = false;
+    /// Shared-pool mode: ports cycle through [port_base, port_base + pool_size).
+    std::uint32_t pool_size = 40000;
   };
 
   struct Stats {
@@ -29,6 +43,7 @@ class NatApp : public shm::NfApp {
     std::uint64_t dropped_no_mapping = 0;
     std::uint64_t dropped_pool_exhausted = 0;
     std::uint64_t redirected = 0;
+    std::uint64_t pool_allocations = 0;  ///< shared-pool fetch-adds completed
   };
 
   explicit NatApp(Config config) : config_(config) {}
@@ -44,6 +59,16 @@ class NatApp : public shm::NfApp {
     return s;
   }
 
+  /// The shared port-pool counter space (only needed with shared_port_pool).
+  static shm::SpaceConfig port_pool_space() {
+    shm::SpaceConfig s;
+    s.id = kNatPortPoolSpace;
+    s.name = "nat.port_pool";
+    s.cls = shm::ConsistencyClass::kOWN;
+    s.size = 16;  // one counter key; small register footprint
+    return s;
+  }
+
   void process(pisa::PacketContext& ctx, shm::ShmRuntime& rt) override;
 
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
@@ -51,6 +76,10 @@ class NatApp : public shm::NfApp {
  private:
   void outbound(pisa::PacketContext& ctx, shm::ShmRuntime& rt, const pkt::ParsedPacket& p);
   void inbound(pisa::PacketContext& ctx, shm::ShmRuntime& rt, const pkt::ParsedPacket& p);
+  void install_mapping(pisa::Switch& sw, shm::ShmRuntime& rt, pkt::Packet packet,
+                       std::uint64_t key, std::uint16_t public_port, pkt::Ipv4Addr internal_ip,
+                       std::uint16_t internal_port, pkt::Ipv4Addr remote_ip,
+                       std::uint16_t remote_port, std::uint8_t protocol);
 
   Config config_;
   Stats stats_;

@@ -78,6 +78,35 @@ void encode_body(ByteWriter& w, const ReadRedirect& m) {
   w.raw(m.original_packet);
 }
 
+void encode_body(ByteWriter& w, const OwnRequest& m) {
+  w.u32(m.space);
+  w.u64(m.key);
+  w.u32(m.requester);
+  w.u64(m.req_id);
+  w.u8(m.revoke ? 1 : 0);
+}
+
+void encode_body(ByteWriter& w, const OwnGrant& m) {
+  w.u32(m.space);
+  w.u64(m.key);
+  w.u32(m.new_owner);
+  w.u64(m.req_id);
+  w.u64(m.value);
+  w.u64(m.version);
+}
+
+void encode_body(ByteWriter& w, const OwnUpdate& m) {
+  w.u32(m.owner);
+  w.u8(m.claim ? 1 : 0);
+  w.u16(static_cast<std::uint16_t>(m.entries.size()));
+  for (const auto& e : m.entries) {
+    w.u32(e.space);
+    w.u64(e.key);
+    w.u64(e.version);
+    w.u64(e.value);
+  }
+}
+
 constexpr MsgType type_of(const SwishMessage& msg) noexcept {
   return static_cast<MsgType>(msg.index() + 1);
 }
@@ -155,6 +184,39 @@ std::optional<SwishMessage> decode_message(std::span<const std::uint8_t> payload
         const std::uint16_t n = r.u16();
         auto raw = r.raw(n);
         m.original_packet.assign(raw.begin(), raw.end());
+        return m;
+      }
+      case MsgType::kOwnRequest: {
+        OwnRequest m;
+        m.space = r.u32();
+        m.key = r.u64();
+        m.requester = r.u32();
+        m.req_id = r.u64();
+        m.revoke = r.u8() != 0;
+        return m;
+      }
+      case MsgType::kOwnGrant: {
+        OwnGrant m;
+        m.space = r.u32();
+        m.key = r.u64();
+        m.new_owner = r.u32();
+        m.req_id = r.u64();
+        m.value = r.u64();
+        m.version = r.u64();
+        return m;
+      }
+      case MsgType::kOwnUpdate: {
+        OwnUpdate m;
+        m.owner = r.u32();
+        m.claim = r.u8() != 0;
+        const std::uint16_t n = r.u16();
+        m.entries.resize(n);
+        for (auto& e : m.entries) {
+          e.space = r.u32();
+          e.key = r.u64();
+          e.version = r.u64();
+          e.value = r.u64();
+        }
         return m;
       }
     }

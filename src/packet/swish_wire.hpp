@@ -30,7 +30,13 @@ enum class MsgType : std::uint8_t {
   kChainConfig = 5,
   kGroupConfig = 6,
   kReadRedirect = 7,
+  kOwnRequest = 8,
+  kOwnGrant = 9,
+  kOwnUpdate = 10,
 };
+
+/// Number of distinct protocol message types (registry sizing).
+inline constexpr std::size_t kNumMsgTypes = 10;
 
 /// One register mutation inside a write request.
 struct WriteOp {
@@ -123,8 +129,48 @@ struct ReadRedirect {
   friend bool operator==(const ReadRedirect&, const ReadRedirect&) = default;
 };
 
+/// kOWN ownership acquisition (per-key single-writer migration, §6.3
+/// write-intensive class). Sent requester -> home replica; when the key is
+/// currently owned by a third switch, the home forwards it to that owner
+/// with `revoke` set. `req_id` is requester-unique so lost grants can be
+/// re-driven idempotently by retransmitting the same request.
+struct OwnRequest {
+  std::uint32_t space = 0;
+  std::uint64_t key = 0;
+  SwitchId requester = kInvalidNode;
+  std::uint64_t req_id = 0;
+  bool revoke = false;  ///< home -> current-owner leg (give the key up)
+
+  friend bool operator==(const OwnRequest&, const OwnRequest&) = default;
+};
+
+/// kOWN ownership transfer: carries the key's latest value+version to its
+/// new owner. Travels old-owner -> home (directory update) -> requester.
+struct OwnGrant {
+  std::uint32_t space = 0;
+  std::uint64_t key = 0;
+  SwitchId new_owner = kInvalidNode;
+  std::uint64_t req_id = 0;
+  std::uint64_t value = 0;
+  std::uint64_t version = 0;  ///< per-key write counter, monotone across owners
+
+  friend bool operator==(const OwnGrant&, const OwnGrant&) = default;
+};
+
+/// kOWN periodic backup flush: an owner reports dirty owned keys to their
+/// home replicas so ownership can be re-granted from the home copy after an
+/// owner failure. Entries reuse the EwoEntry shape (space, key, version,
+/// value); `claim` re-asserts directory ownership after a home restart.
+struct OwnUpdate {
+  SwitchId owner = kInvalidNode;
+  bool claim = true;
+  std::vector<EwoEntry> entries;
+
+  friend bool operator==(const OwnUpdate&, const OwnUpdate&) = default;
+};
+
 using SwishMessage = std::variant<WriteRequest, WriteAck, EwoUpdate, Heartbeat, ChainConfig,
-                                  GroupConfig, ReadRedirect>;
+                                  GroupConfig, ReadRedirect, OwnRequest, OwnGrant, OwnUpdate>;
 
 /// Serializes a protocol message (type byte + body) into a UDP payload.
 std::vector<std::uint8_t> encode_message(const SwishMessage& msg);

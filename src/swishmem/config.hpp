@@ -9,12 +9,17 @@
 
 namespace swish::shm {
 
-/// The three register classes of §5.
+/// The register classes of §5 (Table 1). The paper names three; kOWN covers
+/// its fourth access pattern — write-intensive strongly-consistent state
+/// (§6.3, e.g. NAT port allocation) — via per-key single-writer ownership.
 enum class ConsistencyClass : std::uint8_t {
   kSRO,  ///< Strong Read Optimized: linearizable, chain-replicated
   kERO,  ///< Eventual Read Optimized: SRO writes, always-local reads
   kEWO,  ///< Eventual Write Optimized: local writes, async replication
+  kOWN,  ///< Owned: per-key single writer, ownership migrates to the writer
 };
+
+ConsistencyClass parse_consistency_class(const std::string& s);  // throws on unknown
 
 /// How an EWO replica merges remote updates (§6.2).
 enum class MergePolicy : std::uint8_t {
@@ -81,6 +86,13 @@ struct RuntimeConfig {
   std::size_t sync_chunk_entries = 64;    ///< registers per sync packet
   SyncFanout sync_fanout = SyncFanout::kRandomOne;
   TimeNs mirror_flush_interval = 100 * kUs;  ///< flush partial mirror batches
+
+  // OWN ------------------------------------------------------------------
+  TimeNs own_backup_interval = 1 * kMs;   ///< owner -> home dirty-key flush
+  std::size_t own_backup_chunk = 64;      ///< entries per backup packet
+  /// Operations buffered per key while an ownership migration is in flight;
+  /// excess operations are rejected (their callbacks never fire).
+  std::size_t own_queue_limit = 1024;
 
   // Clocks -----------------------------------------------------------------
   /// Fixed offset of this switch's clock from simulated true time; the paper

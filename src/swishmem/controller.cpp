@@ -108,13 +108,19 @@ void Controller::migrate_space(std::uint32_t space, std::vector<SwitchId> new_re
   ShmRuntime* donor = members_.at(donor_id).runtime;
   auto stream_next = std::make_shared<std::function<void()>>();
   auto index = std::make_shared<std::size_t>(0);
-  *stream_next = [this, donor, joiners, index, stream_next, finish, space]() {
+  // The lambda holds only a weak self-reference (a strong capture would form
+  // an unreclaimable cycle); each stream's done-callback keeps it alive until
+  // the last joiner finishes.
+  std::weak_ptr<std::function<void()>> weak_next = stream_next;
+  *stream_next = [this, donor, joiners, index, weak_next, finish, space]() {
     if (*index >= joiners->size()) {
       finish();
       return;
     }
     const SwitchId target = (*joiners)[(*index)++];
-    donor->start_recovery_stream(target, [stream_next]() { (*stream_next)(); }, space);
+    auto self = weak_next.lock();
+    donor->start_recovery_stream(
+        target, [self]() { if (self && *self) (*self)(); }, space);
   };
   sim_.post_after(2 * config_.mgmt_latency, [stream_next]() { (*stream_next)(); });
 }

@@ -1,0 +1,150 @@
+// Shared chain-replication machinery for the strongly-consistent classes
+// (§6.1): writer-side control-plane buffering with timeout/retry, head
+// sequencing with retransmit dedup, per-slot in-order relay, tail commit +
+// ack multicast, CRAQ-style reads, tail redirection, and the donor-side
+// snapshot contract of §6.3. SroEngine and EroEngine differ only in read
+// locality (the pending-bit check vs always-local).
+#pragma once
+
+#include <unordered_map>
+
+#include "common/stats.hpp"
+#include "pisa/switch.hpp"
+#include "swishmem/protocols/engine.hpp"
+#include "swishmem/spaces.hpp"
+
+namespace swish::shm {
+
+class ChainEngine : public ProtocolEngine {
+ public:
+  struct Stats {
+    // Writer side.
+    std::uint64_t writes_submitted = 0;
+    std::uint64_t writes_committed = 0;
+    std::uint64_t write_retries = 0;
+    std::uint64_t writes_failed = 0;    ///< gave up after max retries
+    std::uint64_t writes_rejected = 0;  ///< CP buffer full
+    // Chain side.
+    std::uint64_t chain_requests_seen = 0;
+    std::uint64_t chain_gap_drops = 0;  ///< out-of-order writes awaiting retry
+    std::uint64_t chain_stale_epoch = 0;
+    // Reads.
+    std::uint64_t reads_local = 0;
+    std::uint64_t reads_redirected = 0;
+    // Protocol bandwidth, accounted by this engine (satellite: engines own
+    // their byte counters; the runtime reconciles totals).
+    std::uint64_t bytes_write = 0;     ///< WriteRequest + WriteAck
+    std::uint64_t bytes_redirect = 0;  ///< ReadRedirect
+    // Writer-observed commit latency (submit -> ack), ns.
+    Histogram write_latency;
+  };
+
+  explicit ChainEngine(EngineHost& host) : ProtocolEngine(host) {}
+
+  // -- ProtocolEngine ----------------------------------------------------------
+  void add_space(const SpaceConfig& config, const std::vector<SwitchId>& replicas) override;
+  void add_remote_space(const SpaceConfig& config) override;
+  [[nodiscard]] bool hosts_space(std::uint32_t space) const noexcept override;
+  [[nodiscard]] bool serves_space(std::uint32_t space) const noexcept override;
+  void reset() override;
+
+  ReadStatus read(pisa::PacketContext* ctx, std::uint32_t space, std::uint64_t key,
+                  std::uint64_t& value) override;
+  void write(std::vector<pkt::WriteOp> ops, pkt::Packet output, WriteRelease release) override;
+
+  [[nodiscard]] std::vector<pkt::MsgType> message_types() const override;
+  bool handle_message(const pkt::SwishMessage& msg) override;
+
+  void collect_snapshot(std::optional<std::uint32_t> space_filter,
+                        std::vector<SnapshotOp>& out) const override;
+  void apply_recovery_op(const pkt::WriteOp& op, SeqNum seq) override;
+
+  [[nodiscard]] std::uint64_t protocol_bytes() const noexcept override {
+    return stats_.bytes_write + stats_.bytes_redirect;
+  }
+  [[nodiscard]] std::vector<StatRow> stat_rows() const override;
+
+  // -- Introspection used by the runtime's legacy accessors/stats ---------------
+  [[nodiscard]] const SroSpaceState* space_state(std::uint32_t id) const;
+  [[nodiscard]] const Stats& chain_stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t cp_buffered_packets() const noexcept {
+    return pending_writes_.size();
+  }
+
+ protected:
+  /// Read-locality policy: true when a read of `key` may be served locally
+  /// without consulting the guard table (the SRO/ERO split).
+  [[nodiscard]] virtual bool always_local() const noexcept = 0;
+
+ private:
+  struct PendingWrite {
+    std::vector<pkt::WriteOp> ops;
+    pkt::Packet output;
+    WriteRelease release;
+    unsigned retries = 0;
+    TimeNs submit_time = 0;
+    sim::TimerHandle retry_timer;
+  };
+
+  // Message handlers.
+  void on_write_request(const pkt::WriteRequest& msg);
+  void on_write_ack(const pkt::WriteAck& msg);
+
+  // Chain roles.
+  void head_process(pkt::WriteRequest msg);
+  void relay_process(pkt::WriteRequest msg);
+  void tail_commit(const pkt::WriteRequest& msg);
+  [[nodiscard]] bool ops_table_backed(const std::vector<pkt::WriteOp>& ops) const;
+
+  // Writer side.
+  void send_write_request(std::uint64_t write_id);
+  void arm_retry(std::uint64_t write_id);
+
+  // Transport helpers accounting into bytes_write.
+  void send_chain_msg(SwitchId dst, const pkt::SwishMessage& msg);
+
+  [[nodiscard]] SwitchId chain_successor(const pkt::ChainConfig& chain) const noexcept;
+  [[nodiscard]] static bool chain_contains(const pkt::ChainConfig& chain, SwitchId sw) noexcept;
+
+  std::unordered_map<std::uint32_t, std::unique_ptr<SroSpaceState>> spaces_;
+  std::unordered_map<std::uint32_t, SpaceConfig> remote_spaces_;
+
+  // Writer state (CP DRAM).
+  std::unordered_map<std::uint64_t, PendingWrite> pending_writes_;
+  std::uint64_t next_write_id_ = 0;
+
+  // Head dedup: write_id -> assigned seqs for in-flight writes.
+  std::unordered_map<std::uint64_t, std::vector<SeqNum>> head_assigned_;
+
+  Stats stats_;
+};
+
+/// Strong Read Optimized (§6.1): CRAQ-style local reads, pending registers
+/// redirect to the tail.
+class SroEngine final : public ChainEngine {
+ public:
+  using ChainEngine::ChainEngine;
+  [[nodiscard]] ConsistencyClass cls() const noexcept override {
+    return ConsistencyClass::kSRO;
+  }
+  [[nodiscard]] const char* name() const noexcept override { return "sro"; }
+
+ protected:
+  [[nodiscard]] bool always_local() const noexcept override { return false; }
+};
+
+/// Eventual Read Optimized (§6.1): SRO's write path, always-local reads, no
+/// pending bits.
+class EroEngine final : public ChainEngine {
+ public:
+  using ChainEngine::ChainEngine;
+  [[nodiscard]] ConsistencyClass cls() const noexcept override {
+    return ConsistencyClass::kERO;
+  }
+  [[nodiscard]] const char* name() const noexcept override { return "ero"; }
+
+ protected:
+  [[nodiscard]] bool always_local() const noexcept override { return true; }
+};
+
+}  // namespace swish::shm

@@ -1,0 +1,32 @@
+#include "swishmem/protocols/engine.hpp"
+
+#include <stdexcept>
+
+namespace swish::shm {
+
+void ProtocolEngine::add_remote_space(const SpaceConfig& config) {
+  throw std::invalid_argument(std::string("add_remote_space: ") + to_string(config.cls) +
+                              " spaces cannot be remote");
+}
+
+bool ProtocolEngine::update(std::uint32_t space, std::uint64_t key, std::int64_t delta,
+                            UpdateDone done) {
+  (void)space;
+  (void)key;
+  (void)delta;
+  (void)done;
+  return false;
+}
+
+void ProtocolEngine::collect_snapshot(std::optional<std::uint32_t> space_filter,
+                                      std::vector<SnapshotOp>& out) const {
+  (void)space_filter;
+  (void)out;
+}
+
+void ProtocolEngine::apply_recovery_op(const pkt::WriteOp& op, SeqNum seq) {
+  (void)op;
+  (void)seq;
+}
+
+}  // namespace swish::shm

@@ -1,0 +1,170 @@
+// The pluggable consistency-protocol engine seam (§3, §6): every register
+// class of the paper's access-pattern taxonomy is one ProtocolEngine
+// implementation living in this directory. ShmRuntime is reduced to packet
+// classification, engine lookup, and fabric I/O; everything protocol-specific
+// — space storage, wire-message handling, periodic work, recovery hooks, and
+// per-protocol statistics — sits behind this interface.
+//
+// Adding a protocol is a one-directory change: implement ProtocolEngine,
+// declare the wire message types it consumes (the runtime builds a
+// (message type -> engine) dispatch registry from message_types()), and add
+// a case to make_engine() in registry.cpp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "packet/packet.hpp"
+#include "packet/swish_wire.hpp"
+#include "swishmem/config.hpp"
+
+namespace swish::pisa {
+class Switch;
+struct PacketContext;
+}  // namespace swish::pisa
+
+namespace swish::shm {
+
+/// Outcome of a strong read during packet processing.
+enum class ReadStatus {
+  kOk,          ///< value is valid (read served locally or authoritatively)
+  kMiss,        ///< table-backed space has no entry for the key
+  kRedirected,  ///< original packet was forwarded to the chain tail; the NF
+                ///< must stop processing this packet and emit no output
+};
+
+/// Runs when a buffered output packet may be released (write committed).
+using WriteRelease = std::function<void(pkt::Packet&&)>;
+
+/// Completion of an asynchronous read-modify-write; receives the new value.
+using UpdateDone = std::function<void(std::uint64_t)>;
+
+/// One entry of a recovery snapshot: the op replaying the value plus the
+/// guard/version sequence at snapshot time.
+struct SnapshotOp {
+  pkt::WriteOp op;
+  SeqNum seq = 0;
+};
+
+/// Services the runtime provides to its engines: transport with byte
+/// accounting, configuration pushed by the controller, timers, and hooks
+/// back into the NF / the recovery stream. Implemented by ShmRuntime.
+class EngineHost {
+ public:
+  virtual ~EngineHost() = default;
+
+  [[nodiscard]] virtual pisa::Switch& sw() noexcept = 0;
+  [[nodiscard]] virtual const RuntimeConfig& config() const noexcept = 0;
+  [[nodiscard]] virtual SwitchId self() const noexcept = 0;
+
+  /// Chain governing a space (its own chain when partitioned, §9).
+  [[nodiscard]] virtual const pkt::ChainConfig& chain_for(std::uint32_t space) const noexcept = 0;
+  [[nodiscard]] virtual const pkt::GroupConfig& group() const noexcept = 0;
+  /// Replica set passed to add_space (the full deployment by default).
+  [[nodiscard]] virtual const std::vector<SwitchId>& deployment() const noexcept = 0;
+
+  /// Sends one protocol message into the fabric; returns the wire bytes so
+  /// the engine can account its own protocol bandwidth.
+  virtual std::size_t send(SwitchId dst, const pkt::SwishMessage& msg) = 0;
+
+  /// Registers a periodic background task (packet-generator driven); valid
+  /// from ProtocolEngine::start().
+  virtual void every(TimeNs period, std::function<void()> tick) = 0;
+
+  /// True while this switch is serving a redirected read at the tail (the
+  /// tail's state is authoritative, §6.1).
+  [[nodiscard]] virtual bool authoritative() const noexcept = 0;
+
+  /// Feeds a committed write into the active recovery stream, if any (the
+  /// donor-side tap of §6.3).
+  virtual void recovery_tap(const std::vector<pkt::WriteOp>& ops,
+                            const std::vector<SeqNum>& seqs) = 0;
+};
+
+/// One consistency protocol: owns the space state of its class and the full
+/// protocol state machine. One instance per (runtime, class-in-use).
+class ProtocolEngine {
+ public:
+  /// (label, value) rows for per-engine reporting (swish_sim exit summary).
+  using StatRow = std::pair<std::string, std::uint64_t>;
+
+  explicit ProtocolEngine(EngineHost& host) : host_(host) {}
+  virtual ~ProtocolEngine() = default;
+  ProtocolEngine(const ProtocolEngine&) = delete;
+  ProtocolEngine& operator=(const ProtocolEngine&) = delete;
+
+  [[nodiscard]] virtual ConsistencyClass cls() const noexcept = 0;
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  // -- Spaces -----------------------------------------------------------------
+  virtual void add_space(const SpaceConfig& config, const std::vector<SwitchId>& replicas) = 0;
+  /// Declares a space of this class the switch does NOT replicate (§9).
+  /// Engines without a remote-access path reject it.
+  virtual void add_remote_space(const SpaceConfig& config);
+  [[nodiscard]] virtual bool hosts_space(std::uint32_t space) const noexcept = 0;
+  /// True when the engine can serve any operation on the space (hosted or
+  /// remotely accessible) — used by the runtime's space -> engine map.
+  [[nodiscard]] virtual bool serves_space(std::uint32_t space) const noexcept {
+    return hosts_space(space);
+  }
+
+  // -- Lifecycle ---------------------------------------------------------------
+  /// Called once after configuration bootstrap; register periodic ticks here.
+  virtual void start() {}
+  /// Wipes all protocol and space state (a replacement switch boots empty).
+  virtual void reset() = 0;
+  /// Chain/group configuration changed (controller push or failover).
+  virtual void on_config_update() {}
+
+  // -- Datapath (NF-facing, uniform across engines) -----------------------------
+  /// Read during packet processing. `ctx` enables redirection; engines that
+  /// never redirect ignore it (and accept nullptr).
+  virtual ReadStatus read(pisa::PacketContext* ctx, std::uint32_t space, std::uint64_t key,
+                          std::uint64_t& value) = 0;
+  /// Write of one or more ops (all in spaces of this engine). `release` runs
+  /// on this switch when the write has committed per the engine's contract —
+  /// immediately for eventually-consistent engines.
+  virtual void write(std::vector<pkt::WriteOp> ops, pkt::Packet output, WriteRelease release) = 0;
+  /// Read-modify-write (counters). Returns false when the engine does not
+  /// support atomic updates; `done` receives the new value once applied.
+  virtual bool update(std::uint32_t space, std::uint64_t key, std::int64_t delta,
+                      UpdateDone done);
+
+  // -- Wire --------------------------------------------------------------------
+  /// Message types this engine consumes; the runtime registers the engine
+  /// for each in its dispatch registry.
+  [[nodiscard]] virtual std::vector<pkt::MsgType> message_types() const = 0;
+  /// Handles one protocol message. Returns false when the message belongs to
+  /// another engine registered for the same type (e.g. chain traffic for a
+  /// space of a different class); the runtime then tries the next claimant.
+  virtual bool handle_message(const pkt::SwishMessage& msg) = 0;
+
+  // -- Recovery (§6.3) ----------------------------------------------------------
+  /// Donor side: appends this engine's replayable state to a snapshot.
+  virtual void collect_snapshot(std::optional<std::uint32_t> space_filter,
+                                std::vector<SnapshotOp>& out) const;
+  /// Target side: applies one replayed snapshot/live-tap op in stream order.
+  virtual void apply_recovery_op(const pkt::WriteOp& op, SeqNum seq);
+
+  // -- Introspection -------------------------------------------------------------
+  /// Wire bytes of every message this engine has sent (bandwidth accounting
+  /// lives behind the engine interface; the runtime reconciles totals).
+  [[nodiscard]] virtual std::uint64_t protocol_bytes() const noexcept = 0;
+  /// Engine-specific counters for reporting.
+  [[nodiscard]] virtual std::vector<StatRow> stat_rows() const = 0;
+
+ protected:
+  EngineHost& host_;
+};
+
+/// Creates the engine implementing `cls` (the only place that maps a
+/// consistency class to its protocol).
+std::unique_ptr<ProtocolEngine> make_engine(ConsistencyClass cls, EngineHost& host);
+
+}  // namespace swish::shm

@@ -1,0 +1,204 @@
+#include "swishmem/protocols/ewo_engine.hpp"
+
+#include <algorithm>
+
+#include "swishmem/version.hpp"
+
+namespace swish::shm {
+
+EwoEngine::EwoEngine(EngineHost& host)
+    : ProtocolEngine(host), rng_(0xe40 ^ (host.self() * 0x9e3779b9ULL)) {}
+
+void EwoEngine::add_space(const SpaceConfig& config, const std::vector<SwitchId>& replicas) {
+  spaces_.emplace(config.id,
+                  std::make_unique<EwoSpaceState>(host_.sw(), config, replicas, host_.self()));
+}
+
+bool EwoEngine::hosts_space(std::uint32_t space) const noexcept {
+  return spaces_.contains(space);
+}
+
+void EwoEngine::start() {
+  host_.every(host_.config().sync_period, [this]() { periodic_sync(); });
+  host_.every(host_.config().mirror_flush_interval, [this]() { flush_mirror_buffer(); });
+}
+
+void EwoEngine::reset() {
+  for (auto& [id, sp] : spaces_) sp->reset();
+  mirror_buffer_.clear();
+}
+
+std::vector<pkt::MsgType> EwoEngine::message_types() const {
+  return {pkt::MsgType::kEwoUpdate};
+}
+
+bool EwoEngine::handle_message(const pkt::SwishMessage& msg) {
+  const auto* update = std::get_if<pkt::EwoUpdate>(&msg);
+  if (!update) return false;
+  ++stats_.updates_received;
+  for (const auto& entry : update->entries) {
+    auto it = spaces_.find(entry.space);
+    if (it == spaces_.end()) continue;
+    if (it->second->merge(entry)) ++stats_.entries_merged;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Local register operations (§6.2)
+// ---------------------------------------------------------------------------
+
+std::uint64_t EwoEngine::local_read(std::uint32_t space, std::uint64_t key) {
+  auto it = spaces_.find(space);
+  if (it == spaces_.end()) return 0;
+  ++stats_.reads;
+  return it->second->read(key);
+}
+
+void EwoEngine::local_write(std::uint32_t space, std::uint64_t key, std::uint64_t value) {
+  auto it = spaces_.find(space);
+  if (it == spaces_.end()) return;
+  ++stats_.local_writes;
+  // Lamport-style hybrid timestamp (§6.2 allows either a Lamport clock or a
+  // synchronized real-time clock): strictly monotone per switch, so two
+  // same-instant local writes still produce ordered versions and the later
+  // value is never rejected by remote merges.
+  TimeNs ts = host_.sw().simulator().now() + host_.config().clock_offset;
+  if (ts <= last_lww_timestamp_) ts = last_lww_timestamp_ + 1;
+  last_lww_timestamp_ = ts;
+  it->second->write_local(key, value, Version::pack(ts, host_.self()));
+  if (it->second->config().mirror_writes) mirror_enqueue(*it->second, key);
+}
+
+std::uint64_t EwoEngine::add(std::uint32_t space, std::uint64_t key, std::int64_t delta) {
+  auto it = spaces_.find(space);
+  if (it == spaces_.end()) return 0;
+  ++stats_.local_writes;
+  const std::uint64_t result = it->second->add_local(key, delta);
+  if (it->second->config().mirror_writes) mirror_enqueue(*it->second, key);
+  return result;
+}
+
+std::uint64_t EwoEngine::set_add(std::uint32_t space, std::uint64_t key, std::uint64_t bits) {
+  auto it = spaces_.find(space);
+  if (it == spaces_.end()) return 0;
+  ++stats_.local_writes;
+  const std::uint64_t result = it->second->set_add_local(key, bits);
+  if (it->second->config().mirror_writes) mirror_enqueue(*it->second, key);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Uniform datapath interface
+// ---------------------------------------------------------------------------
+
+ReadStatus EwoEngine::read(pisa::PacketContext* ctx, std::uint32_t space, std::uint64_t key,
+                           std::uint64_t& value) {
+  (void)ctx;  // EWO never redirects
+  if (!spaces_.contains(space)) return ReadStatus::kMiss;
+  value = local_read(space, key);
+  return ReadStatus::kOk;
+}
+
+void EwoEngine::write(std::vector<pkt::WriteOp> ops, pkt::Packet output, WriteRelease release) {
+  // EWO commits locally: apply, then release the output immediately.
+  for (const auto& op : ops) local_write(op.space, op.key, op.value);
+  if (release) release(std::move(output));
+}
+
+bool EwoEngine::update(std::uint32_t space, std::uint64_t key, std::int64_t delta,
+                       UpdateDone done) {
+  auto it = spaces_.find(space);
+  if (it == spaces_.end()) return false;
+  const std::uint64_t result = add(space, key, delta);
+  if (done) done(result);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Mirroring / periodic sync (§6.2)
+// ---------------------------------------------------------------------------
+
+const std::vector<SwitchId>& EwoEngine::replication_targets() const noexcept {
+  const auto& members = host_.group().members;
+  return members.empty() ? host_.deployment() : members;
+}
+
+void EwoEngine::mirror_enqueue(const EwoSpaceState& st, std::uint64_t key) {
+  mirror_buffer_.emplace_back(&st, key);
+  if (mirror_buffer_.size() >= st.config().mirror_batch) flush_mirror_buffer();
+}
+
+void EwoEngine::flush_mirror_buffer() {
+  if (mirror_buffer_.empty()) return;
+  pkt::EwoUpdate update;
+  update.origin = host_.self();
+  update.periodic = false;
+  for (const auto& [st, key] : mirror_buffer_) {
+    st->collect_own_entries(key, update.entries);
+  }
+  mirror_buffer_.clear();
+  std::uint64_t copies = 0;
+  for (SwitchId dst : replication_targets()) {
+    if (dst == host_.self()) continue;
+    stats_.bytes += host_.send(dst, update);
+    ++copies;
+  }
+  stats_.updates_sent += copies;
+}
+
+void EwoEngine::periodic_sync() {
+  if (spaces_.empty()) return;
+  ++stats_.sync_rounds;
+  std::vector<pkt::EwoEntry> all;
+  for (const auto& [id, sp] : spaces_) sp->collect_sync_entries(all);
+  if (all.empty()) return;
+
+  std::vector<SwitchId> targets;
+  for (SwitchId m : replication_targets()) {
+    if (m != host_.self()) targets.push_back(m);
+  }
+  if (targets.empty()) return;
+
+  const std::size_t chunk = host_.config().sync_chunk_entries;
+  for (std::size_t off = 0; off < all.size(); off += chunk) {
+    pkt::EwoUpdate update;
+    update.origin = host_.self();
+    update.periodic = true;
+    const std::size_t end = std::min(off + chunk, all.size());
+    update.entries.assign(all.begin() + static_cast<std::ptrdiff_t>(off),
+                          all.begin() + static_cast<std::ptrdiff_t>(end));
+    if (host_.config().sync_fanout == SyncFanout::kRandomOne) {
+      const SwitchId dst = targets[rng_.next_below(targets.size())];
+      stats_.bytes += host_.send(dst, update);
+      stats_.sync_entries_sent += update.entries.size();
+      ++stats_.updates_sent;
+    } else {
+      for (SwitchId dst : targets) {
+        stats_.bytes += host_.send(dst, update);
+        stats_.sync_entries_sent += update.entries.size();
+        ++stats_.updates_sent;
+      }
+    }
+  }
+}
+
+const EwoSpaceState* EwoEngine::space_state(std::uint32_t id) const {
+  auto it = spaces_.find(id);
+  return it == spaces_.end() ? nullptr : it->second.get();
+}
+
+std::vector<ProtocolEngine::StatRow> EwoEngine::stat_rows() const {
+  return {
+      {"reads", stats_.reads},
+      {"local_writes", stats_.local_writes},
+      {"updates_sent", stats_.updates_sent},
+      {"updates_received", stats_.updates_received},
+      {"entries_merged", stats_.entries_merged},
+      {"sync_rounds", stats_.sync_rounds},
+      {"sync_entries_sent", stats_.sync_entries_sent},
+      {"bytes", stats_.bytes},
+  };
+}
+
+}  // namespace swish::shm

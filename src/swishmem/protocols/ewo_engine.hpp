@@ -1,0 +1,82 @@
+// Eventual Write Optimized (§6.2): writes apply locally in the data plane and
+// are replicated asynchronously — an immediate (optionally batched) mirror to
+// the replica group plus a periodic full-state sync that also repairs after
+// failures (§6.3). Merge policy per space: LWW, G-/PN-counter, or G-set.
+#pragma once
+
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "pisa/switch.hpp"
+#include "swishmem/protocols/engine.hpp"
+#include "swishmem/spaces.hpp"
+
+namespace swish::shm {
+
+class EwoEngine final : public ProtocolEngine {
+ public:
+  struct Stats {
+    std::uint64_t reads = 0;
+    std::uint64_t local_writes = 0;
+    std::uint64_t updates_sent = 0;
+    std::uint64_t updates_received = 0;
+    std::uint64_t entries_merged = 0;  ///< entries that changed local state
+    std::uint64_t sync_rounds = 0;
+    std::uint64_t sync_entries_sent = 0;
+    std::uint64_t bytes = 0;  ///< EwoUpdate (mirror + sync)
+  };
+
+  explicit EwoEngine(EngineHost& host);
+
+  [[nodiscard]] ConsistencyClass cls() const noexcept override {
+    return ConsistencyClass::kEWO;
+  }
+  [[nodiscard]] const char* name() const noexcept override { return "ewo"; }
+
+  void add_space(const SpaceConfig& config, const std::vector<SwitchId>& replicas) override;
+  [[nodiscard]] bool hosts_space(std::uint32_t space) const noexcept override;
+  void start() override;
+  void reset() override;
+
+  ReadStatus read(pisa::PacketContext* ctx, std::uint32_t space, std::uint64_t key,
+                  std::uint64_t& value) override;
+  void write(std::vector<pkt::WriteOp> ops, pkt::Packet output, WriteRelease release) override;
+  bool update(std::uint32_t space, std::uint64_t key, std::int64_t delta,
+              UpdateDone done) override;
+
+  [[nodiscard]] std::vector<pkt::MsgType> message_types() const override;
+  bool handle_message(const pkt::SwishMessage& msg) override;
+
+  [[nodiscard]] std::uint64_t protocol_bytes() const noexcept override { return stats_.bytes; }
+  [[nodiscard]] std::vector<StatRow> stat_rows() const override;
+
+  // -- Synchronous local API (the §5 register calls; used by the runtime's
+  // -- legacy ewo_* wrappers and by NFs via those) -------------------------------
+  std::uint64_t local_read(std::uint32_t space, std::uint64_t key);
+  void local_write(std::uint32_t space, std::uint64_t key, std::uint64_t value);
+  std::uint64_t add(std::uint32_t space, std::uint64_t key, std::int64_t delta);
+  std::uint64_t set_add(std::uint32_t space, std::uint64_t key, std::uint64_t bits);
+
+  [[nodiscard]] const EwoSpaceState* space_state(std::uint32_t id) const;
+  [[nodiscard]] const Stats& ewo_stats() const noexcept { return stats_; }
+
+ private:
+  void mirror_enqueue(const EwoSpaceState& st, std::uint64_t key);
+  void flush_mirror_buffer();
+  void periodic_sync();
+  [[nodiscard]] const std::vector<SwitchId>& replication_targets() const noexcept;
+
+  std::unordered_map<std::uint32_t, std::unique_ptr<EwoSpaceState>> spaces_;
+
+  // Mirror batch buffer: (space state, key) pairs awaiting flush. Spaces are
+  // add-only and unique_ptr-owned, so the pointers stay valid and the flush
+  // avoids a map lookup per buffered entry.
+  std::vector<std::pair<const EwoSpaceState*, std::uint64_t>> mirror_buffer_;
+
+  TimeNs last_lww_timestamp_ = 0;  ///< per-switch monotone LWW clock (§6.2)
+
+  Rng rng_;  ///< kRandomOne sync target selection
+  Stats stats_;
+};
+
+}  // namespace swish::shm

@@ -1,0 +1,119 @@
+#include "swishmem/protocols/own_space.hpp"
+
+#include <stdexcept>
+
+namespace swish::shm {
+
+std::uint64_t own_mix64(std::uint64_t h) noexcept {
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+OwnSpaceState::OwnSpaceState(pisa::Switch& sw, const SpaceConfig& config) : cfg_(config) {
+  if (cfg_.cls != ConsistencyClass::kOWN) {
+    throw std::invalid_argument("OwnSpaceState: non-OWN space");
+  }
+  values_ = &sw.add_register_array(cfg_.name + ".values", cfg_.size, cfg_.value_bits);
+  versions_ = &sw.add_register_array(cfg_.name + ".versions", cfg_.size, 64);
+  owned_ = &sw.add_register_array(cfg_.name + ".owned", cfg_.size, 1);
+  dir_ = &sw.add_register_array(cfg_.name + ".dir", cfg_.size, 32);
+}
+
+std::size_t OwnSpaceState::slot(std::uint64_t key) const noexcept {
+  return key < cfg_.size ? static_cast<std::size_t>(key)
+                         : static_cast<std::size_t>(own_mix64(key) % cfg_.size);
+}
+
+std::uint64_t OwnSpaceState::value(std::uint64_t key) const {
+  return values_->read(static_cast<RegisterIndex>(slot(key)));
+}
+
+std::uint64_t OwnSpaceState::version(std::uint64_t key) const {
+  return versions_->read(static_cast<RegisterIndex>(slot(key)));
+}
+
+void OwnSpaceState::store(std::uint64_t key, std::uint64_t value, std::uint64_t version) {
+  const auto i = static_cast<RegisterIndex>(slot(key));
+  values_->write(i, value);
+  versions_->write(i, version);
+}
+
+void OwnSpaceState::owner_write(std::uint64_t key, std::uint64_t value) {
+  const auto i = static_cast<RegisterIndex>(slot(key));
+  values_->write(i, value);
+  versions_->write(i, versions_->read(i) + 1);
+  dirty_.insert(slot(key));
+}
+
+bool OwnSpaceState::owned(std::uint64_t key) const {
+  return owned_->read(static_cast<RegisterIndex>(slot(key))) != 0;
+}
+
+void OwnSpaceState::set_owned(std::uint64_t key, bool owned) {
+  owned_->write(static_cast<RegisterIndex>(slot(key)), owned ? 1 : 0);
+}
+
+SwitchId OwnSpaceState::dir_owner(std::uint64_t key) const {
+  const std::uint64_t raw = dir_->read(static_cast<RegisterIndex>(slot(key)));
+  return raw == 0 ? kInvalidNode : static_cast<SwitchId>(raw - 1);
+}
+
+void OwnSpaceState::set_dir_owner(std::uint64_t key, SwitchId owner) {
+  dir_->write(static_cast<RegisterIndex>(slot(key)), static_cast<std::uint64_t>(owner) + 1);
+}
+
+void OwnSpaceState::clear_dir_owner(std::uint64_t key) {
+  dir_->write(static_cast<RegisterIndex>(slot(key)), 0);
+}
+
+std::vector<std::uint64_t> OwnSpaceState::dir_slots_owned_outside(
+    const std::vector<SwitchId>& live) const {
+  std::vector<std::uint64_t> out;
+  for (std::size_t s = 0; s < cfg_.size; ++s) {
+    const std::uint64_t raw = dir_->read(static_cast<RegisterIndex>(s));
+    if (raw == 0) continue;
+    const auto owner = static_cast<SwitchId>(raw - 1);
+    bool alive = false;
+    for (SwitchId m : live) {
+      if (m == owner) {
+        alive = true;
+        break;
+      }
+    }
+    if (!alive) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> OwnSpaceState::take_dirty() {
+  std::vector<std::uint64_t> out(dirty_.begin(), dirty_.end());
+  dirty_.clear();
+  return out;
+}
+
+std::vector<std::uint64_t> OwnSpaceState::live_slots() const {
+  std::vector<std::uint64_t> out;
+  for (std::size_t s = 0; s < cfg_.size; ++s) {
+    if (versions_->read(static_cast<RegisterIndex>(s)) != 0) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> OwnSpaceState::owned_slots() const {
+  std::vector<std::uint64_t> out;
+  for (std::size_t s = 0; s < cfg_.size; ++s) {
+    if (owned_->read(static_cast<RegisterIndex>(s)) != 0) out.push_back(s);
+  }
+  return out;
+}
+
+void OwnSpaceState::reset() {
+  values_->fill(0);
+  versions_->fill(0);
+  owned_->fill(0);
+  dir_->fill(0);
+  dirty_.clear();
+}
+
+}  // namespace swish::shm

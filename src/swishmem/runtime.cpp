@@ -2,9 +2,11 @@
 
 #include <algorithm>
 
-#include "common/log.hpp"
 #include "net/topology.hpp"
-#include "swishmem/version.hpp"
+#include "swishmem/protocols/chain_engine.hpp"
+#include "swishmem/protocols/ewo_engine.hpp"
+#include "swishmem/protocols/own_space.hpp"
+#include "swishmem/protocols/owner_engine.hpp"
 
 namespace swish::shm {
 namespace {
@@ -21,82 +23,113 @@ constexpr std::size_t kRecoveryChunkOps = 32;
 ShmRuntime::ShmRuntime(pisa::Switch& sw, RuntimeConfig config, NodeId controller)
     : sw_(sw), config_(config), controller_(controller), rng_(0x5115 ^ (sw.id() * 0x9e3779b9ULL)) {}
 
+// ---------------------------------------------------------------------------
+// Engines
+// ---------------------------------------------------------------------------
+
+ProtocolEngine* ShmRuntime::find_engine(ConsistencyClass cls) const noexcept {
+  for (const auto& e : engines_) {
+    if (e->cls() == cls) return e.get();
+  }
+  return nullptr;
+}
+
+ProtocolEngine& ShmRuntime::engine_for_class(ConsistencyClass cls) {
+  if (ProtocolEngine* existing = find_engine(cls)) return *existing;
+  engines_.push_back(make_engine(cls, *this));
+  ProtocolEngine& engine = *engines_.back();
+  for (pkt::MsgType type : engine.message_types()) {
+    registry_[static_cast<std::size_t>(type)].push_back(&engine);
+  }
+  if (started_) engine.start();  // engines created by migration join the tick loop
+  return engine;
+}
+
+ProtocolEngine* ShmRuntime::engine_for_space(std::uint32_t space) const noexcept {
+  auto it = space_engines_.find(space);
+  return it == space_engines_.end() ? nullptr : it->second;
+}
+
 void ShmRuntime::add_space(const SpaceConfig& config, const std::vector<SwitchId>& replicas) {
-  space_configs_.push_back(config);
   if (config.cls == ConsistencyClass::kEWO) {
     // EWO spaces span the full deployment (partitioning targets the rarely
     // shared, strongly-consistent state, §9).
     deployment_ = replicas;
-    ewo_spaces_.emplace(config.id,
-                        std::make_unique<EwoSpaceState>(sw_, config, replicas, sw_.id()));
-  } else {
-    if (deployment_.empty()) deployment_ = replicas;
-    sro_spaces_.emplace(config.id, std::make_unique<SroSpaceState>(sw_, config));
-    remote_spaces_.erase(config.id);  // migration: this switch became a member
+  } else if (deployment_.empty()) {
+    deployment_ = replicas;
   }
+  ProtocolEngine& engine = engine_for_class(config.cls);
+  engine.add_space(config, replicas);
+  space_engines_[config.id] = &engine;
 }
 
 void ShmRuntime::add_remote_space(const SpaceConfig& config) {
-  if (config.cls == ConsistencyClass::kEWO) {
-    throw std::invalid_argument("add_remote_space: EWO spaces cannot be remote");
-  }
-  remote_spaces_.emplace(config.id, config);
+  ProtocolEngine& engine = engine_for_class(config.cls);
+  engine.add_remote_space(config);  // throws for classes without a remote path
+  space_engines_[config.id] = &engine;
 }
 
 bool ShmRuntime::hosts_space(std::uint32_t space) const noexcept {
-  return sro_spaces_.contains(space) || ewo_spaces_.contains(space);
+  for (const auto& e : engines_) {
+    if (e->hosts_space(space)) return true;
+  }
+  return false;
 }
 
 void ShmRuntime::start() {
   if (controller_ != kInvalidNode) {
     background_.push_back(sw_.start_packet_generator(config_.heartbeat_period, [this]() {
-      send_msg(controller_,
-               pkt::Heartbeat{sw_.id(), static_cast<std::uint64_t>(sw_.simulator().now())});
+      control_bytes_ += send(
+          controller_, pkt::Heartbeat{sw_.id(), static_cast<std::uint64_t>(sw_.simulator().now())});
     }));
   }
-  if (!ewo_spaces_.empty()) {
-    background_.push_back(
-        sw_.start_packet_generator(config_.sync_period, [this]() { periodic_sync(); }));
-    background_.push_back(sw_.start_packet_generator(config_.mirror_flush_interval,
-                                                     [this]() { flush_mirror_buffer(); }));
-  }
+  for (const auto& e : engines_) e->start();
+  started_ = true;
 }
+
+// ---------------------------------------------------------------------------
+// Configuration from the controller
+// ---------------------------------------------------------------------------
 
 void ShmRuntime::set_chain(const pkt::ChainConfig& config) {
   if (config.epoch <= chain_.epoch && !chain_.chain.empty()) return;  // stale push
   chain_ = config;
-  // A completed recovery shows up as the stream target joining the chain; the
-  // donor can then retire the stream.
-  if (recovery_ &&
-      std::find(chain_.chain.begin(), chain_.chain.end(), recovery_->target) !=
-          chain_.chain.end()) {
-    recovery_->timer.cancel();
-    recovery_.reset();
-    recovery_tap_ = false;
-  }
+  retire_recovery_if_joined(chain_.chain);
+  notify_config_update();
 }
 
 void ShmRuntime::set_space_chain(std::uint32_t space, const pkt::ChainConfig& config) {
   auto& current = space_chains_[space];
   if (config.epoch <= current.epoch && !current.chain.empty()) return;
   current = config;
+  retire_recovery_if_joined(config.chain);
+  notify_config_update();
+}
+
+void ShmRuntime::set_group(const pkt::GroupConfig& config) {
+  if (config.epoch <= group_.epoch && !group_.members.empty()) return;
+  group_ = config;
+  notify_config_update();
+}
+
+void ShmRuntime::retire_recovery_if_joined(const std::vector<SwitchId>& chain) {
+  // A completed recovery shows up as the stream target joining the chain; the
+  // donor can then retire the stream.
   if (recovery_ &&
-      std::find(config.chain.begin(), config.chain.end(), recovery_->target) !=
-          config.chain.end()) {
+      std::find(chain.begin(), chain.end(), recovery_->target) != chain.end()) {
     recovery_->timer.cancel();
     recovery_.reset();
     recovery_tap_ = false;
   }
 }
 
+void ShmRuntime::notify_config_update() {
+  for (const auto& e : engines_) e->on_config_update();
+}
+
 const pkt::ChainConfig& ShmRuntime::chain_for(std::uint32_t space) const noexcept {
   auto it = space_chains_.find(space);
   return it == space_chains_.end() ? chain_ : it->second;
-}
-
-void ShmRuntime::set_group(const pkt::GroupConfig& config) {
-  if (config.epoch <= group_.epoch && !group_.members.empty()) return;
-  group_ = config;
 }
 
 bool ShmRuntime::chain_contains(const pkt::ChainConfig& chain, SwitchId sw) noexcept {
@@ -113,24 +146,8 @@ bool ShmRuntime::is_tail() const noexcept {
   return !chain_.chain.empty() && chain_.chain.back() == sw_.id();
 }
 
-SwitchId ShmRuntime::chain_successor(const pkt::ChainConfig& chain) const noexcept {
-  auto it = std::find(chain.chain.begin(), chain.chain.end(), sw_.id());
-  if (it == chain.chain.end() || it + 1 == chain.chain.end()) return kInvalidNode;
-  return *(it + 1);
-}
-
-const SroSpaceState* ShmRuntime::sro_space(std::uint32_t id) const {
-  auto it = sro_spaces_.find(id);
-  return it == sro_spaces_.end() ? nullptr : it->second.get();
-}
-
-const EwoSpaceState* ShmRuntime::ewo_space(std::uint32_t id) const {
-  auto it = ewo_spaces_.find(id);
-  return it == ewo_spaces_.end() ? nullptr : it->second.get();
-}
-
 // ---------------------------------------------------------------------------
-// Transport
+// Transport (EngineHost)
 // ---------------------------------------------------------------------------
 
 pkt::Packet ShmRuntime::wrap(SwitchId dst, const pkt::SwishMessage& msg) const {
@@ -146,26 +163,21 @@ pkt::Packet ShmRuntime::wrap(SwitchId dst, const pkt::SwishMessage& msg) const {
   return pkt::build_packet(spec);
 }
 
-void ShmRuntime::send_msg(SwitchId dst, const pkt::SwishMessage& msg) {
+std::size_t ShmRuntime::send(SwitchId dst, const pkt::SwishMessage& msg) {
   pkt::Packet packet = wrap(dst, msg);
   const std::size_t n = packet.size();
-  if (std::holds_alternative<pkt::WriteRequest>(msg) ||
-      std::holds_alternative<pkt::WriteAck>(msg)) {
-    stats_.bytes_write_path += n;
-  } else if (std::holds_alternative<pkt::EwoUpdate>(msg)) {
-    stats_.bytes_ewo += n;
-  } else if (std::holds_alternative<pkt::ReadRedirect>(msg)) {
-    stats_.bytes_redirect += n;
-  }
+  total_bytes_ += n;
   sw_.send_to_node(dst, std::move(packet), rng_.next());
+  return n;
 }
 
-void ShmRuntime::multicast_msg(const std::vector<SwitchId>& dsts, const pkt::SwishMessage& msg) {
-  for (SwitchId dst : dsts) {
-    if (dst == sw_.id()) continue;
-    send_msg(dst, msg);
-  }
+void ShmRuntime::every(TimeNs period, std::function<void()> tick) {
+  background_.push_back(sw_.start_packet_generator(period, std::move(tick)));
 }
+
+// ---------------------------------------------------------------------------
+// Protocol ingress
+// ---------------------------------------------------------------------------
 
 bool ShmRuntime::handle_protocol_packet(pisa::PacketContext& ctx) {
   if (!ctx.parsed || !ctx.parsed->udp || ctx.parsed->udp->dst_port != pkt::kSwishPort) {
@@ -173,316 +185,135 @@ bool ShmRuntime::handle_protocol_packet(pisa::PacketContext& ctx) {
   }
   auto msg = pkt::decode_message(ctx.packet.l4_payload(*ctx.parsed));
   if (!msg) return true;  // malformed protocol packet: drop
-  std::visit(
-      [this](auto&& m) {
-        using T = std::decay_t<decltype(m)>;
-        if constexpr (std::is_same_v<T, pkt::WriteRequest>) {
-          on_write_request(std::move(m));
-        } else if constexpr (std::is_same_v<T, pkt::WriteAck>) {
-          on_write_ack(m);
-        } else if constexpr (std::is_same_v<T, pkt::EwoUpdate>) {
-          on_ewo_update(m);
-        } else if constexpr (std::is_same_v<T, pkt::ReadRedirect>) {
-          on_read_redirect(m);
-        } else if constexpr (std::is_same_v<T, pkt::ChainConfig>) {
-          set_chain(m);
-        } else if constexpr (std::is_same_v<T, pkt::GroupConfig>) {
-          set_group(m);
-        } else {
-          // Heartbeats are consumed by the controller node, not by switches.
-        }
-      },
-      std::move(*msg));
+
+  // Cross-engine machinery handled at the runtime level: the recovery-stream
+  // transport (which reuses the WriteRequest/WriteAck frames under
+  // kRecoveryEpoch), configuration pushes, and redirected reads.
+  if (const auto* wr = std::get_if<pkt::WriteRequest>(&*msg)) {
+    if (wr->snapshot_replay || wr->epoch == kRecoveryEpoch) {
+      on_recovery_chunk(*wr);
+      return true;
+    }
+  } else if (const auto* ack = std::get_if<pkt::WriteAck>(&*msg)) {
+    if (ack->epoch == kRecoveryEpoch) {
+      on_recovery_ack(ack->write_id);
+      return true;
+    }
+  } else if (const auto* cc = std::get_if<pkt::ChainConfig>(&*msg)) {
+    set_chain(*cc);
+    return true;
+  } else if (const auto* gc = std::get_if<pkt::GroupConfig>(&*msg)) {
+    set_group(*gc);
+    return true;
+  } else if (const auto* rr = std::get_if<pkt::ReadRedirect>(&*msg)) {
+    on_read_redirect(*rr);
+    return true;
+  } else if (std::holds_alternative<pkt::Heartbeat>(*msg)) {
+    return true;  // heartbeats are consumed by the controller node, not switches
+  }
+
+  // Everything else goes through the message-type registry. Multiple engines
+  // may share a type (SRO and ERO both speak the chain protocol); the first
+  // engine that claims the message — by the space it names — consumes it.
+  for (ProtocolEngine* engine : registry_[msg->index() + 1]) {
+    if (engine->handle_message(*msg)) break;
+  }
   return true;
 }
 
 // ---------------------------------------------------------------------------
-// SRO/ERO: writer side (§6.1)
+// NF-facing register API (§5)
 // ---------------------------------------------------------------------------
 
-void ShmRuntime::sro_write(std::vector<pkt::WriteOp> ops, pkt::Packet output,
-                           std::function<void(pkt::Packet&&)> release) {
-  ++stats_.writes_submitted;
-  if (pending_writes_.size() >= config_.cp_buffer_limit) {
-    ++stats_.writes_rejected;
-    return;
-  }
-  const std::uint64_t id = (static_cast<std::uint64_t>(sw_.id()) << 40) | ++next_write_id_;
-  PendingWrite pw;
-  pw.ops = std::move(ops);
-  pw.output = std::move(output);
-  pw.release = std::move(release);
-  pw.submit_time = sw_.simulator().now();
-  pending_writes_.emplace(id, std::move(pw));
-  // The control plane buffers P' and issues the write request (§6.1).
-  const bool accepted = sw_.control_plane().submit([this, id]() {
-    send_write_request(id);
-    arm_retry(id);
-  });
-  if (!accepted) {
-    pending_writes_.erase(id);
-    ++stats_.writes_rejected;
-  }
+ReadStatus ShmRuntime::read(pisa::PacketContext* ctx, std::uint32_t space, std::uint64_t key,
+                            std::uint64_t& value) {
+  ProtocolEngine* engine = engine_for_space(space);
+  if (engine == nullptr) return ReadStatus::kMiss;
+  return engine->read(ctx, space, key, value);
 }
 
-void ShmRuntime::send_write_request(std::uint64_t write_id) {
-  auto it = pending_writes_.find(write_id);
-  if (it == pending_writes_.end()) return;
-  if (it->second.ops.empty()) return;
-  const pkt::ChainConfig& chain = chain_for(it->second.ops.front().space);
-  if (chain.chain.empty()) return;  // no chain configured yet; retry later
-  pkt::WriteRequest req;
-  req.epoch = chain.epoch;
-  req.writer = sw_.id();
-  req.write_id = write_id;
-  req.ops = it->second.ops;
-  send_msg(chain.chain.front(), req);
+void ShmRuntime::write(std::vector<pkt::WriteOp> ops, pkt::Packet output,
+                       std::function<void(pkt::Packet&&)> release) {
+  ProtocolEngine* engine = ops.empty() ? nullptr : engine_for_space(ops.front().space);
+  // Legacy behaviour: a chain write naming an undeclared space is still
+  // submitted (and times out against an empty chain) rather than dropped.
+  if (engine == nullptr) engine = &engine_for_class(ConsistencyClass::kSRO);
+  engine->write(std::move(ops), std::move(output), std::move(release));
 }
 
-void ShmRuntime::arm_retry(std::uint64_t write_id) {
-  auto it = pending_writes_.find(write_id);
-  if (it == pending_writes_.end()) return;
-  it->second.retry_timer =
-      sw_.control_plane().schedule_after(config_.write_retry_timeout, [this, write_id]() {
-        auto pit = pending_writes_.find(write_id);
-        if (pit == pending_writes_.end()) return;  // already committed
-        if (++pit->second.retries > config_.max_write_retries) {
-          ++stats_.writes_failed;
-          pending_writes_.erase(pit);
-          return;
-        }
-        ++stats_.write_retries;
-        send_write_request(write_id);
-        arm_retry(write_id);
-      });
+bool ShmRuntime::update(std::uint32_t space, std::uint64_t key, std::int64_t delta,
+                        UpdateDone done) {
+  ProtocolEngine* engine = engine_for_space(space);
+  return engine != nullptr && engine->update(space, key, delta, std::move(done));
 }
-
-// ---------------------------------------------------------------------------
-// SRO/ERO: chain side (§6.1)
-// ---------------------------------------------------------------------------
-
-bool ShmRuntime::ops_table_backed(const std::vector<pkt::WriteOp>& ops) const {
-  for (const auto& op : ops) {
-    auto it = sro_spaces_.find(op.space);
-    if (it != sro_spaces_.end() && it->second->config().table_backed) return true;
-  }
-  return false;
-}
-
-void ShmRuntime::on_write_request(pkt::WriteRequest msg) {
-  ++stats_.chain_requests_seen;
-  if (msg.snapshot_replay) {
-    on_recovery_chunk(msg);
-    return;
-  }
-  if (msg.ops.empty()) return;
-  const pkt::ChainConfig& chain = chain_for(msg.ops.front().space);
-  if (msg.epoch != chain.epoch) {
-    ++stats_.chain_stale_epoch;
-    return;  // writer will retry with the current epoch
-  }
-  if (!chain_contains(chain, sw_.id())) return;
-  if (msg.seqs.empty()) {
-    if (chain.chain.front() != sw_.id()) return;  // misrouted; dropped, retried
-    head_process(std::move(msg));
-  } else {
-    relay_process(std::move(msg));
-  }
-}
-
-void ShmRuntime::head_process(pkt::WriteRequest msg) {
-  auto work = [this, msg = std::move(msg)]() mutable {
-    auto dedup = head_assigned_.find(msg.write_id);
-    if (dedup != head_assigned_.end()) {
-      // Retransmitted write already sequenced: re-forward with the same seqs
-      // so the chain stays idempotent.
-      msg.seqs = dedup->second;
-    } else {
-      msg.seqs.resize(msg.ops.size());
-      for (std::size_t i = 0; i < msg.ops.size(); ++i) {
-        const auto& op = msg.ops[i];
-        auto it = sro_spaces_.find(op.space);
-        if (it == sro_spaces_.end()) continue;
-        SroSpaceState& sp = *it->second;
-        const std::size_t slot = sp.slot(op.key);
-        const SeqNum seq = sp.guard_seq(slot) + 1;
-        sp.apply(op.key, op.value, sw_.control_plane().token());
-        sp.set_guard_seq(slot, seq);
-        sp.set_pending(slot);
-        msg.seqs[i] = seq;
-      }
-      // Bounded dedup memory: entries are erased on ack; a blunt clear guards
-      // against pathological loss keeping the map growing.
-      if (head_assigned_.size() > 65536) head_assigned_.clear();
-      head_assigned_.emplace(msg.write_id, msg.seqs);
-    }
-    const pkt::ChainConfig& chain = chain_for(msg.ops.front().space);
-    if (chain.chain.back() == sw_.id()) {
-      tail_commit(msg);
-    } else {
-      send_msg(chain_successor(chain), msg);
-    }
-  };
-  // Table-backed state is updated through each hop's control plane (§6.1);
-  // register-backed updates run entirely in the data plane.
-  if (ops_table_backed(msg.ops)) {
-    sw_.control_plane().submit(std::move(work));
-  } else {
-    work();
-  }
-}
-
-void ShmRuntime::relay_process(pkt::WriteRequest msg) {
-  auto work = [this, msg = std::move(msg)]() mutable {
-    // Per-slot in-order check: a gap means an earlier write was lost; drop the
-    // whole request and let the writer's retransmit repair the chain.
-    for (std::size_t i = 0; i < msg.ops.size(); ++i) {
-      auto it = sro_spaces_.find(msg.ops[i].space);
-      if (it == sro_spaces_.end()) continue;
-      const SroSpaceState& sp = *it->second;
-      if (msg.seqs[i] > sp.guard_seq(sp.slot(msg.ops[i].key)) + 1) {
-        ++stats_.chain_gap_drops;
-        return;
-      }
-    }
-    for (std::size_t i = 0; i < msg.ops.size(); ++i) {
-      auto it = sro_spaces_.find(msg.ops[i].space);
-      if (it == sro_spaces_.end()) continue;
-      SroSpaceState& sp = *it->second;
-      const std::size_t slot = sp.slot(msg.ops[i].key);
-      if (msg.seqs[i] == sp.guard_seq(slot) + 1) {
-        sp.apply(msg.ops[i].key, msg.ops[i].value, sw_.control_plane().token());
-        sp.set_guard_seq(slot, msg.seqs[i]);
-        sp.set_pending(slot);
-      }
-      // seqs[i] <= guard: duplicate of an already-applied write; still forward
-      // so downstream switches that missed it catch up.
-    }
-    const pkt::ChainConfig& chain = chain_for(msg.ops.front().space);
-    if (chain.chain.back() == sw_.id()) {
-      tail_commit(msg);
-    } else {
-      send_msg(chain_successor(chain), msg);
-    }
-  };
-  if (ops_table_backed(msg.ops)) {
-    sw_.control_plane().submit(std::move(work));
-  } else {
-    work();
-  }
-}
-
-void ShmRuntime::tail_commit(const pkt::WriteRequest& msg) {
-  // The tail's copy is authoritative; it never redirects, so its pending bits
-  // can clear immediately.
-  for (std::size_t i = 0; i < msg.ops.size(); ++i) {
-    auto it = sro_spaces_.find(msg.ops[i].space);
-    if (it == sro_spaces_.end()) continue;
-    SroSpaceState& sp = *it->second;
-    sp.clear_pending_up_to(sp.slot(msg.ops[i].key), msg.seqs[i]);
-  }
-  pkt::WriteAck ack{msg.epoch, msg.writer, msg.write_id, msg.ops, msg.seqs};
-  send_msg(msg.writer, ack);
-  const pkt::ChainConfig& chain = chain_for(msg.ops.empty() ? 0 : msg.ops.front().space);
-  for (SwitchId member : chain.chain) {
-    if (member == sw_.id() || member == msg.writer) continue;
-    send_msg(member, ack);
-  }
-  // While a recovery stream is active, every commit is also fed to the
-  // recovering switch, in order, behind the snapshot (§6.3).
-  if (recovery_ && recovery_tap_ &&
-      (!recovery_->space_filter ||
-       (!msg.ops.empty() && msg.ops.front().space == *recovery_->space_filter))) {
-    pkt::WriteRequest chunk;
-    chunk.epoch = kRecoveryEpoch;
-    chunk.writer = sw_.id();
-    chunk.snapshot_replay = true;
-    chunk.write_id = recovery_->next_stream_seq++;
-    chunk.ops = msg.ops;
-    chunk.seqs = msg.seqs;
-    recovery_->queue.push_back(std::move(chunk));
-    recovery_send_next();
-  }
-}
-
-void ShmRuntime::on_write_ack(const pkt::WriteAck& msg) {
-  if (msg.epoch == kRecoveryEpoch) {
-    on_recovery_ack(msg.write_id);
-    return;
-  }
-  // Writer side: release the buffered output packet (via the CP, which
-  // injects it back into the data plane, §7).
-  if (msg.writer == sw_.id()) {
-    auto it = pending_writes_.find(msg.write_id);
-    if (it != pending_writes_.end()) {
-      it->second.retry_timer.cancel();
-      ++stats_.writes_committed;
-      stats_.write_latency.add(
-          static_cast<std::uint64_t>(sw_.simulator().now() - it->second.submit_time));
-      auto release = std::move(it->second.release);
-      auto output = std::move(it->second.output);
-      pending_writes_.erase(it);
-      if (release) {
-        sw_.control_plane().submit(
-            [release = std::move(release), output = std::move(output)]() mutable {
-              release(std::move(output));
-            });
-      }
-    }
-  }
-  // Ack processing in the data plane (§3.3): clear pending bits.
-  for (std::size_t i = 0; i < msg.ops.size() && i < msg.seqs.size(); ++i) {
-    auto it = sro_spaces_.find(msg.ops[i].space);
-    if (it == sro_spaces_.end()) continue;
-    SroSpaceState& sp = *it->second;
-    sp.clear_pending_up_to(sp.slot(msg.ops[i].key), msg.seqs[i]);
-  }
-  head_assigned_.erase(msg.write_id);
-}
-
-// ---------------------------------------------------------------------------
-// SRO/ERO: reads (§6.1)
-// ---------------------------------------------------------------------------
 
 ReadStatus ShmRuntime::sro_read(pisa::PacketContext& ctx, std::uint32_t space, std::uint64_t key,
                                 std::uint64_t& value) {
-  const pkt::ChainConfig& chain = chain_for(space);
-  auto it = sro_spaces_.find(space);
-  if (it == sro_spaces_.end()) {
-    // Not a replica of this space (§9 partitioning): serve from the tail.
-    auto rit = remote_spaces_.find(space);
-    if (rit == remote_spaces_.end() || chain.chain.empty()) return ReadStatus::kMiss;
-    ++stats_.reads_redirected;
-    send_msg(chain.chain.back(), pkt::ReadRedirect{sw_.id(), ctx.packet.bytes()});
-    return ReadStatus::kRedirected;
-  }
-  const SroSpaceState& sp = *it->second;
+  return read(&ctx, space, key, value);
+}
 
-  const bool tail_here = !chain.chain.empty() && chain.chain.back() == sw_.id();
-  bool local_ok = sp.config().cls == ConsistencyClass::kERO  // ERO: always local
-                  || authoritative_                          // already at the tail
-                  || tail_here;                              // tail state is committed
-  if (!local_ok && chain_contains(chain, sw_.id())) {
-    local_ok = !sp.pending(sp.slot(key));  // CRAQ-style local read (§6.1)
+void ShmRuntime::sro_write(std::vector<pkt::WriteOp> ops, pkt::Packet output,
+                           std::function<void(pkt::Packet&&)> release) {
+  write(std::move(ops), std::move(output), std::move(release));
+}
+
+// The legacy ewo_* wrappers dispatch by SPACE, not by class, so an NF keeps
+// working when its space is overridden to another engine (e.g. swish_sim's
+// --space NAME=own): EWO spaces take the fast local path, anything else goes
+// through the uniform read/write/update operations.
+
+namespace {
+
+EwoEngine* as_ewo(ProtocolEngine* engine) noexcept { return dynamic_cast<EwoEngine*>(engine); }
+
+}  // namespace
+
+std::uint64_t ShmRuntime::ewo_read(std::uint32_t space, std::uint64_t key) {
+  ProtocolEngine* engine = engine_for_space(space);
+  if (auto* ewo = as_ewo(engine)) return ewo->local_read(space, key);
+  std::uint64_t value = 0;
+  if (engine != nullptr) engine->read(nullptr, space, key, value);
+  return value;
+}
+
+void ShmRuntime::ewo_write(std::uint32_t space, std::uint64_t key, std::uint64_t value) {
+  ProtocolEngine* engine = engine_for_space(space);
+  if (auto* ewo = as_ewo(engine)) {
+    ewo->local_write(space, key, value);
+  } else if (engine != nullptr) {
+    engine->write({{space, key, value}}, pkt::Packet{}, [](pkt::Packet&&) {});
   }
-  if (!local_ok) {
-    if (chain.chain.empty()) {
-      local_ok = true;  // unreplicated deployment: nothing to redirect to
-    } else {
-      ++stats_.reads_redirected;
-      send_msg(chain.chain.back(), pkt::ReadRedirect{sw_.id(), ctx.packet.bytes()});
-      return ReadStatus::kRedirected;
-    }
+}
+
+std::uint64_t ShmRuntime::ewo_add(std::uint32_t space, std::uint64_t key, std::int64_t delta) {
+  ProtocolEngine* engine = engine_for_space(space);
+  if (auto* ewo = as_ewo(engine)) return ewo->add(space, key, delta);
+  if (engine == nullptr) return 0;
+  // Synchronous when this switch can apply locally (e.g. OWN owner); returns
+  // 0 while the op is deferred behind an ownership migration — the add still
+  // lands once the grant arrives.
+  auto result = std::make_shared<std::uint64_t>(0);
+  engine->update(space, key, delta, [result](std::uint64_t v) { *result = v; });
+  return *result;
+}
+
+std::uint64_t ShmRuntime::ewo_set_add(std::uint32_t space, std::uint64_t key,
+                                      std::uint64_t bits) {
+  ProtocolEngine* engine = engine_for_space(space);
+  if (auto* ewo = as_ewo(engine)) return ewo->set_add(space, key, bits);
+  if (engine == nullptr) return 0;
+  // Best-effort OR through the uniform API for non-CRDT engines.
+  std::uint64_t current = 0;
+  engine->read(nullptr, space, key, current);
+  const std::uint64_t merged = current | bits;
+  if (merged != current) {
+    engine->write({{space, key, merged}}, pkt::Packet{}, [](pkt::Packet&&) {});
   }
-  ++stats_.reads_local;
-  auto v = sp.read(key);
-  if (!v) return ReadStatus::kMiss;
-  value = *v;
-  return ReadStatus::kOk;
+  return merged;
 }
 
 void ShmRuntime::on_read_redirect(const pkt::ReadRedirect& msg) {
-  ++stats_.redirects_processed;
+  ++redirects_processed_;
   if (!nf_reentry_) return;
   pisa::PacketContext ctx{sw_, pkt::Packet(msg.original_packet), nullptr,
                           net::kInvalidPort, /*from_edge=*/true, /*recirc_count=*/1};
@@ -493,120 +324,8 @@ void ShmRuntime::on_read_redirect(const pkt::ReadRedirect& msg) {
 }
 
 // ---------------------------------------------------------------------------
-// EWO (§6.2)
-// ---------------------------------------------------------------------------
-
-std::uint64_t ShmRuntime::ewo_read(std::uint32_t space, std::uint64_t key) {
-  auto it = ewo_spaces_.find(space);
-  if (it == ewo_spaces_.end()) return 0;
-  ++stats_.ewo_reads;
-  return it->second->read(key);
-}
-
-void ShmRuntime::ewo_write(std::uint32_t space, std::uint64_t key, std::uint64_t value) {
-  auto it = ewo_spaces_.find(space);
-  if (it == ewo_spaces_.end()) return;
-  ++stats_.ewo_local_writes;
-  // Lamport-style hybrid timestamp (§6.2 allows either a Lamport clock or a
-  // synchronized real-time clock): strictly monotone per switch, so two
-  // same-instant local writes still produce ordered versions and the later
-  // value is never rejected by remote merges.
-  TimeNs ts = sw_.simulator().now() + config_.clock_offset;
-  if (ts <= last_lww_timestamp_) ts = last_lww_timestamp_ + 1;
-  last_lww_timestamp_ = ts;
-  it->second->write_local(key, value, Version::pack(ts, sw_.id()));
-  if (it->second->config().mirror_writes) mirror_enqueue(*it->second, key);
-}
-
-std::uint64_t ShmRuntime::ewo_add(std::uint32_t space, std::uint64_t key, std::int64_t delta) {
-  auto it = ewo_spaces_.find(space);
-  if (it == ewo_spaces_.end()) return 0;
-  ++stats_.ewo_local_writes;
-  const std::uint64_t result = it->second->add_local(key, delta);
-  if (it->second->config().mirror_writes) mirror_enqueue(*it->second, key);
-  return result;
-}
-
-std::uint64_t ShmRuntime::ewo_set_add(std::uint32_t space, std::uint64_t key,
-                                      std::uint64_t bits) {
-  auto it = ewo_spaces_.find(space);
-  if (it == ewo_spaces_.end()) return 0;
-  ++stats_.ewo_local_writes;
-  const std::uint64_t result = it->second->set_add_local(key, bits);
-  if (it->second->config().mirror_writes) mirror_enqueue(*it->second, key);
-  return result;
-}
-
-void ShmRuntime::mirror_enqueue(const EwoSpaceState& st, std::uint64_t key) {
-  mirror_buffer_.emplace_back(&st, key);
-  if (mirror_buffer_.size() >= st.config().mirror_batch) flush_mirror_buffer();
-}
-
-void ShmRuntime::flush_mirror_buffer() {
-  if (mirror_buffer_.empty()) return;
-  pkt::EwoUpdate update;
-  update.origin = sw_.id();
-  update.periodic = false;
-  for (const auto& [st, key] : mirror_buffer_) {
-    st->collect_own_entries(key, update.entries);
-  }
-  mirror_buffer_.clear();
-  const auto targets = group_.members.empty() ? deployment_ : group_.members;
-  std::uint64_t copies = 0;
-  for (SwitchId dst : targets) {
-    if (dst == sw_.id()) continue;
-    send_msg(dst, update);
-    ++copies;
-  }
-  stats_.ewo_updates_sent += copies;
-}
-
-void ShmRuntime::periodic_sync() {
-  if (ewo_spaces_.empty()) return;
-  ++stats_.sync_rounds;
-  std::vector<pkt::EwoEntry> all;
-  for (const auto& [id, sp] : ewo_spaces_) sp->collect_sync_entries(all);
-  if (all.empty()) return;
-
-  std::vector<SwitchId> targets;
-  for (SwitchId m : (group_.members.empty() ? deployment_ : group_.members)) {
-    if (m != sw_.id()) targets.push_back(m);
-  }
-  if (targets.empty()) return;
-
-  for (std::size_t off = 0; off < all.size(); off += config_.sync_chunk_entries) {
-    pkt::EwoUpdate update;
-    update.origin = sw_.id();
-    update.periodic = true;
-    const std::size_t end = std::min(off + config_.sync_chunk_entries, all.size());
-    update.entries.assign(all.begin() + static_cast<std::ptrdiff_t>(off),
-                          all.begin() + static_cast<std::ptrdiff_t>(end));
-    if (config_.sync_fanout == SyncFanout::kRandomOne) {
-      const SwitchId dst = targets[rng_.next_below(targets.size())];
-      send_msg(dst, update);
-      stats_.sync_entries_sent += update.entries.size();
-      ++stats_.ewo_updates_sent;
-    } else {
-      for (SwitchId dst : targets) {
-        send_msg(dst, update);
-        stats_.sync_entries_sent += update.entries.size();
-        ++stats_.ewo_updates_sent;
-      }
-    }
-  }
-}
-
-void ShmRuntime::on_ewo_update(const pkt::EwoUpdate& msg) {
-  ++stats_.ewo_updates_received;
-  for (const auto& entry : msg.entries) {
-    auto it = ewo_spaces_.find(entry.space);
-    if (it == ewo_spaces_.end()) continue;
-    if (it->second->merge(entry)) ++stats_.ewo_entries_merged;
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Recovery (§6.3)
+// Recovery (§6.3): the runtime is the stream transport; engines contribute
+// snapshots and apply replayed ops.
 // ---------------------------------------------------------------------------
 
 void ShmRuntime::start_recovery_stream(SwitchId target, std::function<void()> done,
@@ -620,6 +339,8 @@ void ShmRuntime::start_recovery_stream(SwitchId target, std::function<void()> do
   // normal data-plane protocol as seq-guarded writes.
   sw_.control_plane().submit([this]() {
     if (!recovery_) return;
+    std::vector<SnapshotOp> snapshot;
+    for (const auto& e : engines_) e->collect_snapshot(recovery_->space_filter, snapshot);
     std::vector<pkt::WriteOp> ops;
     std::vector<SeqNum> seqs;
     auto flush = [&]() {
@@ -635,13 +356,10 @@ void ShmRuntime::start_recovery_stream(SwitchId target, std::function<void()> do
       ops.clear();
       seqs.clear();
     };
-    for (const auto& [id, sp] : sro_spaces_) {
-      if (recovery_->space_filter && id != *recovery_->space_filter) continue;
-      for (const auto& entry : sp->snapshot()) {
-        ops.push_back(entry.op);
-        seqs.push_back(entry.seq);
-        if (ops.size() >= kRecoveryChunkOps) flush();
-      }
+    for (const auto& entry : snapshot) {
+      ops.push_back(entry.op);
+      seqs.push_back(entry.seq);
+      if (ops.size() >= kRecoveryChunkOps) flush();
     }
     flush();
     if (recovery_->queue.empty()) {
@@ -655,14 +373,34 @@ void ShmRuntime::start_recovery_stream(SwitchId target, std::function<void()> do
   });
 }
 
+void ShmRuntime::recovery_tap(const std::vector<pkt::WriteOp>& ops,
+                              const std::vector<SeqNum>& seqs) {
+  // While a recovery stream is active, every commit is also fed to the
+  // recovering switch, in order, behind the snapshot (§6.3).
+  if (!recovery_ || !recovery_tap_) return;
+  if (recovery_->space_filter &&
+      (ops.empty() || ops.front().space != *recovery_->space_filter)) {
+    return;
+  }
+  pkt::WriteRequest chunk;
+  chunk.epoch = kRecoveryEpoch;
+  chunk.writer = sw_.id();
+  chunk.snapshot_replay = true;
+  chunk.write_id = recovery_->next_stream_seq++;
+  chunk.ops = ops;
+  chunk.seqs = seqs;
+  recovery_->queue.push_back(std::move(chunk));
+  recovery_send_next();
+}
+
 void ShmRuntime::recovery_send_next() {
   if (!recovery_ || recovery_->awaiting_ack != 0) return;
   if (recovery_->queue.empty()) return;
   const pkt::WriteRequest& chunk = recovery_->queue.front();
   recovery_->awaiting_ack = chunk.write_id;
   recovery_->retries = 0;
-  ++stats_.recovery_chunks_sent;
-  send_msg(recovery_->target, chunk);
+  ++recovery_chunks_sent_;
+  recovery_bytes_ += send(recovery_->target, chunk);
   arm_recovery_timer(chunk.write_id);
 }
 
@@ -677,8 +415,8 @@ void ShmRuntime::arm_recovery_timer(std::uint64_t expect) {
           recovery_tap_ = false;
           return;
         }
-        ++stats_.recovery_chunks_sent;
-        send_msg(recovery_->target, recovery_->queue.front());
+        ++recovery_chunks_sent_;
+        recovery_bytes_ += send(recovery_->target, recovery_->queue.front());
         arm_recovery_timer(expect);
       });
 }
@@ -703,30 +441,24 @@ void ShmRuntime::on_recovery_ack(std::uint64_t stream_seq) {
 void ShmRuntime::on_recovery_chunk(const pkt::WriteRequest& msg) {
   if (msg.write_id == last_recovery_applied_ + 1) {
     for (std::size_t i = 0; i < msg.ops.size(); ++i) {
-      auto it = sro_spaces_.find(msg.ops[i].space);
-      if (it == sro_spaces_.end()) continue;
-      SroSpaceState& sp = *it->second;
-      const std::size_t slot = sp.slot(msg.ops[i].key);
-      // Stream order replays the donor's apply order, so application is
-      // unconditional; guards advance monotonically.
-      sp.apply(msg.ops[i].key, msg.ops[i].value, sw_.control_plane().token());
-      if (msg.seqs[i] > sp.guard_seq(slot)) sp.set_guard_seq(slot, msg.seqs[i]);
+      // Stream order replays the donor's apply order; each op goes to the
+      // engine serving its space.
+      if (ProtocolEngine* engine = engine_for_space(msg.ops[i].space)) {
+        engine->apply_recovery_op(msg.ops[i], i < msg.seqs.size() ? msg.seqs[i] : 0);
+      }
     }
     last_recovery_applied_ = msg.write_id;
-    ++stats_.recovery_chunks_applied;
+    ++recovery_chunks_applied_;
   } else if (msg.write_id > last_recovery_applied_ + 1) {
     return;  // out-of-order future chunk: drop; stop-and-wait resends in order
   }
   // Duplicate or just-applied chunk: (re-)ack.
-  send_msg(msg.writer, pkt::WriteAck{kRecoveryEpoch, msg.writer, msg.write_id, {}, {}});
+  recovery_bytes_ +=
+      send(msg.writer, pkt::WriteAck{kRecoveryEpoch, msg.writer, msg.write_id, {}, {}});
 }
 
 void ShmRuntime::reset_state() {
-  for (auto& [id, sp] : sro_spaces_) sp->reset(sw_.control_plane().token());
-  for (auto& [id, sp] : ewo_spaces_) sp->reset();
-  pending_writes_.clear();
-  head_assigned_.clear();
-  mirror_buffer_.clear();
+  for (const auto& e : engines_) e->reset();
   last_recovery_applied_ = 0;
   recovery_.reset();
   recovery_tap_ = false;
@@ -734,6 +466,85 @@ void ShmRuntime::reset_state() {
   // next push (any epoch) is accepted.
   chain_ = {};
   group_ = {};
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+std::size_t ShmRuntime::cp_buffered_packets() const noexcept {
+  std::size_t n = 0;
+  for (const auto& e : engines_) {
+    if (const auto* chain = dynamic_cast<const ChainEngine*>(e.get())) {
+      n += chain->cp_buffered_packets();
+    }
+  }
+  return n;
+}
+
+const SroSpaceState* ShmRuntime::sro_space(std::uint32_t id) const {
+  for (const auto& e : engines_) {
+    if (const auto* chain = dynamic_cast<const ChainEngine*>(e.get())) {
+      if (const SroSpaceState* sp = chain->space_state(id)) return sp;
+    }
+  }
+  return nullptr;
+}
+
+const EwoSpaceState* ShmRuntime::ewo_space(std::uint32_t id) const {
+  const auto* engine = dynamic_cast<const EwoEngine*>(find_engine(ConsistencyClass::kEWO));
+  return engine == nullptr ? nullptr : engine->space_state(id);
+}
+
+const OwnSpaceState* ShmRuntime::own_space(std::uint32_t id) const {
+  const auto* engine = dynamic_cast<const OwnerEngine*>(find_engine(ConsistencyClass::kOWN));
+  return engine == nullptr ? nullptr : engine->space_state(id);
+}
+
+ShmRuntime::Stats ShmRuntime::stats() const {
+  Stats s;
+  for (const auto& e : engines_) {
+    if (const auto* chain = dynamic_cast<const ChainEngine*>(e.get())) {
+      const ChainEngine::Stats& c = chain->chain_stats();
+      s.writes_submitted += c.writes_submitted;
+      s.writes_committed += c.writes_committed;
+      s.write_retries += c.write_retries;
+      s.writes_failed += c.writes_failed;
+      s.writes_rejected += c.writes_rejected;
+      s.chain_requests_seen += c.chain_requests_seen;
+      s.chain_gap_drops += c.chain_gap_drops;
+      s.chain_stale_epoch += c.chain_stale_epoch;
+      s.reads_local += c.reads_local;
+      s.reads_redirected += c.reads_redirected;
+      s.bytes_write_path += c.bytes_write;
+      s.bytes_redirect += c.bytes_redirect;
+      s.write_latency.merge(c.write_latency);
+    } else if (const auto* ewo = dynamic_cast<const EwoEngine*>(e.get())) {
+      const EwoEngine::Stats& w = ewo->ewo_stats();
+      s.ewo_reads += w.reads;
+      s.ewo_local_writes += w.local_writes;
+      s.ewo_updates_sent += w.updates_sent;
+      s.ewo_updates_received += w.updates_received;
+      s.ewo_entries_merged += w.entries_merged;
+      s.sync_rounds += w.sync_rounds;
+      s.sync_entries_sent += w.sync_entries_sent;
+      s.bytes_ewo += w.bytes;
+    } else if (const auto* own = dynamic_cast<const OwnerEngine*>(e.get())) {
+      const OwnerEngine::Stats& o = own->own_stats();
+      s.own_local_writes += o.local_writes;
+      s.own_acquisitions += o.acquisitions_completed;
+      s.own_revokes += o.revokes_served;
+      s.bytes_own += o.bytes;
+    }
+  }
+  s.redirects_processed = redirects_processed_;
+  s.recovery_chunks_sent = recovery_chunks_sent_;
+  s.recovery_chunks_applied = recovery_chunks_applied_;
+  // The recovery stream reuses the write-path frames; its bytes belong there.
+  s.bytes_write_path += recovery_bytes_;
+  s.bytes_control = control_bytes_;
+  s.bytes_total = total_bytes_;
+  return s;
 }
 
 // ---------------------------------------------------------------------------

@@ -1,14 +1,19 @@
-// The per-switch SwiShmem runtime: the protocol engine of §6 plus the
-// NF-facing register API of §5.
+// The per-switch SwiShmem runtime: packet classification, protocol-engine
+// dispatch, and fabric I/O.
 //
-// One ShmRuntime is attached to each switch. It owns the replicated register
-// spaces (storage lives in the switch's PISA objects), implements the SRO/ERO
-// chain protocol and the EWO asynchronous replication protocol, and exposes
-// reads/writes to NF programs. Protocol packets arrive through the installed
-// ShmProgram, which dispatches UDP port kSwishPort traffic here before the NF
-// logic sees anything.
+// One ShmRuntime is attached to each switch. The consistency protocols
+// themselves (SRO/ERO chain replication, EWO asynchronous replication, OWN
+// ownership migration) live behind the ProtocolEngine interface in
+// swishmem/protocols/; the runtime owns the engines, routes each space's
+// operations to its engine, dispatches wire messages through a per-type
+// registry, and keeps the cross-engine machinery: controller configuration,
+// heartbeats, the tail redirect re-entry, and the §6.3 recovery stream
+// transport. Protocol packets arrive through the installed ShmProgram, which
+// dispatches UDP port kSwishPort traffic here before the NF logic sees
+// anything.
 #pragma once
 
+#include <array>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -16,25 +21,24 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "packet/flow.hpp"
 #include "packet/swish_wire.hpp"
 #include "pisa/switch.hpp"
 #include "swishmem/config.hpp"
+#include "swishmem/protocols/engine.hpp"
 #include "swishmem/spaces.hpp"
 
 namespace swish::shm {
 
-/// Outcome of an SRO/ERO read during packet processing.
-enum class ReadStatus {
-  kOk,          ///< value is valid (read served locally or authoritatively)
-  kMiss,        ///< table-backed space has no entry for the key
-  kRedirected,  ///< original packet was forwarded to the chain tail; the NF
-                ///< must stop processing this packet and emit no output
-};
+class OwnSpaceState;
 
-class ShmRuntime {
+class ShmRuntime final : public EngineHost {
  public:
+  /// Aggregated per-switch statistics. The counters live inside the protocol
+  /// engines (each engine owns its protocol's accounting); this legacy view
+  /// sums them for tests, benches, and reports. Returned BY VALUE by stats().
   struct Stats {
     // SRO/ERO writer side.
     std::uint64_t writes_submitted = 0;
@@ -58,13 +62,23 @@ class ShmRuntime {
     std::uint64_t ewo_entries_merged = 0;   ///< entries that changed local state
     std::uint64_t sync_rounds = 0;
     std::uint64_t sync_entries_sent = 0;
+    // OWN.
+    std::uint64_t own_local_writes = 0;
+    std::uint64_t own_acquisitions = 0;     ///< ownership migrations completed
+    std::uint64_t own_revokes = 0;          ///< ownership relinquished
     // Recovery.
     std::uint64_t recovery_chunks_sent = 0;
     std::uint64_t recovery_chunks_applied = 0;
-    // Protocol bandwidth (payload + headers, per message class).
-    std::uint64_t bytes_write_path = 0;  ///< WriteRequest + WriteAck
+    // Protocol bandwidth (payload + headers, per message class). Each engine
+    // accounts its own protocol's bytes; the runtime adds the recovery-stream
+    // and control traffic it sends itself. The per-class counters sum to
+    // bytes_total (regression-tested).
+    std::uint64_t bytes_write_path = 0;  ///< WriteRequest + WriteAck (incl. recovery)
     std::uint64_t bytes_ewo = 0;         ///< EwoUpdate (mirror + sync)
     std::uint64_t bytes_redirect = 0;    ///< ReadRedirect
+    std::uint64_t bytes_own = 0;         ///< OwnRequest + OwnGrant + OwnUpdate
+    std::uint64_t bytes_control = 0;     ///< Heartbeat (+ config pushes, if any)
+    std::uint64_t bytes_total = 0;       ///< every protocol byte this switch sent
     // Writer-observed commit latency (submit -> ack), ns.
     Histogram write_latency;
   };
@@ -84,14 +98,15 @@ class ShmRuntime {
 
   /// Declares a space this switch does NOT replicate (§9 partitioning): all
   /// strong reads redirect to the space's chain tail and writes are sent to
-  /// its chain head. EWO spaces cannot be remote.
+  /// its chain head. Only engines with a remote-access path accept this
+  /// (EWO and OWN spaces cannot be remote).
   void add_remote_space(const SpaceConfig& config);
 
   /// True when this switch hosts storage for the space.
   [[nodiscard]] bool hosts_space(std::uint32_t space) const noexcept;
 
-  /// Starts heartbeats, the EWO periodic synchronizer, and the mirror-batch
-  /// flusher. Call after all spaces exist.
+  /// Starts heartbeats and the engines' periodic work (EWO sync/mirror flush,
+  /// OWN backup flush). Call after all spaces exist.
   void start();
 
   /// Installed by ShmProgram: how to re-run the NF logic on a redirected
@@ -105,43 +120,42 @@ class ShmRuntime {
   void set_chain(const pkt::ChainConfig& config);
   void set_group(const pkt::GroupConfig& config);
   [[nodiscard]] const pkt::ChainConfig& chain() const noexcept { return chain_; }
-  [[nodiscard]] const pkt::GroupConfig& group() const noexcept { return group_; }
 
   /// Installs the chain used by one partitioned space (overrides the global
   /// chain for that space's operations).
   void set_space_chain(std::uint32_t space, const pkt::ChainConfig& config);
 
-  /// Chain governing a space: its own chain when partitioned, else the
-  /// deployment-wide chain.
-  [[nodiscard]] const pkt::ChainConfig& chain_for(std::uint32_t space) const noexcept;
-
   // -- NF-facing register API (§5) ---------------------------------------------
 
-  /// SRO/ERO read during packet processing. On kRedirected the runtime has
-  /// already encapsulated ctx's packet to the tail; the caller must return
-  /// without emitting output.
+  /// Read during packet processing, dispatched to the space's engine. On
+  /// kRedirected the runtime has already encapsulated ctx's packet to the
+  /// tail; the caller must return without emitting output.
+  ReadStatus read(pisa::PacketContext* ctx, std::uint32_t space, std::uint64_t key,
+                  std::uint64_t& value);
+
+  /// Write of one or more ops (all in spaces of one engine). `release` runs
+  /// on this switch when the write has committed per the space's consistency
+  /// class. The output packet may be empty when the mutating packet produces
+  /// no output.
+  void write(std::vector<pkt::WriteOp> ops, pkt::Packet output,
+             std::function<void(pkt::Packet&&)> release);
+
+  /// Atomic read-modify-write (counters / allocators), dispatched to the
+  /// space's engine. Returns false when the space (or its engine) does not
+  /// support updates; `done` receives the new value once applied — possibly
+  /// after an OWN ownership migration.
+  bool update(std::uint32_t space, std::uint64_t key, std::int64_t delta, UpdateDone done);
+
+  // Legacy class-named wrappers (kept for existing NFs/tests; they dispatch
+  // through the same engines as the uniform calls above).
+
   ReadStatus sro_read(pisa::PacketContext& ctx, std::uint32_t space, std::uint64_t key,
                       std::uint64_t& value);
-
-  /// SRO/ERO write: hands the write set and the buffered output packet to the
-  /// control plane (§6.1). `release` runs on this switch when the tail acks
-  /// (typically injecting P' back into the data plane). The output packet may
-  /// be empty when the mutating packet produces no output.
   void sro_write(std::vector<pkt::WriteOp> ops, pkt::Packet output,
                  std::function<void(pkt::Packet&&)> release);
-
-  /// EWO local read (always local, §6.2).
   std::uint64_t ewo_read(std::uint32_t space, std::uint64_t key);
-
-  /// EWO LWW write: applies locally, emits the output immediately (caller's
-  /// job), and asynchronously mirrors the update to the replica group.
   void ewo_write(std::uint32_t space, std::uint64_t key, std::uint64_t value);
-
-  /// EWO counter update (G-counter / PN-counter); returns the new aggregate.
   std::uint64_t ewo_add(std::uint32_t space, std::uint64_t key, std::int64_t delta);
-
-  /// EWO G-set insertion: ORs `bits` into the key's membership bitmap and
-  /// replicates the new bitmap; returns it.
   std::uint64_t ewo_set_add(std::uint32_t space, std::uint64_t key, std::uint64_t bits);
 
   // -- Protocol ingress ----------------------------------------------------------
@@ -152,66 +166,68 @@ class ShmRuntime {
 
   // -- Recovery (§6.3) -------------------------------------------------------------
 
-  /// Donor side: streams a snapshot plus all subsequently-applied writes to
+  /// Donor side: streams a snapshot plus all subsequently-committed writes to
   /// `target` (stop-and-wait, retransmitted), invoking `done` when the target
   /// has acknowledged everything. Called on the current tail by the
   /// controller. `space_filter` restricts the stream to one space (used by
-  /// migration); by default every hosted SRO/ERO space is streamed.
+  /// migration); by default every hosted space with replayable state is
+  /// streamed.
   void start_recovery_stream(SwitchId target, std::function<void()> done,
                              std::optional<std::uint32_t> space_filter = std::nullopt);
 
   /// Wipes all replicated state (a replacement switch boots empty).
   void reset_state();
 
+  // -- EngineHost (services the engines call back into) --------------------------
+
+  [[nodiscard]] pisa::Switch& sw() noexcept override { return sw_; }
+  [[nodiscard]] const RuntimeConfig& config() const noexcept override { return config_; }
+  [[nodiscard]] SwitchId self() const noexcept override { return sw_.id(); }
+  [[nodiscard]] const pkt::ChainConfig& chain_for(std::uint32_t space) const noexcept override;
+  [[nodiscard]] const pkt::GroupConfig& group() const noexcept override { return group_; }
+  [[nodiscard]] const std::vector<SwitchId>& deployment() const noexcept override {
+    return deployment_;
+  }
+  std::size_t send(SwitchId dst, const pkt::SwishMessage& msg) override;
+  void every(TimeNs period, std::function<void()> tick) override;
+  [[nodiscard]] bool authoritative() const noexcept override { return authoritative_; }
+  void recovery_tap(const std::vector<pkt::WriteOp>& ops,
+                    const std::vector<SeqNum>& seqs) override;
+
   // -- Introspection ------------------------------------------------------------
 
-  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
-  [[nodiscard]] Stats& stats() noexcept { return stats_; }
+  /// Aggregated statistics (legacy view over the engines' counters).
+  [[nodiscard]] Stats stats() const;
+
   [[nodiscard]] pisa::Switch& owner() noexcept { return sw_; }
-  [[nodiscard]] SwitchId self() const noexcept { return sw_.id(); }
-  [[nodiscard]] const RuntimeConfig& config() const noexcept { return config_; }
 
   [[nodiscard]] bool in_chain() const noexcept;
   [[nodiscard]] bool is_head() const noexcept;
   [[nodiscard]] bool is_tail() const noexcept;
 
   /// Number of output packets currently buffered in CP DRAM awaiting acks.
-  [[nodiscard]] std::size_t cp_buffered_packets() const noexcept {
-    return pending_writes_.size();
-  }
+  [[nodiscard]] std::size_t cp_buffered_packets() const noexcept;
 
   [[nodiscard]] const SroSpaceState* sro_space(std::uint32_t id) const;
   [[nodiscard]] const EwoSpaceState* ewo_space(std::uint32_t id) const;
+  [[nodiscard]] const OwnSpaceState* own_space(std::uint32_t id) const;
+
+  /// Engine serving a space (nullptr when the space is unknown here).
+  [[nodiscard]] ProtocolEngine* engine_for_space(std::uint32_t space) const noexcept;
+  /// All engines instantiated on this switch, in creation order.
+  [[nodiscard]] const std::vector<std::unique_ptr<ProtocolEngine>>& engines() const noexcept {
+    return engines_;
+  }
 
  private:
-  struct PendingWrite {
-    std::vector<pkt::WriteOp> ops;
-    pkt::Packet output;
-    std::function<void(pkt::Packet&&)> release;
-    unsigned retries = 0;
-    TimeNs submit_time = 0;
-    sim::TimerHandle retry_timer;
-  };
+  /// Engine implementing `cls`, created (and registered in the message-type
+  /// dispatch table) on first use.
+  ProtocolEngine& engine_for_class(ConsistencyClass cls);
+  [[nodiscard]] ProtocolEngine* find_engine(ConsistencyClass cls) const noexcept;
 
-  // Message handlers.
-  void on_write_request(pkt::WriteRequest msg);
-  void on_write_ack(const pkt::WriteAck& msg);
-  void on_ewo_update(const pkt::EwoUpdate& msg);
   void on_read_redirect(const pkt::ReadRedirect& msg);
 
-  // Chain roles.
-  void head_process(pkt::WriteRequest msg);
-  void relay_process(pkt::WriteRequest msg);
-  void tail_commit(const pkt::WriteRequest& msg);
-  void apply_ops(const std::vector<pkt::WriteOp>& ops, const std::vector<SeqNum>& seqs,
-                 bool set_pending);
-  [[nodiscard]] bool ops_table_backed(const std::vector<pkt::WriteOp>& ops) const;
-
-  // Writer side.
-  void send_write_request(std::uint64_t write_id);
-  void arm_retry(std::uint64_t write_id);
-
-  // Recovery.
+  // Recovery stream (donor transport + target cursor).
   struct RecoveryStream {
     SwitchId target = kInvalidNode;
     std::optional<std::uint32_t> space_filter;
@@ -226,55 +242,44 @@ class ShmRuntime {
   void arm_recovery_timer(std::uint64_t expect);
   void on_recovery_ack(std::uint64_t stream_seq);
   void on_recovery_chunk(const pkt::WriteRequest& msg);
+  void retire_recovery_if_joined(const std::vector<SwitchId>& chain);
 
-  // EWO mirroring / sync.
-  void mirror_enqueue(const EwoSpaceState& st, std::uint64_t key);
-  void flush_mirror_buffer();
-  void periodic_sync();
-
-  // Transport.
-  void send_msg(SwitchId dst, const pkt::SwishMessage& msg);
-  void multicast_msg(const std::vector<SwitchId>& dsts, const pkt::SwishMessage& msg);
   [[nodiscard]] pkt::Packet wrap(SwitchId dst, const pkt::SwishMessage& msg) const;
+  void notify_config_update();
 
-  [[nodiscard]] SwitchId chain_successor(const pkt::ChainConfig& chain) const noexcept;
   [[nodiscard]] static bool chain_contains(const pkt::ChainConfig& chain, SwitchId sw) noexcept;
 
   pisa::Switch& sw_;
   RuntimeConfig config_;
   NodeId controller_;
-  Stats stats_;
 
-  std::unordered_map<std::uint32_t, std::unique_ptr<SroSpaceState>> sro_spaces_;
-  std::unordered_map<std::uint32_t, std::unique_ptr<EwoSpaceState>> ewo_spaces_;
-  std::vector<SpaceConfig> space_configs_;
+  // Engines (creation order) and dispatch state.
+  std::vector<std::unique_ptr<ProtocolEngine>> engines_;
+  std::unordered_map<std::uint32_t, ProtocolEngine*> space_engines_;
+  /// Wire dispatch registry: message type -> engines claiming that type.
+  std::array<std::vector<ProtocolEngine*>, pkt::kNumMsgTypes + 1> registry_{};
+
   std::vector<SwitchId> deployment_;  ///< replicas passed to add_space
 
   pkt::ChainConfig chain_;
   pkt::GroupConfig group_;
   std::unordered_map<std::uint32_t, pkt::ChainConfig> space_chains_;  ///< §9 partitioning
-  std::unordered_map<std::uint32_t, SpaceConfig> remote_spaces_;
 
-  // Writer state (CP DRAM).
-  std::unordered_map<std::uint64_t, PendingWrite> pending_writes_;
-  std::uint64_t next_write_id_ = 0;
-
-  // Head dedup: write_id -> assigned seqs for in-flight writes.
-  std::unordered_map<std::uint64_t, std::vector<SeqNum>> head_assigned_;
-
-  // Tail-side recovery stream (donor) and target-side cursor.
+  // Donor-side recovery stream and target-side cursor.
   std::optional<RecoveryStream> recovery_;
-  bool recovery_tap_ = false;  ///< tail forwards applied writes into the stream
+  bool recovery_tap_ = false;  ///< tail forwards committed writes into the stream
   std::uint64_t last_recovery_applied_ = 0;
 
-  // EWO mirror batch buffer: (space state, key) pairs awaiting flush. Spaces
-  // are add-only and unique_ptr-owned, so the pointers stay valid and the
-  // flush avoids a map lookup per buffered entry.
-  std::vector<std::pair<const EwoSpaceState*, std::uint64_t>> mirror_buffer_;
-
-  TimeNs last_lww_timestamp_ = 0;  ///< per-switch monotone LWW clock (§6.2)
+  // Runtime-level counters (everything not owned by an engine).
+  std::uint64_t redirects_processed_ = 0;
+  std::uint64_t recovery_chunks_sent_ = 0;
+  std::uint64_t recovery_chunks_applied_ = 0;
+  std::uint64_t recovery_bytes_ = 0;  ///< recovery-stream chunks + acks
+  std::uint64_t control_bytes_ = 0;   ///< heartbeats
+  std::uint64_t total_bytes_ = 0;     ///< all protocol sends from this switch
 
   bool authoritative_ = false;  ///< serving a redirected read at the tail
+  bool started_ = false;
   std::function<void(pisa::PacketContext&)> nf_reentry_;
 
   Rng rng_;

@@ -18,8 +18,17 @@ const char* to_string(ConsistencyClass cls) noexcept {
     case ConsistencyClass::kSRO: return "SRO";
     case ConsistencyClass::kERO: return "ERO";
     case ConsistencyClass::kEWO: return "EWO";
+    case ConsistencyClass::kOWN: return "OWN";
   }
   return "?";
+}
+
+ConsistencyClass parse_consistency_class(const std::string& s) {
+  if (s == "sro" || s == "SRO") return ConsistencyClass::kSRO;
+  if (s == "ero" || s == "ERO") return ConsistencyClass::kERO;
+  if (s == "ewo" || s == "EWO") return ConsistencyClass::kEWO;
+  if (s == "own" || s == "OWN") return ConsistencyClass::kOWN;
+  throw std::invalid_argument("unknown consistency class: " + s);
 }
 
 const char* to_string(MergePolicy policy) noexcept {

@@ -115,7 +115,9 @@ TEST(Fabric, ApiMisuseThrows) {
   EXPECT_THROW(fabric.install(nullptr), std::logic_error);  // twice
   SpaceConfig sp;
   EXPECT_THROW(fabric.add_space(sp), std::logic_error);  // after install
-  EXPECT_THROW(Fabric(FabricConfig{.num_switches = 0}), std::invalid_argument);
+  FabricConfig bad;
+  bad.num_switches = 0;
+  EXPECT_THROW(Fabric{bad}, std::invalid_argument);
 }
 
 TEST(Fabric, RealisticNfDeploymentFitsMemoryBudget) {

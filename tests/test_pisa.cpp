@@ -35,7 +35,7 @@ TEST(RegisterArray, NarrowEntriesMask) {
 
 TEST(RegisterArray, OutOfRangeThrows) {
   RegisterArray r("r", 2, 64);
-  EXPECT_THROW(r.read(2), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(r.read(2)), std::out_of_range);
   EXPECT_THROW(r.write(5, 1), std::out_of_range);
 }
 

@@ -75,11 +75,41 @@ TEST(Wire, ReadRedirectRoundTrip) {
   EXPECT_EQ(roundtrip(m), m);
 }
 
+TEST(Wire, OwnRequestRoundTrip) {
+  OwnRequest m;
+  m.space = 9;
+  m.key = 0xDEADBEEFCAFEULL;
+  m.requester = 3;
+  m.req_id = 0x123456789ABCULL;
+  m.revoke = true;
+  EXPECT_EQ(roundtrip(m), m);
+}
+
+TEST(Wire, OwnGrantRoundTrip) {
+  OwnGrant m;
+  m.space = 9;
+  m.key = 42;
+  m.new_owner = 2;
+  m.req_id = 77;
+  m.value = 0xFFFFFFFFFFFFFFFFULL;
+  m.version = 1000;
+  EXPECT_EQ(roundtrip(m), m);
+}
+
+TEST(Wire, OwnUpdateRoundTrip) {
+  OwnUpdate m;
+  m.owner = 5;
+  m.claim = false;
+  m.entries = {{9, 1, 0xAA, 3}, {9, 2, 0xBB, 4}};
+  EXPECT_EQ(roundtrip(m), m);
+}
+
 TEST(Wire, EmptyCollectionsRoundTrip) {
   EXPECT_EQ(roundtrip(WriteRequest{}), WriteRequest{});
   EXPECT_EQ(roundtrip(EwoUpdate{}), EwoUpdate{});
   EXPECT_EQ(roundtrip(ChainConfig{}), ChainConfig{});
   EXPECT_EQ(roundtrip(ReadRedirect{}), ReadRedirect{});
+  EXPECT_EQ(roundtrip(OwnUpdate{}), OwnUpdate{});
 }
 
 TEST(Wire, UnknownTypeRejected) {

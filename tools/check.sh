@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Strict pre-merge check: Debug build with warnings-as-errors plus
+# ASan/UBSan, then the full test suite under the sanitizers. Slower than the
+# default Release build — run before merging protocol changes, not on every
+# edit.
+#
+#   tools/check.sh [--jobs N]
+set -euo pipefail
+
+JOBS="$(nproc)"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --jobs) JOBS="$2"; shift 2 ;;
+    *) echo "usage: $0 [--jobs N]" >&2; exit 2 ;;
+  esac
+done
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/build-check"
+
+cmake -B "$BUILD" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DSWISH_WERROR=ON \
+  -DSWISH_SANITIZE=ON >/dev/null
+cmake --build "$BUILD" -j "$JOBS"
+
+# halt_on_error keeps a sanitizer hit from being buried in test output.
+ASAN_OPTIONS=halt_on_error=1 \
+UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+  ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
+
+echo
+echo "check.sh: clean (Werror + ASan/UBSan)"

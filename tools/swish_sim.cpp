@@ -9,8 +9,10 @@
 //   swish_sim --nf lb --kill 1:200 --flows-per-sec 1000
 //   swish_sim --nf ddos --attack 60000:100:200 --sync-period-us 1000
 //   swish_sim --nf firewall --loss 0.05 --pcap fabric.pcap
+#include <algorithm>
 #include <cstring>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -47,6 +49,7 @@ struct Options {
   std::vector<std::pair<std::size_t, TimeNs>> kills;
   std::vector<std::pair<std::size_t, TimeNs>> revives;
   std::optional<std::array<std::uint64_t, 3>> attack;  // pps, start_ms, dur_ms
+  std::vector<std::pair<std::string, shm::ConsistencyClass>> space_overrides;
   std::string pcap;
   bool quiet = false;
 };
@@ -68,6 +71,8 @@ struct Options {
       << "  --kill IDX:MS           fail switch IDX at MS (repeatable)\n"
       << "  --revive IDX:MS         revive switch IDX at MS (repeatable)\n"
       << "  --attack PPS:START:DUR  UDP flood (times in ms)\n"
+      << "  --space NAME=CLS        override a space's consistency class\n"
+      << "                          (CLS: sro|ero|ewo|own; repeatable)\n"
       << "  --pcap FILE             capture all fabric traffic\n"
       << "  --seed N                RNG seed (default 1)\n"
       << "  --quiet                 summary only\n";
@@ -108,6 +113,16 @@ Options parse(int argc, char** argv) {
       if (c1 == std::string::npos || c2 == std::string::npos) usage(argv[0]);
       opt.attack = {{std::stoull(s.substr(0, c1)), std::stoull(s.substr(c1 + 1, c2 - c1 - 1)),
                      std::stoull(s.substr(c2 + 1))}};
+    } else if (a == "--space") {
+      const std::string s = need(i);
+      const auto eq = s.find('=');
+      if (eq == std::string::npos) usage(argv[0]);
+      try {
+        opt.space_overrides.emplace_back(s.substr(0, eq),
+                                         shm::parse_consistency_class(s.substr(eq + 1)));
+      } catch (const std::invalid_argument&) {
+        usage(argv[0]);
+      }
     } else if (a == "--pcap") opt.pcap = need(i);
     else if (a == "--seed") opt.seed = std::stoull(need(i));
     else if (a == "--quiet") opt.quiet = true;
@@ -139,26 +154,34 @@ int main(int argc, char** argv) {
 
   shm::Fabric fabric(cfg);
 
-  // Declare the NF's spaces and factory.
+  // Declare the NF's spaces (applying any --space class overrides) and factory.
+  std::vector<std::string> declared_spaces;
+  auto add_space = [&](shm::SpaceConfig space) {
+    for (const auto& [name, cls] : opt.space_overrides) {
+      if (space.name == name) space.cls = cls;
+    }
+    declared_spaces.push_back(space.name);
+    fabric.add_space(space);
+  };
   std::vector<shm::NfApp*> apps;
   std::function<std::unique_ptr<shm::NfApp>()> factory;
   pkt::Ipv4Addr server_ip{8, 8, 8, 8};
   if (opt.nf == "nat") {
-    fabric.add_space(nf::NatApp::space());
+    add_space(nf::NatApp::space());
     factory = [&] {
       auto a = std::make_unique<nf::NatApp>(nf::NatApp::Config{});
       apps.push_back(a.get());
       return std::unique_ptr<shm::NfApp>(std::move(a));
     };
   } else if (opt.nf == "firewall") {
-    fabric.add_space(nf::FirewallApp::space());
+    add_space(nf::FirewallApp::space());
     factory = [&] {
       auto a = std::make_unique<nf::FirewallApp>(nf::FirewallApp::Config{});
       apps.push_back(a.get());
       return std::unique_ptr<shm::NfApp>(std::move(a));
     };
   } else if (opt.nf == "lb") {
-    fabric.add_space(nf::LoadBalancerApp::space());
+    add_space(nf::LoadBalancerApp::space());
     server_ip = pkt::Ipv4Addr(10, 200, 0, 1);
     factory = [&] {
       auto a = std::make_unique<nf::LoadBalancerApp>(
@@ -167,22 +190,22 @@ int main(int argc, char** argv) {
       return std::unique_ptr<shm::NfApp>(std::move(a));
     };
   } else if (opt.nf == "ips") {
-    fabric.add_space(nf::IpsApp::space());
+    add_space(nf::IpsApp::space());
     factory = [&] {
       auto a = std::make_unique<nf::IpsApp>(nf::IpsApp::Config{});
       apps.push_back(a.get());
       return std::unique_ptr<shm::NfApp>(std::move(a));
     };
   } else if (opt.nf == "ddos") {
-    fabric.add_space(nf::DdosDetectorApp::sketch_space());
-    fabric.add_space(nf::DdosDetectorApp::total_space());
+    add_space(nf::DdosDetectorApp::sketch_space());
+    add_space(nf::DdosDetectorApp::total_space());
     factory = [&] {
       auto a = std::make_unique<nf::DdosDetectorApp>(nf::DdosDetectorApp::Config{});
       apps.push_back(a.get());
       return std::unique_ptr<shm::NfApp>(std::move(a));
     };
   } else if (opt.nf == "ratelimiter") {
-    fabric.add_space(nf::RateLimiterApp::space());
+    add_space(nf::RateLimiterApp::space());
     factory = [&] {
       auto a = std::make_unique<nf::RateLimiterApp>(nf::RateLimiterApp::Config{});
       apps.push_back(a.get());
@@ -190,6 +213,12 @@ int main(int argc, char** argv) {
     };
   } else if (opt.nf != "none") {
     usage(argv[0]);
+  }
+  for (const auto& ov : opt.space_overrides) {
+    if (std::find(declared_spaces.begin(), declared_spaces.end(), ov.first) ==
+        declared_spaces.end()) {
+      std::cerr << "warning: --space " << ov.first << " matches no declared space\n";
+    }
   }
   fabric.install(factory);
   fabric.start();
@@ -266,6 +295,36 @@ int main(int argc, char** argv) {
                  std::to_string(fabric.sw(i).control_plane().stats().dropped)});
     }
     table.print(std::cout);
+
+    // Per-engine protocol counters, aggregated across the fabric. Counter
+    // rows are sums; latency rows (*_ns) report the fabric-wide maximum.
+    std::vector<std::string> engine_order;
+    std::map<std::string, std::vector<std::string>> row_order;
+    std::map<std::string, std::map<std::string, std::uint64_t>> totals;
+    for (std::size_t i = 0; i < fabric.size(); ++i) {
+      for (const auto& engine : fabric.runtime(i).engines()) {
+        auto [eit, fresh_engine] = totals.try_emplace(engine->name());
+        if (fresh_engine) engine_order.push_back(engine->name());
+        for (const auto& [label, value] : engine->stat_rows()) {
+          auto [rit, fresh_row] = eit->second.try_emplace(label, 0);
+          if (fresh_row) row_order[engine->name()].push_back(label);
+          const bool is_latency = label.size() > 3 && label.rfind("_ns") == label.size() - 3;
+          rit->second = is_latency ? std::max(rit->second, value) : rit->second + value;
+        }
+      }
+    }
+    if (!engine_order.empty()) {
+      std::cout << "\n";
+      TextTable engine_table("per-engine protocol counters (fabric-wide)");
+      engine_table.header({"engine", "counter", "value"});
+      for (const auto& name : engine_order) {
+        for (const auto& label : row_order[name]) {
+          engine_table.row({name, label, std::to_string(totals[name][label])});
+        }
+      }
+      engine_table.print(std::cout);
+    }
+
     const auto net_stats = fabric.network().total_stats();
     std::cout << "\nfabric links: " << net_stats.packets_sent << " packets, "
               << net_stats.bytes_sent << " bytes, " << net_stats.packets_dropped_loss
