@@ -15,6 +15,12 @@
 //
 // With --baseline, the named file's contents (a previous run object) are
 // embedded verbatim so the artifact carries its own before/after comparison.
+//
+// Schema 2 (ISSUE 3): every numeric result is registered in a
+// telemetry::MetricsRegistry and the run object's "metrics" payload is the
+// registry's hierarchical JSON export — generated, not hand-rolled. When the
+// --out file already holds a schema-2 artifact, its "runs" history is carried
+// forward and the new run (tagged with --commit) is appended.
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -26,6 +32,7 @@
 #include "nf/heavyhitter.hpp"
 #include "packet/packet.hpp"
 #include "swishmem/fabric.hpp"
+#include "telemetry/metrics.hpp"
 
 using namespace swish;
 
@@ -42,6 +49,7 @@ struct Options {
   std::string out;
   std::string baseline;
   std::string label = "current";
+  std::string commit = "unknown";
   bool quiet = false;
 };
 
@@ -54,7 +62,9 @@ struct Options {
             << "  --gap-ns N        pump period in ns (default 1000)\n"
             << "  --sim-ms N        simulated duration (default 20)\n"
             << "  --label S         run label recorded in the JSON (default current)\n"
-            << "  --out FILE        write the JSON result document\n"
+            << "  --commit S        commit hash recorded in the JSON (default unknown)\n"
+            << "  --out FILE        write the JSON result document (appends to its\n"
+            << "                    run history when FILE is a schema-2 artifact)\n"
             << "  --baseline FILE   embed FILE's run object as the baseline\n"
             << "  --quiet           suppress the human-readable summary\n";
   std::exit(2);
@@ -87,6 +97,7 @@ Options parse(int argc, char** argv) {
     else if (a == "--gap-ns") opt.gap = num(i);
     else if (a == "--sim-ms") opt.sim_duration = num(i) * kMs;
     else if (a == "--label") opt.label = need(i);
+    else if (a == "--commit") opt.commit = need(i);
     else if (a == "--out") opt.out = need(i);
     else if (a == "--baseline") opt.baseline = need(i);
     else if (a == "--quiet") opt.quiet = true;
@@ -129,6 +140,50 @@ std::string json_num(double v) {
   os.precision(10);
   os << v;
   return os.str();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return {};
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Verbatim inner text of the top-level `"runs": [ ... ]` array of a previous
+/// schema-2 artifact ("" when absent) — carries the run history forward so
+/// repeated bench invocations accumulate instead of overwriting.
+std::string extract_runs(const std::string& doc) {
+  const auto key = doc.find("\"runs\": [");
+  if (key == std::string::npos) return {};
+  const std::size_t open = doc.find('[', key);
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t j = open; j < doc.size(); ++j) {
+    const char c = doc[j];
+    if (in_string) {
+      if (c == '\\') ++j;
+      else if (c == '"') in_string = false;
+    } else if (c == '"') {
+      in_string = true;
+    } else if (c == '[' || c == '{') {
+      ++depth;
+    } else if (c == ']' || c == '}') {
+      if (--depth == 0) {
+        std::string inner = doc.substr(open + 1, j - open - 1);
+        const auto b = inner.find_first_not_of(" \t\n");
+        if (b == std::string::npos) return {};
+        const auto e = inner.find_last_not_of(" \t\n");
+        return inner.substr(b, e - b + 1);
+      }
+    }
+  }
+  return {};
+}
+
+std::string trim_trailing(std::string s) {
+  while (!s.empty() && (s.back() == '\n' || s.back() == ' ')) s.pop_back();
+  return s;
 }
 
 }  // namespace
@@ -198,26 +253,28 @@ int main(int argc, char** argv) {
   }
   const net::LinkStats link = fabric.network().total_stats();
 
-  std::ostringstream run;
-  run << "{\n"
-      << "  \"label\": \"" << opt.label << "\",\n"
-      << "  \"params\": {\"leaves\": " << opt.leaves << ", \"spines\": " << opt.spines
-      << ", \"flows\": " << opt.flows << ", \"batch\": " << opt.batch
-      << ", \"gap_ns\": " << opt.gap << ", \"sim_ms\": " << opt.sim_duration / kMs
-      << "},\n"
-      << "  \"results\": {\n"
-      << "    \"wall_seconds\": " << json_num(wall_seconds) << ",\n"
-      << "    \"sim_seconds\": " << json_num(static_cast<double>(opt.sim_duration) / kSec)
-      << ",\n"
-      << "    \"executed_events\": " << events << ",\n"
-      << "    \"events_per_wall_sec\": " << json_num(events / wall_seconds) << ",\n"
-      << "    \"packets_injected\": " << injected << ",\n"
-      << "    \"packets_processed\": " << processed << ",\n"
-      << "    \"packets_delivered\": " << delivered << ",\n"
-      << "    \"packets_per_wall_sec\": " << json_num(processed / wall_seconds) << ",\n"
-      << "    \"delivered_per_wall_sec\": " << json_num(delivered / wall_seconds) << ",\n"
-      << "    \"link_packets_sent\": " << link.packets_sent << ",\n"
-      << "    \"link_bytes_sent\": " << link.bytes_sent << ",\n";
+  // All numeric results go through a MetricsRegistry; the run object's
+  // "metrics" payload is the registry's deterministic hierarchical export.
+  telemetry::MetricsRegistry report;
+  report.counter("params.leaves") += opt.leaves;
+  report.counter("params.spines") += opt.spines;
+  report.counter("params.flows") += opt.flows;
+  report.counter("params.batch") += opt.batch;
+  report.counter("params.gap_ns") += static_cast<std::uint64_t>(opt.gap);
+  report.counter("params.sim_ms") += static_cast<std::uint64_t>(opt.sim_duration / kMs);
+  report.gauge("results.wall_seconds") = wall_seconds;
+  report.gauge("results.sim_seconds") = static_cast<double>(opt.sim_duration) / kSec;
+  report.counter("results.executed_events") += events;
+  report.gauge("results.events_per_wall_sec") = static_cast<double>(events) / wall_seconds;
+  report.counter("results.packets_injected") += injected;
+  report.counter("results.packets_processed") += processed;
+  report.counter("results.packets_delivered") += delivered;
+  report.gauge("results.packets_per_wall_sec") = static_cast<double>(processed) / wall_seconds;
+  report.gauge("results.delivered_per_wall_sec") =
+      static_cast<double>(delivered) / wall_seconds;
+  report.counter("results.link_packets_sent") += link.packets_sent;
+  report.counter("results.link_bytes_sent") += link.bytes_sent;
+  report.counter("results.switch_delivered") += sw_delivered;
 #ifdef SWISH_PACKET_STATS
   const auto& ps = pkt::PacketStats::global();
   const double hit_rate =
@@ -225,48 +282,41 @@ int main(int argc, char** argv) {
           ? 0.0
           : static_cast<double>(ps.parse_cache_hits) /
                 static_cast<double>(ps.parse_executions + ps.parse_cache_hits);
-  run << "    \"parse_executions\": " << ps.parse_executions << ",\n"
-      << "    \"parse_cache_hits\": " << ps.parse_cache_hits << ",\n"
-      << "    \"parse_cache_hit_rate\": " << json_num(hit_rate) << ",\n"
-      << "    \"buffer_deep_copies\": " << ps.rewrite_copies << ",\n"
-      << "    \"bytes_copied_per_delivered\": "
-      << json_num(delivered == 0 ? 0.0
-                                 : static_cast<double>(ps.rewrite_bytes) /
-                                       static_cast<double>(delivered))
-      << ",\n";
-#else
-  run << "    \"parse_executions\": null,\n"
-      << "    \"parse_cache_hits\": null,\n"
-      << "    \"parse_cache_hit_rate\": null,\n"
-      << "    \"buffer_deep_copies\": null,\n"
-      << "    \"bytes_copied_per_delivered\": null,\n";
+  report.counter("results.parse_executions") += ps.parse_executions;
+  report.counter("results.parse_cache_hits") += ps.parse_cache_hits;
+  report.gauge("results.parse_cache_hit_rate") = hit_rate;
+  report.counter("results.buffer_deep_copies") += ps.rewrite_copies;
+  report.gauge("results.bytes_copied_per_delivered") =
+      delivered == 0 ? 0.0
+                     : static_cast<double>(ps.rewrite_bytes) / static_cast<double>(delivered);
 #endif
-  run << "    \"switch_delivered\": " << sw_delivered << "\n"
-      << "  }\n"
+
+  std::ostringstream run;
+  run << "{\n"
+      << "  \"label\": \"" << opt.label << "\",\n"
+      << "  \"commit\": \"" << opt.commit << "\",\n"
+      << "  \"metrics\": " << trim_trailing(report.to_json()) << "\n"
       << "}";
 
-  std::string doc;
-  if (!opt.baseline.empty()) {
-    std::ifstream in(opt.baseline);
-    if (!in.good()) {
-      std::cerr << "bench_throughput: cannot read baseline " << opt.baseline << "\n";
-      return 1;
-    }
-    std::stringstream base;
-    base << in.rdbuf();
-    doc = "{\n\"bench\": \"throughput\",\n\"schema\": 1,\n\"baseline\": " + base.str() +
-          ",\n\"current\": " + run.str() + "\n}\n";
-  } else {
-    doc = run.str() + "\n";
-  }
-
   if (!opt.out.empty()) {
+    std::string baseline_text = "null";
+    if (!opt.baseline.empty()) {
+      baseline_text = trim_trailing(read_file(opt.baseline));
+      if (baseline_text.empty()) {
+        std::cerr << "bench_throughput: cannot read baseline " << opt.baseline << "\n";
+        return 1;
+      }
+    }
+    const std::string previous = extract_runs(read_file(opt.out));
     std::ofstream out(opt.out);
-    out << doc;
+    out << "{\n\"bench\": \"throughput\",\n\"schema\": 2,\n\"baseline\": " << baseline_text
+        << ",\n\"runs\": [\n";
+    if (!previous.empty()) out << previous << ",\n";
+    out << run.str() << "\n]\n}\n";
   }
 
   if (!opt.quiet) {
-    std::cout << "bench_throughput [" << opt.label << "]\n"
+    std::cout << "bench_throughput [" << opt.label << " @ " << opt.commit << "]\n"
               << "  wall time          " << json_num(wall_seconds) << " s for "
               << json_num(static_cast<double>(opt.sim_duration) / kSec) << " simulated s\n"
               << "  events             " << events << " (" << json_num(events / wall_seconds)

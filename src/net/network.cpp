@@ -8,7 +8,12 @@ namespace swish::net {
 
 namespace {
 __extension__ using u128 = unsigned __int128;
+
+std::string link_prefix(NodeId node, PortId port) {
+  return "net.link.n" + std::to_string(node) + ".p" + std::to_string(port) + ".";
 }
+
+}  // namespace
 
 void Network::attach(Node& node) {
   auto [it, inserted] = nodes_.emplace(node.id(), &node);
@@ -24,9 +29,21 @@ Network::Connection Network::connect(NodeId a, NodeId b, const LinkParams& param
   auto& pb = ports_[b];
   const auto port_a = static_cast<PortId>(pa.size());
   const auto port_b = static_cast<PortId>(pb.size());
-  pa.push_back(HalfLink{b, port_b, params, 0, {}});
-  pb.push_back(HalfLink{a, port_a, params, 0, {}});
+  pa.push_back(HalfLink{b, port_b, params, 0, make_counters(a, port_a)});
+  pb.push_back(HalfLink{a, port_a, params, 0, make_counters(b, port_b)});
   return Connection{port_a, port_b};
+}
+
+Network::LinkCounters Network::make_counters(NodeId node, PortId port) {
+  telemetry::MetricsRegistry& reg = sim_.metrics();
+  const std::string prefix = link_prefix(node, port);
+  LinkCounters c;
+  c.packets_sent = reg.counter(prefix + "packets_sent");
+  c.bytes_sent = reg.counter(prefix + "bytes_sent");
+  c.packets_delivered = reg.counter(prefix + "packets_delivered");
+  c.packets_dropped_loss = reg.counter(prefix + "packets_dropped_loss");
+  c.packets_dropped_queue = reg.counter(prefix + "packets_dropped_queue");
+  return c;
 }
 
 Network::HalfLink& Network::half(NodeId node, PortId port) {
@@ -55,6 +72,7 @@ void Network::send(NodeId from, PortId port, pkt::Packet packet, TimeNs egress_d
   TimeNs tx_start = std::max(now, link.next_free_time);
   if (tx_start - now > link.params.max_queue_delay) {
     ++link.stats.packets_dropped_queue;
+    sim_.tracer().record(telemetry::kTraceDrop, from, "link_queue_drop", link.to, packet.size());
     return;
   }
   TimeNs tx_time = 0;
@@ -72,6 +90,7 @@ void Network::send(NodeId from, PortId port, pkt::Packet packet, TimeNs egress_d
   // occupied and the packet stays counted in packets_sent.
   if (link.params.loss_probability > 0.0 && rng_.chance(link.params.loss_probability)) {
     ++link.stats.packets_dropped_loss;
+    sim_.tracer().record(telemetry::kTraceDrop, from, "link_loss_drop", link.to, packet.size());
     return;
   }
 
@@ -120,7 +139,11 @@ LinkStats Network::total_stats() const {
   return total;
 }
 
-const LinkStats& Network::stats(NodeId node, PortId port) const { return half(node, port).stats; }
+LinkStats Network::stats(NodeId node, PortId port) const {
+  const LinkCounters& c = half(node, port).stats;
+  return LinkStats{c.packets_sent, c.bytes_sent, c.packets_delivered, c.packets_dropped_loss,
+                   c.packets_dropped_queue};
+}
 
 std::unordered_map<NodeId, std::vector<NodeId>> Network::adjacency() const {
   std::unordered_map<NodeId, std::vector<NodeId>> adj;

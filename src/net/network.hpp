@@ -54,7 +54,10 @@ struct LinkParams {
   TimeNs max_queue_delay = 1 * kMs;    ///< tail-drop threshold for the serialization queue
 };
 
-/// Per-direction link counters. Accounting invariants:
+/// Per-direction link counters, read back from the telemetry registry (the
+/// registry cells under `net.link.n<node>.p<port>.*` are the source of
+/// truth; this struct is the plain-value view handed to callers).
+/// Accounting invariants:
 ///  - packets_sent / bytes_sent count only packets that actually occupied the
 ///    wire (queue-dropped packets never transmit and are excluded);
 ///  - packets_dropped_loss ⊆ packets_sent (loss strikes mid-flight, after the
@@ -109,8 +112,9 @@ class Network {
   /// Aggregate stats over all link directions.
   [[nodiscard]] LinkStats total_stats() const;
 
-  /// Stats of the directed link out of (node, port).
-  [[nodiscard]] const LinkStats& stats(NodeId node, PortId port) const;
+  /// Stats of the directed link out of (node, port). Returned by value: the
+  /// numbers are materialized from the registry-backed counters.
+  [[nodiscard]] LinkStats stats(NodeId node, PortId port) const;
 
   /// Adjacency view: for each attached node, its (port -> peer) vector.
   [[nodiscard]] std::unordered_map<NodeId, std::vector<NodeId>> adjacency() const;
@@ -125,17 +129,27 @@ class Network {
   [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
 
  private:
+  /// Registry-backed per-direction counters; see LinkStats for invariants.
+  struct LinkCounters {
+    telemetry::Counter packets_sent;
+    telemetry::Counter bytes_sent;
+    telemetry::Counter packets_delivered;
+    telemetry::Counter packets_dropped_loss;
+    telemetry::Counter packets_dropped_queue;
+  };
+
   /// One direction of a link.
   struct HalfLink {
     NodeId to = kInvalidNode;
     PortId to_port = kInvalidPort;
     LinkParams params;
     TimeNs next_free_time = 0;  ///< when the transmitter finishes the current packet
-    LinkStats stats;
+    LinkCounters stats;
   };
 
   HalfLink& half(NodeId node, PortId port);
   [[nodiscard]] const HalfLink& half(NodeId node, PortId port) const;
+  [[nodiscard]] LinkCounters make_counters(NodeId node, PortId port);
 
   sim::Simulator& sim_;
   Rng rng_;

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "common/types.hpp"
 #include "pisa/objects.hpp"
@@ -24,15 +25,24 @@ class ControlPlane {
     std::size_t max_queue = 4096;   ///< pending jobs beyond which submissions drop
   };
 
+  /// Registry-backed counters (named `<prefix>executed` / `<prefix>dropped`);
+  /// this struct is a view over the simulator's MetricsRegistry cells, so
+  /// reads keep their historical types via the handles' implicit conversions.
   struct Stats {
-    std::uint64_t executed = 0;
-    std::uint64_t dropped = 0;
+    telemetry::Counter executed;
+    telemetry::Counter dropped;
   };
 
-  ControlPlane(sim::Simulator& simulator, Config config)
+  /// `metrics_prefix` names this CPU's counters in the registry; the owning
+  /// switch passes "pisa.sw<id>.cp.". The default suits the standalone
+  /// one-CP-per-simulator uses in tests and benches.
+  ControlPlane(sim::Simulator& simulator, Config config,
+               const std::string& metrics_prefix = "pisa.cp.")
       : sim_(simulator),
         config_(config),
-        service_time_(static_cast<TimeNs>(static_cast<double>(kSec) / config.ops_per_sec)) {}
+        service_time_(static_cast<TimeNs>(static_cast<double>(kSec) / config.ops_per_sec)),
+        stats_{simulator.metrics().counter(metrics_prefix + "executed"),
+               simulator.metrics().counter(metrics_prefix + "dropped")} {}
 
   /// Capability for table mutation; see CpToken.
   [[nodiscard]] CpToken token() const noexcept { return CpToken{}; }

@@ -4,12 +4,28 @@
 
 namespace swish::pisa {
 
+namespace {
+
+std::string switch_prefix(NodeId id) { return "pisa.sw" + std::to_string(id) + "."; }
+
+}  // namespace
+
 Switch::Switch(sim::Simulator& simulator, net::Network& network, NodeId id, Config config)
     : net::Node(id),
       sim_(simulator),
       network_(network),
       config_(config),
-      control_plane_(simulator, config.control_plane) {
+      control_plane_(simulator, config.control_plane, switch_prefix(id) + "cp."),
+      tracer_(simulator.tracer()) {
+  telemetry::MetricsRegistry& reg = simulator.metrics();
+  const std::string prefix = switch_prefix(id);
+  stats_.processed = reg.counter(prefix + "processed");
+  stats_.dropped_capacity = reg.counter(prefix + "dropped_capacity");
+  stats_.dropped_recirc = reg.counter(prefix + "dropped_recirc");
+  stats_.injected = reg.counter(prefix + "injected");
+  stats_.delivered = reg.counter(prefix + "delivered");
+  stats_.recirculated = reg.counter(prefix + "recirculated");
+  stats_.sent = reg.counter(prefix + "sent");
   control_plane_.set_gate([this]() { return alive(); });
   dp_per_packet_ = static_cast<TimeNs>(static_cast<double>(kSec) / config_.dataplane_pps);
   dp_backlog_limit_ = dp_per_packet_ * static_cast<TimeNs>(config_.dataplane_queue);
@@ -59,6 +75,7 @@ bool Switch::admit() {
   const TimeNs backlog = dp_free_time_ > now ? dp_free_time_ - now : 0;
   if (dp_per_packet_ > 0 && backlog > dp_backlog_limit_) {
     ++stats_.dropped_capacity;
+    tracer_.record(telemetry::kTraceDrop, id(), "dp_capacity_drop");
     return false;
   }
   dp_free_time_ = std::max(now, dp_free_time_) + dp_per_packet_;
@@ -73,6 +90,7 @@ void Switch::handle_packet(pkt::Packet packet, net::PortId ingress_port) {
 void Switch::inject(pkt::Packet packet) {
   if (!alive()) return;
   ++stats_.injected;
+  tracer_.record(telemetry::kTracePacket, id(), "inject", packet.size());
   process(std::move(packet), net::kInvalidPort, /*from_edge=*/true, /*recirc_count=*/0);
 }
 
@@ -103,6 +121,7 @@ void Switch::send_to_node(NodeId dst, pkt::Packet packet, std::uint64_t flow_has
 
 void Switch::send_to_port(net::PortId port, pkt::Packet packet) {
   ++stats_.sent;
+  tracer_.record(telemetry::kTracePacket, id(), "send", port, packet.size());
   // Egress after the pipeline traversal latency, handed to the network
   // directly instead of through a per-packet egress event: the latency is a
   // fixed offset, so the wire timeline is identical and the simulator never
@@ -113,6 +132,7 @@ void Switch::send_to_port(net::PortId port, pkt::Packet packet) {
 
 void Switch::deliver(pkt::Packet packet) {
   ++stats_.delivered;
+  tracer_.record(telemetry::kTracePacket, id(), "deliver", packet.size());
   if (!delivery_sink_) return;
   sim_.post_after(config_.pipeline_latency, [this, p = std::move(packet)]() {
     if (delivery_sink_) delivery_sink_(p);
@@ -122,9 +142,11 @@ void Switch::deliver(pkt::Packet packet) {
 void Switch::recirculate(pkt::Packet packet, unsigned recirc_count) {
   if (recirc_count >= config_.max_recirculations) {
     ++stats_.dropped_recirc;
+    tracer_.record(telemetry::kTraceDrop, id(), "recirc_cap_drop", recirc_count);
     return;
   }
   ++stats_.recirculated;
+  tracer_.record(telemetry::kTraceRecirc, id(), "recirculate", recirc_count);
   sim_.post_after(config_.pipeline_latency,
                   [this, p = std::move(packet), recirc_count]() mutable {
                     if (!alive()) return;

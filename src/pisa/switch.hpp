@@ -58,14 +58,17 @@ class Switch : public net::Node {
     ControlPlane::Config control_plane;
   };
 
+  /// Registry-backed counters under `pisa.sw<id>.*`; this struct is a view
+  /// over the simulator's MetricsRegistry cells (reads keep their historical
+  /// uint64 semantics via the handles' implicit conversions).
   struct Stats {
-    std::uint64_t processed = 0;
-    std::uint64_t dropped_capacity = 0;
-    std::uint64_t dropped_recirc = 0;  ///< recirculation-cap drops
-    std::uint64_t injected = 0;
-    std::uint64_t delivered = 0;
-    std::uint64_t recirculated = 0;
-    std::uint64_t sent = 0;
+    telemetry::Counter processed;
+    telemetry::Counter dropped_capacity;
+    telemetry::Counter dropped_recirc;  ///< recirculation-cap drops
+    telemetry::Counter injected;
+    telemetry::Counter delivered;
+    telemetry::Counter recirculated;
+    telemetry::Counter sent;
   };
 
   Switch(sim::Simulator& simulator, net::Network& network, NodeId id, Config config);
@@ -159,6 +162,7 @@ class Switch : public net::Node {
   net::RoutingTable routing_;
   std::vector<std::unique_ptr<StatefulObject>> objects_;
   std::function<void(const pkt::Packet&)> delivery_sink_;
+  telemetry::Tracer& tracer_;
   Stats stats_;
   TimeNs dp_free_time_ = 0;
   // Hoisted out of the per-packet admit() path: service time per packet and

@@ -33,6 +33,8 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace swish::sim {
 
@@ -165,11 +167,22 @@ class Simulator {
     heap_.reserve(kInitialQueueCapacity);
     slots_.reserve(kInitialQueueCapacity);
     free_slots_.reserve(kInitialQueueCapacity);
+    tracer_.set_clock(&now_);
   }
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   [[nodiscard]] TimeNs now() const noexcept { return now_; }
+
+  /// Per-simulation telemetry. Every component already holds a Simulator&,
+  /// so the registry and flight recorder are reachable from any layer
+  /// without threading them through constructors; one instance per
+  /// simulation keeps concurrent experiments in one process isolated (and
+  /// runs deterministic).
+  [[nodiscard]] telemetry::MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const telemetry::MetricsRegistry& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] telemetry::Tracer& tracer() noexcept { return tracer_; }
+  [[nodiscard]] const telemetry::Tracer& tracer() const noexcept { return tracer_; }
 
   /// Fire-and-forget: runs `fn` at absolute virtual time `t` (>= now). No
   /// cancellation flag is allocated; use this on hot paths that never cancel.
@@ -252,6 +265,8 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   bool stopped_ = false;
+  telemetry::MetricsRegistry metrics_;
+  telemetry::Tracer tracer_;
 };
 
 }  // namespace swish::sim

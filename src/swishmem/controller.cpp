@@ -63,6 +63,8 @@ void Controller::migrate_space(std::uint32_t space, std::vector<SwitchId> new_re
   auto it = directory_.find(space);
   if (it == directory_.end()) return;
   SpaceEntry& entry = it->second;
+  sim_.tracer().record(telemetry::kTraceMigration, id(), "migrate_space_start", space,
+                       new_replicas.size());
 
   // New members need storage before the stream arrives.
   auto joiners = std::make_shared<std::vector<SwitchId>>();
@@ -91,6 +93,8 @@ void Controller::migrate_space(std::uint32_t space, std::vector<SwitchId> new_re
   auto finish = [this, space, new_replicas, done]() {
     directory_.at(space).replicas = new_replicas;
     chain_.epoch = next_epoch_++;  // bump the epoch counter for the new chain
+    sim_.tracer().record(telemetry::kTraceMigration, id(), "migrate_space_done", space,
+                         chain_.epoch);
     push_space_chains(/*immediate=*/false);
     if (done) {
       sim_.post_after(config_.mgmt_latency,
@@ -157,6 +161,7 @@ void Controller::declare_failed(SwitchId id) {
 
 void Controller::handle_failure(SwitchId failed) {
   SWISH_LOG_INFO("controller: switch ", failed, " declared failed at ", sim_.now());
+  sim_.tracer().record(telemetry::kTraceFailover, id(), "switch_failed", failed);
   members_.at(failed).alive = false;
   if (on_failure_detected) on_failure_detected(failed, sim_.now());
 
@@ -170,6 +175,7 @@ void Controller::handle_failure(SwitchId failed) {
 
   if (on_failover_complete) {
     sim_.post_after(config_.mgmt_latency, [this, failed]() {
+      sim_.tracer().record(telemetry::kTraceFailover, id(), "failover_complete", failed);
       on_failover_complete(failed, sim_.now());
     });
   }
@@ -178,6 +184,7 @@ void Controller::handle_failure(SwitchId failed) {
 void Controller::readmit_switch(SwitchId id) {
   auto it = members_.find(id);
   if (it == members_.end() || it->second.alive) return;
+  sim_.tracer().record(telemetry::kTraceFailover, this->id(), "readmit_switch", id);
   it->second.alive = true;
   it->second.last_heartbeat = sim_.now();
 

@@ -27,6 +27,18 @@ Fabric::Fabric(FabricConfig config)
     : config_(config), sim_(), net_(sim_, config.seed) {
   if (config_.num_switches == 0) throw std::invalid_argument("Fabric: need >= 1 switch");
 
+  // Packet-layer stats are process-global (the buffer/parse cache has no
+  // simulator handle); surface them in this simulation's registry as pull
+  // probes so JSON/table exports include them. In-process determinism tests
+  // reset PacketStats::global() between runs.
+  telemetry::MetricsRegistry& reg = sim_.metrics();
+  reg.probe("pkt.buffers_created", []() { return pkt::PacketStats::global().buffers_created; });
+  reg.probe("pkt.buffer_bytes", []() { return pkt::PacketStats::global().buffer_bytes; });
+  reg.probe("pkt.parse_executions", []() { return pkt::PacketStats::global().parse_executions; });
+  reg.probe("pkt.parse_cache_hits", []() { return pkt::PacketStats::global().parse_cache_hits; });
+  reg.probe("pkt.rewrite_copies", []() { return pkt::PacketStats::global().rewrite_copies; });
+  reg.probe("pkt.rewrite_bytes", []() { return pkt::PacketStats::global().rewrite_bytes; });
+
   for (std::size_t i = 0; i < config_.num_switches; ++i) {
     const auto id = static_cast<NodeId>(i + 1);
     switches_.push_back(std::make_unique<pisa::Switch>(sim_, net_, id, config_.switch_config));

@@ -6,6 +6,24 @@
 
 namespace swish::shm {
 
+ChainEngine::ChainEngine(EngineHost& host, const char* proto_name) : ProtocolEngine(host) {
+  telemetry::MetricsRegistry& reg = host_metrics();
+  const std::string p = metric_prefix(proto_name);
+  stats_.writes_submitted = reg.counter(p + "writes_submitted");
+  stats_.writes_committed = reg.counter(p + "writes_committed");
+  stats_.write_retries = reg.counter(p + "write_retries");
+  stats_.writes_failed = reg.counter(p + "writes_failed");
+  stats_.writes_rejected = reg.counter(p + "writes_rejected");
+  stats_.chain_requests_seen = reg.counter(p + "chain_requests_seen");
+  stats_.chain_gap_drops = reg.counter(p + "chain_gap_drops");
+  stats_.chain_stale_epoch = reg.counter(p + "chain_stale_epoch");
+  stats_.reads_local = reg.counter(p + "reads_local");
+  stats_.reads_redirected = reg.counter(p + "reads_redirected");
+  stats_.bytes_write = reg.counter(p + "bytes_write");
+  stats_.bytes_redirect = reg.counter(p + "bytes_redirect");
+  stats_.write_latency = reg.histogram(p + "write_latency_ns");
+}
+
 void ChainEngine::add_space(const SpaceConfig& config, const std::vector<SwitchId>& replicas) {
   (void)replicas;  // chain membership comes from the controller's pushes
   spaces_.emplace(config.id, std::make_unique<SroSpaceState>(host_.sw(), config));

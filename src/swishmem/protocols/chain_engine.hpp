@@ -17,29 +17,33 @@ namespace swish::shm {
 
 class ChainEngine : public ProtocolEngine {
  public:
+  /// Registry-backed counters under `shm.sw<id>.<sro|ero>.*`; this struct is
+  /// a view over the simulator's MetricsRegistry cells.
   struct Stats {
     // Writer side.
-    std::uint64_t writes_submitted = 0;
-    std::uint64_t writes_committed = 0;
-    std::uint64_t write_retries = 0;
-    std::uint64_t writes_failed = 0;    ///< gave up after max retries
-    std::uint64_t writes_rejected = 0;  ///< CP buffer full
+    telemetry::Counter writes_submitted;
+    telemetry::Counter writes_committed;
+    telemetry::Counter write_retries;
+    telemetry::Counter writes_failed;    ///< gave up after max retries
+    telemetry::Counter writes_rejected;  ///< CP buffer full
     // Chain side.
-    std::uint64_t chain_requests_seen = 0;
-    std::uint64_t chain_gap_drops = 0;  ///< out-of-order writes awaiting retry
-    std::uint64_t chain_stale_epoch = 0;
+    telemetry::Counter chain_requests_seen;
+    telemetry::Counter chain_gap_drops;  ///< out-of-order writes awaiting retry
+    telemetry::Counter chain_stale_epoch;
     // Reads.
-    std::uint64_t reads_local = 0;
-    std::uint64_t reads_redirected = 0;
+    telemetry::Counter reads_local;
+    telemetry::Counter reads_redirected;
     // Protocol bandwidth, accounted by this engine (satellite: engines own
     // their byte counters; the runtime reconciles totals).
-    std::uint64_t bytes_write = 0;     ///< WriteRequest + WriteAck
-    std::uint64_t bytes_redirect = 0;  ///< ReadRedirect
+    telemetry::Counter bytes_write;     ///< WriteRequest + WriteAck
+    telemetry::Counter bytes_redirect;  ///< ReadRedirect
     // Writer-observed commit latency (submit -> ack), ns.
-    Histogram write_latency;
+    telemetry::Histo write_latency;
   };
 
-  explicit ChainEngine(EngineHost& host) : ProtocolEngine(host) {}
+  /// `proto_name` ("sro" / "ero") names this engine's registry subtree; the
+  /// base class cannot call the name() virtual during construction.
+  ChainEngine(EngineHost& host, const char* proto_name);
 
   // -- ProtocolEngine ----------------------------------------------------------
   void add_space(const SpaceConfig& config, const std::vector<SwitchId>& replicas) override;
@@ -123,7 +127,7 @@ class ChainEngine : public ProtocolEngine {
 /// redirect to the tail.
 class SroEngine final : public ChainEngine {
  public:
-  using ChainEngine::ChainEngine;
+  explicit SroEngine(EngineHost& host) : ChainEngine(host, "sro") {}
   [[nodiscard]] ConsistencyClass cls() const noexcept override {
     return ConsistencyClass::kSRO;
   }
@@ -137,7 +141,7 @@ class SroEngine final : public ChainEngine {
 /// pending bits.
 class EroEngine final : public ChainEngine {
  public:
-  using ChainEngine::ChainEngine;
+  explicit EroEngine(EngineHost& host) : ChainEngine(host, "ero") {}
   [[nodiscard]] ConsistencyClass cls() const noexcept override {
     return ConsistencyClass::kERO;
   }

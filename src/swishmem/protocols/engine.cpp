@@ -2,7 +2,17 @@
 
 #include <stdexcept>
 
+#include "pisa/switch.hpp"
+
 namespace swish::shm {
+
+telemetry::MetricsRegistry& ProtocolEngine::host_metrics() const {
+  return host_.sw().simulator().metrics();
+}
+
+std::string ProtocolEngine::metric_prefix(const char* proto_name) const {
+  return "shm.sw" + std::to_string(host_.self()) + "." + proto_name + ".";
+}
 
 void ProtocolEngine::add_remote_space(const SpaceConfig& config) {
   throw std::invalid_argument(std::string("add_remote_space: ") + to_string(config.cls) +

@@ -23,6 +23,7 @@
 #include "packet/packet.hpp"
 #include "packet/swish_wire.hpp"
 #include "swishmem/config.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace swish::pisa {
 class Switch;
@@ -160,6 +161,11 @@ class ProtocolEngine {
   [[nodiscard]] virtual std::vector<StatRow> stat_rows() const = 0;
 
  protected:
+  /// Metrics registry of the simulation this engine's switch runs in.
+  [[nodiscard]] telemetry::MetricsRegistry& host_metrics() const;
+  /// This engine's registry subtree: "shm.sw<id>.<proto_name>.".
+  [[nodiscard]] std::string metric_prefix(const char* proto_name) const;
+
   EngineHost& host_;
 };
 

@@ -7,7 +7,18 @@
 namespace swish::shm {
 
 EwoEngine::EwoEngine(EngineHost& host)
-    : ProtocolEngine(host), rng_(0xe40 ^ (host.self() * 0x9e3779b9ULL)) {}
+    : ProtocolEngine(host), rng_(0xe40 ^ (host.self() * 0x9e3779b9ULL)) {
+  telemetry::MetricsRegistry& reg = host_metrics();
+  const std::string p = metric_prefix("ewo");
+  stats_.reads = reg.counter(p + "reads");
+  stats_.local_writes = reg.counter(p + "local_writes");
+  stats_.updates_sent = reg.counter(p + "updates_sent");
+  stats_.updates_received = reg.counter(p + "updates_received");
+  stats_.entries_merged = reg.counter(p + "entries_merged");
+  stats_.sync_rounds = reg.counter(p + "sync_rounds");
+  stats_.sync_entries_sent = reg.counter(p + "sync_entries_sent");
+  stats_.bytes = reg.counter(p + "bytes");
+}
 
 void EwoEngine::add_space(const SpaceConfig& config, const std::vector<SwitchId>& replicas) {
   spaces_.emplace(config.id,

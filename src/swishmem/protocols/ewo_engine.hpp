@@ -15,15 +15,17 @@ namespace swish::shm {
 
 class EwoEngine final : public ProtocolEngine {
  public:
+  /// Registry-backed counters under `shm.sw<id>.ewo.*`; this struct is a
+  /// view over the simulator's MetricsRegistry cells.
   struct Stats {
-    std::uint64_t reads = 0;
-    std::uint64_t local_writes = 0;
-    std::uint64_t updates_sent = 0;
-    std::uint64_t updates_received = 0;
-    std::uint64_t entries_merged = 0;  ///< entries that changed local state
-    std::uint64_t sync_rounds = 0;
-    std::uint64_t sync_entries_sent = 0;
-    std::uint64_t bytes = 0;  ///< EwoUpdate (mirror + sync)
+    telemetry::Counter reads;
+    telemetry::Counter local_writes;
+    telemetry::Counter updates_sent;
+    telemetry::Counter updates_received;
+    telemetry::Counter entries_merged;  ///< entries that changed local state
+    telemetry::Counter sync_rounds;
+    telemetry::Counter sync_entries_sent;
+    telemetry::Counter bytes;  ///< EwoUpdate (mirror + sync)
   };
 
   explicit EwoEngine(EngineHost& host);

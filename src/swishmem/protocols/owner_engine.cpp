@@ -5,6 +5,23 @@
 
 namespace swish::shm {
 
+OwnerEngine::OwnerEngine(EngineHost& host) : ProtocolEngine(host) {
+  telemetry::MetricsRegistry& reg = host_metrics();
+  const std::string p = metric_prefix("own");
+  stats_.reads = reg.counter(p + "reads");
+  stats_.local_writes = reg.counter(p + "local_writes");
+  stats_.acquisitions_started = reg.counter(p + "acquisitions_started");
+  stats_.acquisitions_completed = reg.counter(p + "acquisitions_completed");
+  stats_.acquisitions_failed = reg.counter(p + "acquisitions_failed");
+  stats_.acquisition_retries = reg.counter(p + "acquisition_retries");
+  stats_.revokes_served = reg.counter(p + "revokes_served");
+  stats_.grants_issued = reg.counter(p + "grants_issued");
+  stats_.queue_rejected = reg.counter(p + "queue_rejected");
+  stats_.backup_entries_sent = reg.counter(p + "backup_entries_sent");
+  stats_.backup_entries_merged = reg.counter(p + "backup_entries_merged");
+  stats_.bytes = reg.counter(p + "bytes");
+}
+
 void OwnerEngine::add_space(const SpaceConfig& config, const std::vector<SwitchId>& replicas) {
   (void)replicas;  // OWN spaces span the deployment; homes come from members()
   spaces_.emplace(config.id, std::make_unique<OwnSpaceState>(host_.sw(), config));
@@ -254,6 +271,8 @@ void OwnerEngine::install_grant(const pkt::OwnGrant& msg) {
   if (msg.version >= st.version(msg.key)) st.store(msg.key, msg.value, msg.version);
   st.set_owned(msg.key, true);
   ++stats_.acquisitions_completed;
+  host_.sw().simulator().tracer().record(telemetry::kTraceMigration, host_.self(),
+                                         "own_acquired", msg.space, msg.key);
   pit->second.retry_timer.cancel();
   auto queue = std::move(pit->second.queue);
   pending_acquires_.erase(pit);
@@ -285,6 +304,8 @@ void OwnerEngine::on_own_request(const pkt::OwnRequest& msg) {
     if (st.owned(msg.key)) {
       st.set_owned(msg.key, false);
       ++stats_.revokes_served;
+      host_.sw().simulator().tracer().record(telemetry::kTraceMigration, host_.self(),
+                                             "own_revoked", msg.space, msg.key);
     }
     deliver(home_of(msg.space, msg.key),
             pkt::OwnGrant{msg.space, msg.key, msg.requester, msg.req_id, st.value(msg.key),

@@ -23,22 +23,24 @@ namespace swish::shm {
 
 class OwnerEngine final : public ProtocolEngine {
  public:
+  /// Registry-backed counters under `shm.sw<id>.own.*`; this struct is a
+  /// view over the simulator's MetricsRegistry cells.
   struct Stats {
-    std::uint64_t reads = 0;
-    std::uint64_t local_writes = 0;       ///< writes applied as owner
-    std::uint64_t acquisitions_started = 0;
-    std::uint64_t acquisitions_completed = 0;
-    std::uint64_t acquisitions_failed = 0;  ///< retry budget exhausted
-    std::uint64_t acquisition_retries = 0;
-    std::uint64_t revokes_served = 0;     ///< ownership relinquished
-    std::uint64_t grants_issued = 0;      ///< grants sent by this home
-    std::uint64_t queue_rejected = 0;     ///< ops dropped at own_queue_limit
-    std::uint64_t backup_entries_sent = 0;
-    std::uint64_t backup_entries_merged = 0;
-    std::uint64_t bytes = 0;  ///< OwnRequest + OwnGrant + OwnUpdate
+    telemetry::Counter reads;
+    telemetry::Counter local_writes;       ///< writes applied as owner
+    telemetry::Counter acquisitions_started;
+    telemetry::Counter acquisitions_completed;
+    telemetry::Counter acquisitions_failed;  ///< retry budget exhausted
+    telemetry::Counter acquisition_retries;
+    telemetry::Counter revokes_served;     ///< ownership relinquished
+    telemetry::Counter grants_issued;      ///< grants sent by this home
+    telemetry::Counter queue_rejected;     ///< ops dropped at own_queue_limit
+    telemetry::Counter backup_entries_sent;
+    telemetry::Counter backup_entries_merged;
+    telemetry::Counter bytes;  ///< OwnRequest + OwnGrant + OwnUpdate
   };
 
-  explicit OwnerEngine(EngineHost& host) : ProtocolEngine(host) {}
+  explicit OwnerEngine(EngineHost& host);
 
   [[nodiscard]] ConsistencyClass cls() const noexcept override {
     return ConsistencyClass::kOWN;

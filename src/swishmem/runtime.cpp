@@ -18,10 +18,61 @@ constexpr std::uint32_t kRecoveryEpoch = 0xffffffffu;
 /// Register-backed ops per recovery chunk (keeps chunks under typical MTUs).
 constexpr std::size_t kRecoveryChunkOps = 32;
 
+telemetry::TraceCategory msg_trace_category(const pkt::SwishMessage& msg) noexcept {
+  switch (static_cast<pkt::MsgType>(msg.index() + 1)) {
+    case pkt::MsgType::kWriteRequest:
+    case pkt::MsgType::kWriteAck:
+      return telemetry::kTraceProtoChain;
+    case pkt::MsgType::kEwoUpdate:
+      return telemetry::kTraceProtoEwo;
+    case pkt::MsgType::kOwnRequest:
+    case pkt::MsgType::kOwnGrant:
+    case pkt::MsgType::kOwnUpdate:
+      return telemetry::kTraceProtoOwn;
+    default:
+      return telemetry::kTraceProtoControl;
+  }
+}
+
+const char* msg_trace_name(const pkt::SwishMessage& msg) noexcept {
+  switch (static_cast<pkt::MsgType>(msg.index() + 1)) {
+    case pkt::MsgType::kWriteRequest:
+      return "WriteRequest";
+    case pkt::MsgType::kWriteAck:
+      return "WriteAck";
+    case pkt::MsgType::kEwoUpdate:
+      return "EwoUpdate";
+    case pkt::MsgType::kHeartbeat:
+      return "Heartbeat";
+    case pkt::MsgType::kChainConfig:
+      return "ChainConfig";
+    case pkt::MsgType::kGroupConfig:
+      return "GroupConfig";
+    case pkt::MsgType::kReadRedirect:
+      return "ReadRedirect";
+    case pkt::MsgType::kOwnRequest:
+      return "OwnRequest";
+    case pkt::MsgType::kOwnGrant:
+      return "OwnGrant";
+    case pkt::MsgType::kOwnUpdate:
+      return "OwnUpdate";
+  }
+  return "?";
+}
+
 }  // namespace
 
 ShmRuntime::ShmRuntime(pisa::Switch& sw, RuntimeConfig config, NodeId controller)
-    : sw_(sw), config_(config), controller_(controller), rng_(0x5115 ^ (sw.id() * 0x9e3779b9ULL)) {}
+    : sw_(sw), config_(config), controller_(controller), rng_(0x5115 ^ (sw.id() * 0x9e3779b9ULL)) {
+  telemetry::MetricsRegistry& reg = sw.simulator().metrics();
+  const std::string prefix = "shm.sw" + std::to_string(sw.id()) + ".";
+  redirects_processed_ = reg.counter(prefix + "redirects_processed");
+  recovery_chunks_sent_ = reg.counter(prefix + "recovery_chunks_sent");
+  recovery_chunks_applied_ = reg.counter(prefix + "recovery_chunks_applied");
+  recovery_bytes_ = reg.counter(prefix + "bytes_recovery");
+  control_bytes_ = reg.counter(prefix + "bytes_control");
+  total_bytes_ = reg.counter(prefix + "bytes_total");
+}
 
 // ---------------------------------------------------------------------------
 // Engines
@@ -167,6 +218,13 @@ std::size_t ShmRuntime::send(SwitchId dst, const pkt::SwishMessage& msg) {
   pkt::Packet packet = wrap(dst, msg);
   const std::size_t n = packet.size();
   total_bytes_ += n;
+  // Per-class protocol-message tracing: every protocol byte leaves through
+  // here, so one probe covers all four engines. The mask pre-check keeps the
+  // category/name switches off the path when tracing is disabled.
+  telemetry::Tracer& tracer = sw_.simulator().tracer();
+  if (tracer.mask() != 0) {
+    tracer.record(msg_trace_category(msg), sw_.id(), msg_trace_name(msg), dst, n);
+  }
   sw_.send_to_node(dst, std::move(packet), rng_.next());
   return n;
 }

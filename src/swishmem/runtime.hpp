@@ -270,13 +270,14 @@ class ShmRuntime final : public EngineHost {
   bool recovery_tap_ = false;  ///< tail forwards committed writes into the stream
   std::uint64_t last_recovery_applied_ = 0;
 
-  // Runtime-level counters (everything not owned by an engine).
-  std::uint64_t redirects_processed_ = 0;
-  std::uint64_t recovery_chunks_sent_ = 0;
-  std::uint64_t recovery_chunks_applied_ = 0;
-  std::uint64_t recovery_bytes_ = 0;  ///< recovery-stream chunks + acks
-  std::uint64_t control_bytes_ = 0;   ///< heartbeats
-  std::uint64_t total_bytes_ = 0;     ///< all protocol sends from this switch
+  // Runtime-level counters (everything not owned by an engine), registry-
+  // backed under `shm.sw<id>.*`.
+  telemetry::Counter redirects_processed_;
+  telemetry::Counter recovery_chunks_sent_;
+  telemetry::Counter recovery_chunks_applied_;
+  telemetry::Counter recovery_bytes_;  ///< recovery-stream chunks + acks
+  telemetry::Counter control_bytes_;   ///< heartbeats
+  telemetry::Counter total_bytes_;     ///< all protocol sends from this switch
 
   bool authoritative_ = false;  ///< serving a redirected read at the tail
   bool started_ = false;

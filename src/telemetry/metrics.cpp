@@ -1,0 +1,258 @@
+#include "telemetry/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "common/table.hpp"
+
+namespace swish::telemetry {
+
+std::ostream& operator<<(std::ostream& os, const Counter& c) { return os << c.value(); }
+
+std::string format_metric_number(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+void MetricsRegistry::check_hierarchy(std::string_view name) const {
+  if (name.empty()) throw std::invalid_argument("telemetry: empty metric name");
+  // A leaf "a.b" conflicts with any metric named "a.b.<rest>" (it would need
+  // to be both a JSON value and an object) and vice versa. The sorted map
+  // makes both checks local: extensions of `name` sort directly after it, and
+  // a prefix of `name` sorts directly before the first metric under it.
+  auto it = cells_.lower_bound(name);
+  if (it != cells_.end() && it->first.size() > name.size() &&
+      it->first.compare(0, name.size(), name) == 0 && it->first[name.size()] == '.') {
+    throw std::invalid_argument("telemetry: metric '" + std::string(name) +
+                                "' conflicts with existing subtree '" + it->first + "'");
+  }
+  if (it != cells_.begin()) {
+    const std::string& prev = std::prev(it)->first;
+    if (name.size() > prev.size() && name.compare(0, prev.size(), prev) == 0 &&
+        name[prev.size()] == '.') {
+      throw std::invalid_argument("telemetry: metric '" + std::string(name) +
+                                  "' conflicts with existing leaf '" + prev + "'");
+    }
+  }
+}
+
+MetricsRegistry::Cell& MetricsRegistry::get_or_create(std::string_view name, MetricKind kind) {
+  auto it = cells_.find(name);
+  if (it != cells_.end()) {
+    if (it->second.kind != kind) {
+      throw std::invalid_argument("telemetry: metric '" + std::string(name) +
+                                  "' re-registered with a different kind");
+    }
+    return it->second;
+  }
+  check_hierarchy(name);
+  Cell& cell = cells_.emplace(std::string(name), Cell{}).first->second;
+  cell.kind = kind;
+  return cell;
+}
+
+Counter MetricsRegistry::counter(std::string_view name) {
+  return Counter(&get_or_create(name, MetricKind::kCounter).count);
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name) {
+  return Gauge(&get_or_create(name, MetricKind::kGauge).number);
+}
+
+Histo MetricsRegistry::histogram(std::string_view name) {
+  return Histo(&get_or_create(name, MetricKind::kHistogram).hist);
+}
+
+void MetricsRegistry::probe(std::string_view name, std::function<std::uint64_t()> fn) {
+  get_or_create(name, MetricKind::kProbe).probe_fn = std::move(fn);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  for (const auto& [name, cell] : cells_) {
+    MetricValue v;
+    v.kind = cell.kind;
+    switch (cell.kind) {
+      case MetricKind::kCounter:
+        v.count = cell.count;
+        break;
+      case MetricKind::kGauge:
+        v.number = cell.number;
+        break;
+      case MetricKind::kHistogram:
+        v.hist = cell.hist;
+        break;
+      case MetricKind::kProbe:
+        v.count = cell.probe_fn ? cell.probe_fn() : 0;
+        break;
+    }
+    snap.values.emplace(name, std::move(v));
+  }
+  return snap;
+}
+
+MetricsSnapshot MetricsSnapshot::diff(const MetricsSnapshot& after, const MetricsSnapshot& before) {
+  MetricsSnapshot out = after;
+  for (auto& [name, v] : out.values) {
+    auto it = before.values.find(name);
+    if (it == before.values.end()) continue;
+    if (v.is_integral()) {
+      v.count = v.count >= it->second.count ? v.count - it->second.count : 0;
+    } else if (v.kind == MetricKind::kGauge) {
+      v.number -= it->second.number;
+    }
+    // Histograms keep `after`'s state: buckets accumulate and cannot be
+    // subtracted exactly, and callers diffing want the cumulative shape.
+  }
+  return out;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.values) {
+    auto [it, inserted] = values.emplace(name, v);
+    if (inserted) continue;
+    MetricValue& mine = it->second;
+    if (mine.is_integral()) {
+      mine.count += v.count;
+    } else if (mine.kind == MetricKind::kGauge) {
+      mine.number += v.number;
+    } else {
+      mine.hist.merge(v.hist);
+    }
+  }
+}
+
+namespace {
+
+void json_escape(std::ostream& os, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+void emit_value(std::ostream& os, const MetricValue& v, const std::string& indent) {
+  switch (v.kind) {
+    case MetricKind::kCounter:
+    case MetricKind::kProbe:
+      os << v.count;
+      break;
+    case MetricKind::kGauge:
+      os << format_metric_number(v.number);
+      break;
+    case MetricKind::kHistogram:
+      os << "{\n";
+      os << indent << "  \"count\": " << v.hist.count() << ",\n";
+      os << indent << "  \"min\": " << v.hist.min() << ",\n";
+      os << indent << "  \"max\": " << v.hist.max() << ",\n";
+      os << indent << "  \"mean\": " << format_metric_number(v.hist.mean()) << ",\n";
+      os << indent << "  \"p50\": " << v.hist.p50() << ",\n";
+      os << indent << "  \"p90\": " << v.hist.percentile(0.90) << ",\n";
+      os << indent << "  \"p99\": " << v.hist.p99() << "\n";
+      os << indent << "}";
+      break;
+  }
+}
+
+struct Entry {
+  const std::string* name;
+  const MetricValue* value;
+};
+
+/// Emits entries [begin, end) — all sharing the dotted prefix of length
+/// `prefix_len` — as one JSON object, recursing per distinct next segment.
+/// Entries arrive name-sorted, so each segment's range is contiguous and the
+/// output key order is deterministic.
+void emit_object(std::ostream& os, const std::vector<Entry>& entries, std::size_t begin,
+                 std::size_t end, std::size_t prefix_len, int depth) {
+  const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  const std::string inner = indent + "  ";
+  os << "{";
+  bool first = true;
+  std::size_t i = begin;
+  while (i < end) {
+    const std::string& name = *entries[i].name;
+    const std::size_t dot = name.find('.', prefix_len);
+    const std::string_view segment =
+        std::string_view(name).substr(prefix_len, dot == std::string::npos ? std::string::npos
+                                                                           : dot - prefix_len);
+    std::size_t j = i + 1;
+    if (dot != std::string::npos) {
+      // Extend over every entry sharing "<prefix><segment>.".
+      const std::string_view group = std::string_view(name).substr(0, dot + 1);
+      while (j < end && entries[j].name->compare(0, group.size(), group) == 0) ++j;
+    }
+    os << (first ? "\n" : ",\n") << inner << '"';
+    first = false;
+    json_escape(os, segment);
+    os << "\": ";
+    if (dot == std::string::npos) {
+      emit_value(os, *entries[i].value, inner);
+    } else {
+      emit_object(os, entries, i, j, dot + 1, depth + 1);
+    }
+    i = j;
+  }
+  os << (first ? "}" : "\n" + indent + "}");
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_json() const {
+  std::vector<Entry> entries;
+  entries.reserve(values.size());
+  for (const auto& [name, value] : values) entries.push_back({&name, &value});
+  std::ostringstream os;
+  emit_object(os, entries, 0, entries.size(), 0, 0);
+  os << "\n";
+  return os.str();
+}
+
+void MetricsSnapshot::print_table(std::ostream& os, const std::string& caption) const {
+  TextTable table(caption);
+  table.header({"metric", "value"});
+  for (const auto& [name, v] : values) {
+    std::string cell;
+    switch (v.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kProbe:
+        cell = std::to_string(v.count);
+        break;
+      case MetricKind::kGauge:
+        cell = format_metric_number(v.number);
+        break;
+      case MetricKind::kHistogram:
+        cell = "n=" + std::to_string(v.hist.count()) + " p50=" + std::to_string(v.hist.p50()) +
+               " p99=" + std::to_string(v.hist.p99());
+        break;
+    }
+    table.row({name, std::move(cell)});
+  }
+  table.print(os);
+}
+
+}  // namespace swish::telemetry

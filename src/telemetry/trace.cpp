@@ -1,0 +1,117 @@
+#include "telemetry/trace.hpp"
+
+#include <array>
+#include <ostream>
+#include <utility>
+
+namespace swish::telemetry {
+
+namespace {
+
+constexpr std::array<std::pair<std::string_view, std::uint32_t>, 10> kCategoryNames = {{
+    {"packet", kTracePacket},
+    {"drop", kTraceDrop},
+    {"recirc", kTraceRecirc},
+    {"proto-chain", kTraceProtoChain},
+    {"proto-ewo", kTraceProtoEwo},
+    {"proto-own", kTraceProtoOwn},
+    {"proto-control", kTraceProtoControl},
+    {"migration", kTraceMigration},
+    {"failover", kTraceFailover},
+    {"all", kTraceAll},
+}};
+
+std::string_view category_name(std::uint32_t cat) {
+  for (const auto& [name, bit] : kCategoryNames) {
+    if (bit == cat) return name;
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::optional<std::uint32_t> parse_trace_mask(std::string_view spec) {
+  std::uint32_t mask = 0;
+  while (!spec.empty()) {
+    const std::size_t comma = spec.find(',');
+    const std::string_view token = spec.substr(0, comma);
+    spec = comma == std::string_view::npos ? std::string_view{} : spec.substr(comma + 1);
+    if (token.empty()) continue;
+    bool known = false;
+    for (const auto& [name, bit] : kCategoryNames) {
+      if (token == name) {
+        mask |= bit;
+        known = true;
+        break;
+      }
+    }
+    if (!known) return std::nullopt;
+  }
+  return mask;
+}
+
+std::string trace_mask_to_string(std::uint32_t mask) {
+  if (mask == kTraceAll) return "all";
+  std::string out;
+  for (const auto& [name, bit] : kCategoryNames) {
+    if (bit == kTraceAll) continue;
+    if (mask & bit) {
+      if (!out.empty()) out += ',';
+      out += name;
+    }
+  }
+  return out.empty() ? "none" : out;
+}
+
+void Tracer::enable(std::uint32_t mask, std::size_t capacity) {
+  mask_ = mask;
+  if (mask_ != 0 && ring_.size() != capacity) {
+    ring_.assign(capacity == 0 ? 1 : capacity, TraceEvent{});
+    head_ = 0;
+    recorded_ = 0;
+  }
+}
+
+void Tracer::record_slow(TraceCategory cat, NodeId node, const char* what, std::uint64_t a,
+                         std::uint64_t b) noexcept {
+  if (ring_.empty()) return;
+  TraceEvent& slot = ring_[head_];
+  slot.time = now_ ? *now_ : 0;
+  slot.category = cat;
+  slot.node = node;
+  slot.what = what;
+  slot.a = a;
+  slot.b = b;
+  head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+  ++recorded_;
+}
+
+std::size_t Tracer::size() const noexcept {
+  return recorded_ < ring_.size() ? static_cast<std::size_t>(recorded_) : ring_.size();
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  // Oldest event: at 0 before wraparound, at head_ after.
+  const std::size_t start = recorded_ <= ring_.size() ? 0 : head_;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void Tracer::dump(std::ostream& os) const {
+  for (const TraceEvent& e : events()) {
+    os << e.time << ' ' << category_name(e.category) << " n" << e.node << ' ' << e.what
+       << " a=" << e.a << " b=" << e.b << '\n';
+  }
+}
+
+void Tracer::clear() noexcept {
+  head_ = 0;
+  recorded_ = 0;
+}
+
+}  // namespace swish::telemetry

@@ -1,0 +1,105 @@
+// Virtual-time flight recorder: a bounded ring buffer of simulation events
+// (packet in/out, drop, recirculation, protocol message by class, ownership
+// migration, failover) with per-category enable masks. The hot-path guard is
+// a single mask load + branch, and the ring is only allocated on first
+// enable, so a disabled tracer costs (near) nothing — both properties are
+// regression-tested in test_telemetry.cpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace swish::telemetry {
+
+/// Event categories, combinable as a bitmask.
+enum TraceCategory : std::uint32_t {
+  kTracePacket = 1u << 0,        ///< packet admitted / delivered / sent by a switch
+  kTraceDrop = 1u << 1,          ///< any packet drop (queue, loss, capacity, recirc cap)
+  kTraceRecirc = 1u << 2,        ///< pipeline recirculation
+  kTraceProtoChain = 1u << 3,    ///< SRO/ERO chain messages (write req/fwd/ack/release)
+  kTraceProtoEwo = 1u << 4,      ///< EWO update broadcast / apply
+  kTraceProtoOwn = 1u << 5,      ///< OWN ownership messages (request/grant/update)
+  kTraceProtoControl = 1u << 6,  ///< heartbeats, redirects, recovery chunks
+  kTraceMigration = 1u << 7,     ///< per-key ownership migration (grant installed, revoke)
+  kTraceFailover = 1u << 8,      ///< failure declared / failover complete / readmission
+  kTraceAll = 0xffffffffu,
+};
+
+/// One recorded event. `what` must point at a string literal (or other
+/// static-storage string): records store the pointer, not a copy.
+struct TraceEvent {
+  TimeNs time = 0;
+  std::uint32_t category = 0;
+  NodeId node = 0;
+  const char* what = "";
+  std::uint64_t a = 0;  ///< event-specific (key, space, peer id, ...)
+  std::uint64_t b = 0;  ///< event-specific (bytes, seq, port, ...)
+};
+
+/// Parses a comma-separated category list ("packet,drop,proto-chain", or
+/// "all") into a mask. Returns nullopt on any unknown name.
+std::optional<std::uint32_t> parse_trace_mask(std::string_view spec);
+
+/// Human-readable list of category names in `mask`.
+std::string trace_mask_to_string(std::uint32_t mask);
+
+/// The flight recorder. Owned by sim::Simulator next to the MetricsRegistry.
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 16;
+
+  /// Enables the categories in `mask` (replacing the current mask) and
+  /// allocates the ring on first enable. `enable(0)` disables recording.
+  void enable(std::uint32_t mask, std::size_t capacity = kDefaultCapacity);
+
+  [[nodiscard]] std::uint32_t mask() const noexcept { return mask_; }
+  [[nodiscard]] bool enabled(TraceCategory cat) const noexcept { return (mask_ & cat) != 0; }
+
+  /// Hot-path record. When the category is masked off this is one load and
+  /// one predictable branch; no allocation ever happens here.
+  void record(TraceCategory cat, NodeId node, const char* what, std::uint64_t a = 0,
+              std::uint64_t b = 0) noexcept {
+    if ((mask_ & cat) == 0) return;
+    record_slow(cat, node, what, a, b);
+  }
+
+  /// The simulator stamps events with virtual time via this hook so the
+  /// tracer has no dependency on the simulator type.
+  void set_clock(const TimeNs* now) noexcept { now_ = now; }
+
+  /// Number of events currently retained (≤ capacity).
+  [[nodiscard]] std::size_t size() const noexcept;
+  /// Total events recorded, including those overwritten after wraparound.
+  [[nodiscard]] std::uint64_t recorded() const noexcept { return recorded_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return ring_.size(); }
+  /// True once ring_ has been allocated (for the zero-alloc-when-disabled test).
+  [[nodiscard]] bool allocated() const noexcept { return !ring_.empty(); }
+
+  /// Copies retained events out in recording order (oldest first).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  /// Writes retained events as one text line each:
+  ///   <time> <category> n<node> <what> a=<a> b=<b>
+  void dump(std::ostream& os) const;
+
+  void clear() noexcept;
+
+ private:
+  void record_slow(TraceCategory cat, NodeId node, const char* what, std::uint64_t a,
+                   std::uint64_t b) noexcept;
+
+  std::uint32_t mask_ = 0;
+  const TimeNs* now_ = nullptr;
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;  ///< next write slot
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace swish::telemetry

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# swish_sim CLI contract test (registered with CTest):
+#   1. Malformed arguments exit with status 2 and a usage message on stderr —
+#      never an uncaught exception (which would abort with SIGABRT/134).
+#   2. Two same-seed runs export byte-identical --metrics-json documents.
+#   3. --trace writes a parseable flight-recorder dump.
+set -u
+
+BIN="${1:?usage: cli_swish_sim_test.sh <path-to-swish_sim>}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+fail=0
+
+expect_usage() {
+  local rc=0
+  "$BIN" "$@" >"$TMP/out" 2>"$TMP/err" || rc=$?
+  if [ "$rc" -ne 2 ]; then
+    echo "FAIL: swish_sim $* exited $rc (want 2)"
+    fail=1
+  elif ! grep -q "^usage:" "$TMP/err"; then
+    echo "FAIL: swish_sim $* printed no usage message"
+    fail=1
+  fi
+}
+
+# Unknown flag.
+expect_usage --definitely-not-a-flag
+# Malformed numerics (previously an uncaught std::invalid_argument).
+expect_usage --switches abc
+expect_usage --switches -3
+expect_usage --loss banana
+expect_usage --loss -0.5
+expect_usage --duration-ms 10x
+expect_usage --seed ""
+# Malformed compound arguments.
+expect_usage --kill 1
+expect_usage --kill one:20
+expect_usage --attack 100:200
+expect_usage --space nospace
+expect_usage --space =sro
+expect_usage --space name=bogus
+expect_usage --topology ring
+expect_usage --nf quantum
+expect_usage --trace-mask not-a-category
+# Flag missing its value.
+expect_usage --switches
+
+# Determinism: same seed, byte-identical metrics export.
+run_args=(--nf nat --switches 3 --duration-ms 40 --seed 11 --quiet)
+if ! "$BIN" "${run_args[@]}" --metrics-json "$TMP/m1.json" >/dev/null 2>&1; then
+  echo "FAIL: baseline run exited nonzero"
+  fail=1
+fi
+if ! "$BIN" "${run_args[@]}" --metrics-json "$TMP/m2.json" >/dev/null 2>&1; then
+  echo "FAIL: repeat run exited nonzero"
+  fail=1
+fi
+if ! cmp -s "$TMP/m1.json" "$TMP/m2.json"; then
+  echo "FAIL: same-seed runs produced different --metrics-json output"
+  diff "$TMP/m1.json" "$TMP/m2.json" | head -20
+  fail=1
+fi
+grep -q '"shm"' "$TMP/m1.json" || { echo "FAIL: metrics JSON missing shm subtree"; fail=1; }
+grep -q '"net"' "$TMP/m1.json" || { echo "FAIL: metrics JSON missing net subtree"; fail=1; }
+
+# Tracing: a kill produces failover events in the dump.
+if ! "$BIN" --switches 3 --duration-ms 60 --kill 1:20 --quiet \
+     --trace "$TMP/trace.txt" --trace-mask failover >/dev/null 2>&1; then
+  echo "FAIL: trace run exited nonzero"
+  fail=1
+fi
+grep -q "switch_failed" "$TMP/trace.txt" || {
+  echo "FAIL: trace dump has no switch_failed event"
+  fail=1
+}
+
+if [ "$fail" -eq 0 ]; then
+  echo "PASS: swish_sim CLI contract"
+fi
+exit "$fail"

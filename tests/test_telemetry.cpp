@@ -1,0 +1,284 @@
+// Telemetry layer tests (the unified metrics/trace substrate): registry
+// handle semantics and hierarchy rules, byte-deterministic export, snapshot
+// diff/merge, tracer ring behavior and its zero-cost-when-disabled claim, and
+// the per-class-bytes == bytes_total reconciliation re-proved from registry
+// snapshots instead of the legacy stats structs.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "packet/packet.hpp"
+#include "sim/simulator.hpp"
+#include "swishmem/fabric.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace swish::telemetry {
+namespace {
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, CounterHandleSupportsLegacyIncrementIdioms) {
+  MetricsRegistry reg;
+  Counter c = reg.counter("a.count");
+  ++c;
+  c++;
+  c += 40;
+  EXPECT_EQ(c, 42u);                       // implicit read conversion
+  EXPECT_EQ(reg.counter("a.count"), 42u);  // same name -> same cell
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistry, GaugeAndHistogramHandles) {
+  MetricsRegistry reg;
+  Gauge g = reg.gauge("rate");
+  g = 2.5;
+  EXPECT_DOUBLE_EQ(g, 2.5);
+
+  Histo h = reg.histogram("lat_ns");
+  for (std::uint64_t v = 1; v <= 100; ++v) h.add(v * 1000);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_GE(h.p50(), 45'000u);
+  EXPECT_LE(h.p50(), 60'000u);
+  EXPECT_GE(h.p99(), 90'000u);
+  EXPECT_GE(h.percentile(1.0), h.percentile(0.5));
+}
+
+TEST(MetricsRegistry, DottedPrefixConflictsThrow) {
+  MetricsRegistry reg;
+  reg.counter("shm.sw1.bytes");
+  // An existing leaf cannot become an interior node, and vice versa.
+  EXPECT_THROW(reg.counter("shm.sw1.bytes.write"), std::invalid_argument);
+  EXPECT_THROW(reg.counter("shm.sw1"), std::invalid_argument);
+  // Siblings are fine.
+  EXPECT_NO_THROW(reg.counter("shm.sw1.bytes_write"));
+  EXPECT_NO_THROW(reg.counter("shm.sw2.bytes"));
+}
+
+TEST(MetricsRegistry, JsonExportIsOrderIndependent) {
+  MetricsRegistry a;
+  a.counter("z.last") += 1;
+  a.gauge("m.mid") = 0.5;
+  a.counter("a.first") += 2;
+
+  MetricsRegistry b;  // same metrics, opposite registration order
+  b.counter("a.first") += 2;
+  b.gauge("m.mid") = 0.5;
+  b.counter("z.last") += 1;
+
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_NE(a.to_json().find("\"first\": 2"), std::string::npos);
+}
+
+TEST(MetricsRegistry, ProbeIsReadAtSnapshotTime) {
+  MetricsRegistry reg;
+  std::uint64_t source = 7;
+  reg.probe("ext.value", [&source]() { return source; });
+  EXPECT_EQ(reg.snapshot().values.at("ext.value").count, 7u);
+  source = 9;
+  EXPECT_EQ(reg.snapshot().values.at("ext.value").count, 9u);
+}
+
+TEST(MetricsSnapshot, DiffSubtractsAndMergeAdds) {
+  MetricsRegistry reg;
+  Counter c = reg.counter("pkts");
+  Gauge g = reg.gauge("rate");
+  c += 10;
+  g = 1.0;
+  const MetricsSnapshot before = reg.snapshot();
+  c += 5;
+  g = 3.0;
+  const MetricsSnapshot after = reg.snapshot();
+
+  const MetricsSnapshot delta = MetricsSnapshot::diff(after, before);
+  EXPECT_EQ(delta.values.at("pkts").count, 5u);
+  EXPECT_DOUBLE_EQ(delta.values.at("rate").number, 2.0);
+
+  MetricsSnapshot sum = before;
+  sum.merge(delta);
+  EXPECT_EQ(sum.values.at("pkts").count, 15u);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+TEST(Tracer, DisabledTracerAllocatesAndRecordsNothing) {
+  Tracer t;
+  for (int i = 0; i < 1000; ++i) t.record(kTracePacket, 1, "noop", i);
+  EXPECT_FALSE(t.allocated());
+  EXPECT_EQ(t.recorded(), 0u);
+  EXPECT_EQ(t.size(), 0u);
+  // A fresh simulator's tracer is disabled and unallocated too.
+  sim::Simulator sim;
+  EXPECT_FALSE(sim.tracer().allocated());
+}
+
+TEST(Tracer, RingWrapsKeepingNewestEvents) {
+  Tracer t;
+  t.enable(kTraceAll, /*capacity=*/4);
+  for (std::uint64_t i = 0; i < 10; ++i) t.record(kTracePacket, 1, "ev", i);
+  EXPECT_EQ(t.recorded(), 10u);
+  EXPECT_EQ(t.size(), 4u);
+  const auto events = t.events();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].a, 6u + i);  // oldest retained first
+  }
+}
+
+TEST(Tracer, MaskFiltersCategories) {
+  Tracer t;
+  t.enable(kTraceDrop | kTraceFailover);
+  t.record(kTracePacket, 1, "masked-off");
+  t.record(kTraceDrop, 2, "kept");
+  EXPECT_EQ(t.recorded(), 1u);
+  EXPECT_STREQ(t.events().at(0).what, "kept");
+  t.enable(0);  // disable again
+  t.record(kTraceDrop, 2, "after-disable");
+  EXPECT_EQ(t.recorded(), 1u);  // nothing recorded while disabled
+}
+
+TEST(Tracer, ParseTraceMaskRoundTrips) {
+  EXPECT_EQ(parse_trace_mask("all"), kTraceAll);
+  EXPECT_EQ(parse_trace_mask("packet,drop"), kTracePacket | kTraceDrop);
+  EXPECT_EQ(parse_trace_mask("migration"), kTraceMigration);
+  EXPECT_FALSE(parse_trace_mask("bogus").has_value());
+  EXPECT_FALSE(parse_trace_mask("packet,bogus").has_value());
+  EXPECT_EQ(parse_trace_mask("packet,,drop"), kTracePacket | kTraceDrop);  // empties skipped
+  EXPECT_EQ(trace_mask_to_string(kTracePacket | kTraceDrop), "packet,drop");
+}
+
+}  // namespace
+}  // namespace swish::telemetry
+
+// ---------------------------------------------------------------------------
+// Full-stack: two identical simulations export byte-identical registries, and
+// the byte-accounting invariant holds at the registry level.
+// ---------------------------------------------------------------------------
+
+namespace swish::shm {
+namespace {
+
+constexpr std::uint32_t kSro = 80;
+constexpr std::uint32_t kEwo = 81;
+
+std::unique_ptr<Fabric> make_mixed_fabric() {
+  FabricConfig cfg;
+  cfg.num_switches = 3;
+  cfg.link.loss_probability = 0.02;
+  auto fabric = std::make_unique<Fabric>(cfg);
+  SpaceConfig sro;
+  sro.id = kSro;
+  sro.name = "t.sro";
+  sro.cls = ConsistencyClass::kSRO;
+  sro.size = 32;
+  fabric->add_space(sro);
+  SpaceConfig ewo;
+  ewo.id = kEwo;
+  ewo.name = "t.ewo";
+  ewo.cls = ConsistencyClass::kEWO;
+  ewo.merge = MergePolicy::kGCounter;
+  ewo.size = 32;
+  fabric->add_space(ewo);
+  fabric->install(nullptr);
+  fabric->start();
+  return fabric;
+}
+
+void drive(Fabric& fabric) {
+  for (int k = 0; k < 8; ++k) {
+    fabric.runtime(k % 3).sro_write(
+        {{kSro, static_cast<std::uint64_t>(k), static_cast<std::uint64_t>(100 + k)}},
+        pkt::Packet{}, nullptr);
+    fabric.runtime((k + 1) % 3).ewo_add(kEwo, static_cast<std::uint64_t>(k), 1);
+  }
+  fabric.run_for(300 * kMs);
+  fabric.kill_switch(2);  // exercise failover -> control + recovery bytes
+  fabric.run_for(300 * kMs);
+  fabric.runtime(0).sro_write({{kSro, 1, 999}}, pkt::Packet{}, nullptr);
+  fabric.run_for(200 * kMs);
+}
+
+TEST(TelemetryFullStack, IdenticalRunsExportByteIdenticalJson) {
+  // The pkt.* probes read process-global packet stats; reset them so each
+  // run observes only its own traffic.
+  std::string first, second;
+  {
+    pkt::PacketStats::global().reset();
+    auto fabric = make_mixed_fabric();
+    drive(*fabric);
+    first = fabric->simulator().metrics().to_json();
+  }
+  {
+    pkt::PacketStats::global().reset();
+    auto fabric = make_mixed_fabric();
+    drive(*fabric);
+    second = fabric->simulator().metrics().to_json();
+  }
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(TelemetryFullStack, RegistrySnapshotReconcilesPerClassBytes) {
+  auto fabric = make_mixed_fabric();
+  drive(*fabric);
+  const telemetry::MetricsSnapshot snap = fabric->simulator().metrics().snapshot();
+  auto count = [&snap](const std::string& name) -> std::uint64_t {
+    auto it = snap.values.find(name);
+    return it == snap.values.end() ? 0 : it->second.count;
+  };
+  for (std::size_t i = 0; i < fabric->size(); ++i) {
+    const std::string p = "shm.sw" + std::to_string(i + 1) + ".";
+    const std::uint64_t per_class =
+        count(p + "sro.bytes_write") + count(p + "sro.bytes_redirect") +
+        count(p + "ero.bytes_write") + count(p + "ero.bytes_redirect") +
+        count(p + "ewo.bytes") + count(p + "own.bytes") + count(p + "bytes_recovery") +
+        count(p + "bytes_control");
+    EXPECT_EQ(per_class, count(p + "bytes_total")) << "switch " << i;
+    EXPECT_GT(count(p + "bytes_total"), 0u) << "switch " << i;
+    // The legacy stats() view and the registry agree byte for byte.
+    EXPECT_EQ(fabric->runtime(i).stats().bytes_total, count(p + "bytes_total"));
+  }
+}
+
+TEST(TelemetryFullStack, MigrationAndFailoverEmitTraceEvents) {
+  FabricConfig cfg;
+  cfg.num_switches = 4;
+  Fabric fabric(cfg);
+  SpaceConfig sp;
+  sp.id = kSro;
+  sp.name = "t.mig";
+  sp.cls = ConsistencyClass::kSRO;
+  sp.size = 16;
+  fabric.add_space(sp, {1, 2});
+  fabric.install(nullptr);
+  fabric.start();
+  fabric.simulator().tracer().enable(telemetry::kTraceMigration | telemetry::kTraceFailover);
+
+  fabric.runtime(0).sro_write({{kSro, 3, 33}}, pkt::Packet{}, nullptr);
+  fabric.run_for(100 * kMs);
+  TimeNs migrated_at = -1;
+  fabric.controller().migrate_space(kSro, {3, 4}, [&](TimeNs t) { migrated_at = t; });
+  fabric.run_for(500 * kMs);
+  fabric.kill_switch(0);
+  fabric.run_for(500 * kMs);
+  ASSERT_GT(migrated_at, 0);
+
+  bool saw_start = false, saw_done = false, saw_fail = false;
+  for (const auto& ev : fabric.simulator().tracer().events()) {
+    const std::string what = ev.what;
+    saw_start |= what == "migrate_space_start";
+    saw_done |= what == "migrate_space_done";
+    saw_fail |= what == "switch_failed";
+    EXPECT_NE(ev.category & (telemetry::kTraceMigration | telemetry::kTraceFailover), 0u);
+  }
+  EXPECT_TRUE(saw_start);
+  EXPECT_TRUE(saw_done);
+  EXPECT_TRUE(saw_fail);
+}
+
+}  // namespace
+}  // namespace swish::shm

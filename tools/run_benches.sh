@@ -21,8 +21,11 @@ BUILD="$ROOT/build-release"
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j "$(nproc)" --target bench_throughput bench_micro_primitives >/dev/null
 
+COMMIT="$(git -C "$ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+
 "$BUILD/bench/bench_throughput" \
   --sim-ms "$SIM_MS" \
+  --commit "$COMMIT" \
   --baseline "$ROOT/bench/baseline_throughput.json" \
   --out "$ROOT/BENCH_throughput.json"
 

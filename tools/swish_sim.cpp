@@ -10,7 +10,10 @@
 //   swish_sim --nf ddos --attack 60000:100:200 --sync-period-us 1000
 //   swish_sim --nf firewall --loss 0.05 --pcap fabric.pcap
 #include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <fstream>
+#include <limits>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -18,6 +21,8 @@
 #include <string>
 
 #include "common/table.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "nf/ddos.hpp"
 #include "nf/firewall.hpp"
 #include "nf/ips.hpp"
@@ -51,6 +56,9 @@ struct Options {
   std::optional<std::array<std::uint64_t, 3>> attack;  // pps, start_ms, dur_ms
   std::vector<std::pair<std::string, shm::ConsistencyClass>> space_overrides;
   std::string pcap;
+  std::string metrics_json;
+  std::string trace;
+  std::uint32_t trace_mask = telemetry::kTraceAll;
   bool quiet = false;
 };
 
@@ -74,15 +82,52 @@ struct Options {
       << "  --space NAME=CLS        override a space's consistency class\n"
       << "                          (CLS: sro|ero|ewo|own; repeatable)\n"
       << "  --pcap FILE             capture all fabric traffic\n"
+      << "  --metrics-json FILE     write the full metrics registry as JSON\n"
+      << "  --trace FILE            record a flight-recorder trace and dump it\n"
+      << "  --trace-mask CATS      comma list: packet,drop,recirc,proto-chain,\n"
+      << "                          proto-ewo,proto-own,proto-control,migration,\n"
+      << "                          failover,all (default all; needs --trace)\n"
       << "  --seed N                RNG seed (default 1)\n"
       << "  --quiet                 summary only\n";
   std::exit(2);
 }
 
+// Strict numeric parsers: the whole token must be a number of the right sign,
+// otherwise we exit through usage() instead of letting std::sto* throw.
+std::uint64_t parse_u64(const std::string& s, const char* argv0) {
+  try {
+    if (s.empty() || s[0] == '-' || s[0] == '+') usage(argv0);
+    std::size_t pos = 0;
+    const std::uint64_t v = std::stoull(s, &pos);
+    if (pos != s.size()) usage(argv0);
+    return v;
+  } catch (const std::logic_error&) {  // invalid_argument or out_of_range
+    usage(argv0);
+  }
+}
+
+TimeNs parse_time(const std::string& s, const char* argv0, TimeNs unit) {
+  const auto v = static_cast<TimeNs>(parse_u64(s, argv0));
+  if (v > std::numeric_limits<TimeNs>::max() / unit) usage(argv0);
+  return v * unit;
+}
+
+double parse_prob_or_rate(const std::string& s, const char* argv0) {
+  try {
+    if (s.empty() || s[0] == '-') usage(argv0);
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size() || !(v >= 0.0) || !std::isfinite(v)) usage(argv0);
+    return v;
+  } catch (const std::logic_error&) {
+    usage(argv0);
+  }
+}
+
 std::pair<std::size_t, TimeNs> parse_idx_ms(const std::string& s, const char* argv0) {
   const auto colon = s.find(':');
   if (colon == std::string::npos) usage(argv0);
-  return {std::stoul(s.substr(0, colon)), std::stoll(s.substr(colon + 1)) * kMs};
+  return {parse_u64(s.substr(0, colon), argv0), parse_time(s.substr(colon + 1), argv0, kMs)};
 }
 
 Options parse(int argc, char** argv) {
@@ -91,32 +136,35 @@ Options parse(int argc, char** argv) {
     if (++i >= argc) usage(argv[0]);
     return argv[i];
   };
+  bool trace_mask_given = false;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--nf") opt.nf = need(i);
-    else if (a == "--switches") opt.switches = std::stoul(need(i));
+    else if (a == "--switches") opt.switches = parse_u64(need(i), argv[0]);
     else if (a == "--topology") opt.topology = need(i);
-    else if (a == "--spines") opt.spines = std::stoul(need(i));
-    else if (a == "--loss") opt.loss = std::stod(need(i));
-    else if (a == "--link-delay-us") opt.link_delay = std::stoll(need(i)) * kUs;
-    else if (a == "--flows-per-sec") opt.flows_per_sec = std::stod(need(i));
-    else if (a == "--packets-per-flow") opt.packets_per_flow = std::stod(need(i));
-    else if (a == "--reroute") opt.reroute = std::stod(need(i));
-    else if (a == "--duration-ms") opt.duration = std::stoll(need(i)) * kMs;
-    else if (a == "--sync-period-us") opt.sync_period = std::stoll(need(i)) * kUs;
+    else if (a == "--spines") opt.spines = parse_u64(need(i), argv[0]);
+    else if (a == "--loss") opt.loss = parse_prob_or_rate(need(i), argv[0]);
+    else if (a == "--link-delay-us") opt.link_delay = parse_time(need(i), argv[0], kUs);
+    else if (a == "--flows-per-sec") opt.flows_per_sec = parse_prob_or_rate(need(i), argv[0]);
+    else if (a == "--packets-per-flow")
+      opt.packets_per_flow = parse_prob_or_rate(need(i), argv[0]);
+    else if (a == "--reroute") opt.reroute = parse_prob_or_rate(need(i), argv[0]);
+    else if (a == "--duration-ms") opt.duration = parse_time(need(i), argv[0], kMs);
+    else if (a == "--sync-period-us") opt.sync_period = parse_time(need(i), argv[0], kUs);
     else if (a == "--kill") opt.kills.push_back(parse_idx_ms(need(i), argv[0]));
     else if (a == "--revive") opt.revives.push_back(parse_idx_ms(need(i), argv[0]));
     else if (a == "--attack") {
       const std::string s = need(i);
       const auto c1 = s.find(':');
-      const auto c2 = s.find(':', c1 + 1);
+      const auto c2 = c1 == std::string::npos ? std::string::npos : s.find(':', c1 + 1);
       if (c1 == std::string::npos || c2 == std::string::npos) usage(argv[0]);
-      opt.attack = {{std::stoull(s.substr(0, c1)), std::stoull(s.substr(c1 + 1, c2 - c1 - 1)),
-                     std::stoull(s.substr(c2 + 1))}};
+      opt.attack = {{parse_u64(s.substr(0, c1), argv[0]),
+                     parse_u64(s.substr(c1 + 1, c2 - c1 - 1), argv[0]),
+                     parse_u64(s.substr(c2 + 1), argv[0])}};
     } else if (a == "--space") {
       const std::string s = need(i);
       const auto eq = s.find('=');
-      if (eq == std::string::npos) usage(argv[0]);
+      if (eq == std::string::npos || eq == 0) usage(argv[0]);
       try {
         opt.space_overrides.emplace_back(s.substr(0, eq),
                                          shm::parse_consistency_class(s.substr(eq + 1)));
@@ -124,9 +172,19 @@ Options parse(int argc, char** argv) {
         usage(argv[0]);
       }
     } else if (a == "--pcap") opt.pcap = need(i);
-    else if (a == "--seed") opt.seed = std::stoull(need(i));
+    else if (a == "--metrics-json") opt.metrics_json = need(i);
+    else if (a == "--trace") opt.trace = need(i);
+    else if (a == "--trace-mask") {
+      const auto mask = telemetry::parse_trace_mask(need(i));
+      if (!mask) usage(argv[0]);
+      opt.trace_mask = *mask;
+      trace_mask_given = true;
+    } else if (a == "--seed") opt.seed = parse_u64(need(i), argv[0]);
     else if (a == "--quiet") opt.quiet = true;
     else usage(argv[0]);
+  }
+  if (trace_mask_given && opt.trace.empty()) {
+    std::cerr << "warning: --trace-mask has no effect without --trace FILE\n";
   }
   return opt;
 }
@@ -153,6 +211,7 @@ int main(int argc, char** argv) {
   cfg.spine_count = opt.spines;
 
   shm::Fabric fabric(cfg);
+  if (!opt.trace.empty()) fabric.simulator().tracer().enable(opt.trace_mask);
 
   // Declare the NF's spaces (applying any --space class overrides) and factory.
   std::vector<std::string> declared_spaces;
@@ -267,6 +326,10 @@ int main(int argc, char** argv) {
 
   fabric.run_for(opt.duration + 500 * kMs);  // traffic + settling
 
+  // One snapshot feeds the exit tables and --metrics-json, so the report and
+  // the exported file can never disagree.
+  const telemetry::MetricsSnapshot snap = fabric.simulator().metrics().snapshot();
+
   // ---- Report ---------------------------------------------------------------
   std::cout << "scenario: nf=" << opt.nf << " switches=" << opt.switches << " topology="
             << opt.topology << " loss=" << opt.loss << " duration=" << opt.duration / 1000000
@@ -296,30 +359,40 @@ int main(int argc, char** argv) {
     }
     table.print(std::cout);
 
-    // Per-engine protocol counters, aggregated across the fabric. Counter
-    // rows are sums; latency rows (*_ns) report the fabric-wide maximum.
-    std::vector<std::string> engine_order;
-    std::map<std::string, std::vector<std::string>> row_order;
-    std::map<std::string, std::map<std::string, std::uint64_t>> totals;
-    for (std::size_t i = 0; i < fabric.size(); ++i) {
-      for (const auto& engine : fabric.runtime(i).engines()) {
-        auto [eit, fresh_engine] = totals.try_emplace(engine->name());
-        if (fresh_engine) engine_order.push_back(engine->name());
-        for (const auto& [label, value] : engine->stat_rows()) {
-          auto [rit, fresh_row] = eit->second.try_emplace(label, 0);
-          if (fresh_row) row_order[engine->name()].push_back(label);
-          const bool is_latency = label.size() > 3 && label.rfind("_ns") == label.size() - 3;
-          rit->second = is_latency ? std::max(rit->second, value) : rit->second + value;
-        }
+    // Per-engine protocol counters, aggregated across the fabric straight
+    // from the metrics registry (names shm.sw<N>.<engine>.<metric>). Counter
+    // rows are sums; histogram rows report fabric-wide merged percentiles.
+    struct EngineAgg {
+      std::map<std::string, std::uint64_t> counters;
+      std::map<std::string, Histogram> hists;
+    };
+    std::map<std::string, EngineAgg> engines;
+    for (const auto& [name, value] : snap.values) {
+      if (name.rfind("shm.sw", 0) != 0) continue;
+      const auto d1 = name.find('.', 6);
+      const auto d2 = d1 == std::string::npos ? std::string::npos : name.find('.', d1 + 1);
+      if (d2 == std::string::npos) continue;  // runtime-level counter, no engine segment
+      const std::string engine = name.substr(d1 + 1, d2 - d1 - 1);
+      if (engine != "sro" && engine != "ero" && engine != "ewo" && engine != "own") continue;
+      const std::string metric = name.substr(d2 + 1);
+      EngineAgg& agg = engines[engine];
+      if (value.kind == telemetry::MetricKind::kHistogram) {
+        agg.hists[metric].merge(value.hist);
+      } else {
+        agg.counters[metric] += value.count;
       }
     }
-    if (!engine_order.empty()) {
+    if (!engines.empty()) {
       std::cout << "\n";
       TextTable engine_table("per-engine protocol counters (fabric-wide)");
       engine_table.header({"engine", "counter", "value"});
-      for (const auto& name : engine_order) {
-        for (const auto& label : row_order[name]) {
-          engine_table.row({name, label, std::to_string(totals[name][label])});
+      for (const auto& [name, agg] : engines) {
+        for (const auto& [metric, total] : agg.counters) {
+          engine_table.row({name, metric, std::to_string(total)});
+        }
+        for (const auto& [metric, hist] : agg.hists) {
+          engine_table.row({name, metric + " (p50)", std::to_string(hist.p50())});
+          engine_table.row({name, metric + " (p99)", std::to_string(hist.p99())});
         }
       }
       engine_table.print(std::cout);
@@ -333,6 +406,28 @@ int main(int argc, char** argv) {
   if (pcap) {
     pcap->flush();
     std::cout << "pcap: wrote " << pcap->packets_written() << " packets to " << opt.pcap << "\n";
+  }
+  if (!opt.metrics_json.empty()) {
+    std::ofstream out(opt.metrics_json);
+    if (!out) {
+      std::cerr << "error: cannot open " << opt.metrics_json << " for writing\n";
+      return 1;
+    }
+    out << snap.to_json();
+    std::cout << "metrics: wrote " << snap.values.size() << " metrics to " << opt.metrics_json
+              << "\n";
+  }
+  if (!opt.trace.empty()) {
+    std::ofstream out(opt.trace);
+    if (!out) {
+      std::cerr << "error: cannot open " << opt.trace << " for writing\n";
+      return 1;
+    }
+    const telemetry::Tracer& tracer = fabric.simulator().tracer();
+    tracer.dump(out);
+    std::cout << "trace: wrote " << tracer.size() << " events (" << tracer.recorded()
+              << " recorded, mask " << telemetry::trace_mask_to_string(tracer.mask())
+              << ") to " << opt.trace << "\n";
   }
   return 0;
 }
