@@ -111,6 +111,8 @@ constexpr MsgType type_of(const SwishMessage& msg) noexcept {
   return static_cast<MsgType>(msg.index() + 1);
 }
 
+std::optional<SwishMessage> decode_body(ByteReader& r, MsgType type);
+
 }  // namespace
 
 std::vector<std::uint8_t> encode_message(const SwishMessage& msg) {
@@ -120,10 +122,44 @@ std::vector<std::uint8_t> encode_message(const SwishMessage& msg) {
   return std::move(w).take();
 }
 
+std::vector<std::uint8_t> encode_message(const SwishMessage& msg,
+                                         const telemetry::SpanContext& ctx) {
+  if (!ctx.sampled()) return encode_message(msg);
+  ByteWriter w(64 + telemetry::kSpanContextWireBytes);
+  w.u8(static_cast<std::uint8_t>(type_of(msg)) | kTracedFlag);
+  w.u64(ctx.trace_id);
+  w.u64(ctx.span_id);
+  w.u8(ctx.hop);
+  std::visit([&w](const auto& m) { encode_body(w, m); }, msg);
+  return std::move(w).take();
+}
+
 std::optional<SwishMessage> decode_message(std::span<const std::uint8_t> payload) {
+  telemetry::SpanContext ignored;
+  return decode_message(payload, &ignored);
+}
+
+std::optional<SwishMessage> decode_message(std::span<const std::uint8_t> payload,
+                                           telemetry::SpanContext* ctx) {
+  *ctx = {};
   try {
     ByteReader r(payload);
-    const auto type = static_cast<MsgType>(r.u8());
+    const std::uint8_t type_byte = r.u8();
+    if ((type_byte & kTracedFlag) != 0) {
+      ctx->trace_id = r.u64();
+      ctx->span_id = r.u64();
+      ctx->hop = r.u8();
+    }
+    return decode_body(r, static_cast<MsgType>(type_byte & ~kTracedFlag));
+  } catch (const BufferError&) {
+    return std::nullopt;
+  }
+}
+
+namespace {
+
+std::optional<SwishMessage> decode_body(ByteReader& r, MsgType type) {
+  try {
     switch (type) {
       case MsgType::kWriteRequest: {
         WriteRequest m;
@@ -225,6 +261,8 @@ std::optional<SwishMessage> decode_message(std::span<const std::uint8_t> payload
     return std::nullopt;
   }
 }
+
+}  // namespace
 
 std::size_t encoded_size(const SwishMessage& msg) { return encode_message(msg).size(); }
 

@@ -16,11 +16,18 @@
 
 #include "common/buffer.hpp"
 #include "common/types.hpp"
+#include "telemetry/span.hpp"
 
 namespace swish::pkt {
 
 /// UDP destination port carrying SwiShmem protocol messages.
 inline constexpr std::uint16_t kSwishPort = 9599;
+
+/// High bit of the type byte: the message carries an in-band trace context
+/// (17 bytes: trace id, span id, hop count) between the type byte and the
+/// body. Unsampled messages never set it, so their encoding is byte-identical
+/// to a tracing-disabled build.
+inline constexpr std::uint8_t kTracedFlag = 0x80;
 
 enum class MsgType : std::uint8_t {
   kWriteRequest = 1,
@@ -175,8 +182,20 @@ using SwishMessage = std::variant<WriteRequest, WriteAck, EwoUpdate, Heartbeat, 
 /// Serializes a protocol message (type byte + body) into a UDP payload.
 std::vector<std::uint8_t> encode_message(const SwishMessage& msg);
 
-/// Parses a payload; returns nullopt on truncation or unknown type.
+/// Serializes with an in-band trace context. An unsampled context produces
+/// exactly the plain encoding; a sampled one sets kTracedFlag on the type
+/// byte and inserts the 17-byte context before the body.
+std::vector<std::uint8_t> encode_message(const SwishMessage& msg,
+                                         const telemetry::SpanContext& ctx);
+
+/// Parses a payload; returns nullopt on truncation or unknown type. Traced
+/// payloads decode transparently (the context is skipped).
 std::optional<SwishMessage> decode_message(std::span<const std::uint8_t> payload);
+
+/// Parses a payload and, when kTracedFlag is set, fills `ctx` with the
+/// carried trace context (left unsampled otherwise). `ctx` must be non-null.
+std::optional<SwishMessage> decode_message(std::span<const std::uint8_t> payload,
+                                           telemetry::SpanContext* ctx);
 
 /// Payload size in bytes of the encoded message (used by benches computing
 /// replication bandwidth without materializing packets).

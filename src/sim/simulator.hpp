@@ -34,6 +34,8 @@
 
 #include "common/types.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/observatory.hpp"
+#include "telemetry/span.hpp"
 #include "telemetry/trace.hpp"
 
 namespace swish::sim {
@@ -168,6 +170,8 @@ class Simulator {
     slots_.reserve(kInitialQueueCapacity);
     free_slots_.reserve(kInitialQueueCapacity);
     tracer_.set_clock(&now_);
+    spans_.set_clock(&now_);
+    observatory_.set_clock(&now_);
   }
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -183,6 +187,14 @@ class Simulator {
   [[nodiscard]] const telemetry::MetricsRegistry& metrics() const noexcept { return metrics_; }
   [[nodiscard]] telemetry::Tracer& tracer() noexcept { return tracer_; }
   [[nodiscard]] const telemetry::Tracer& tracer() const noexcept { return tracer_; }
+  [[nodiscard]] telemetry::SpanRecorder& spans() noexcept { return spans_; }
+  [[nodiscard]] const telemetry::SpanRecorder& spans() const noexcept { return spans_; }
+  [[nodiscard]] telemetry::ConsistencyObservatory& observatory() noexcept {
+    return observatory_;
+  }
+  [[nodiscard]] const telemetry::ConsistencyObservatory& observatory() const noexcept {
+    return observatory_;
+  }
 
   /// Fire-and-forget: runs `fn` at absolute virtual time `t` (>= now). No
   /// cancellation flag is allocated; use this on hot paths that never cancel.
@@ -267,6 +279,8 @@ class Simulator {
   bool stopped_ = false;
   telemetry::MetricsRegistry metrics_;
   telemetry::Tracer tracer_;
+  telemetry::SpanRecorder spans_;
+  telemetry::ConsistencyObservatory observatory_;
 };
 
 }  // namespace swish::sim

@@ -106,9 +106,21 @@ void ChainEngine::write(std::vector<pkt::WriteOp> ops, pkt::Packet output, Write
   pw.output = std::move(output);
   pw.release = std::move(release);
   pw.submit_time = host_.sw().simulator().now();
+  if (!pw.ops.empty()) {
+    pw.trace = trace_origin("chain_write", pw.ops.front().space, pw.ops.front().key);
+    if (obs_ != nullptr) {
+      // Commit-at-origin for lag accounting is the submit: each chain member
+      // is one expected apply (the writer re-counts itself if in the chain).
+      const auto expected =
+          static_cast<std::uint32_t>(host_.chain_for(pw.ops.front().space).chain.size());
+      for (const auto& op : pw.ops) obs_->on_commit(op.space, op.key, id, host_.self(), expected);
+    }
+  }
+  const telemetry::SpanContext tr = pw.trace;
   pending_writes_.emplace(id, std::move(pw));
   // The control plane buffers P' and issues the write request (§6.1).
-  const bool accepted = host_.sw().control_plane().submit([this, id]() {
+  const bool accepted = host_.sw().control_plane().submit([this, id, tr]() {
+    ActiveTraceScope scope(host_, tr);
     send_write_request(id);
     arm_retry(id);
   });
@@ -145,6 +157,9 @@ void ChainEngine::arm_retry(std::uint64_t write_id) {
           return;
         }
         ++stats_.write_retries;
+        // The retransmission stays on the original write's causal chain; the
+        // runtime's send-identity cache reuses the first transmission's span.
+        ActiveTraceScope scope(host_, pit->second.trace);
         send_write_request(write_id);
         arm_retry(write_id);
       });
@@ -180,7 +195,8 @@ void ChainEngine::on_write_request(const pkt::WriteRequest& msg) {
 }
 
 void ChainEngine::head_process(pkt::WriteRequest msg) {
-  auto work = [this, msg = std::move(msg)]() mutable {
+  auto work = [this, msg = std::move(msg), tr = host_.active_trace()]() mutable {
+    ActiveTraceScope scope(host_, tr);
     auto dedup = head_assigned_.find(msg.write_id);
     if (dedup != head_assigned_.end()) {
       // Retransmitted write already sequenced: re-forward with the same seqs
@@ -204,6 +220,12 @@ void ChainEngine::head_process(pkt::WriteRequest msg) {
       // against pathological loss keeping the map growing.
       if (head_assigned_.size() > 65536) head_assigned_.clear();
       head_assigned_.emplace(msg.write_id, msg.seqs);
+      trace_point("chain_apply", msg.ops.front().space, msg.ops.front().key);
+      if (obs_ != nullptr) {
+        for (const auto& op : msg.ops) {
+          obs_->on_apply(op.space, op.key, msg.writer, msg.write_id, host_.self());
+        }
+      }
     }
     const pkt::ChainConfig& chain = host_.chain_for(msg.ops.front().space);
     if (chain.chain.back() == host_.self()) {
@@ -222,7 +244,8 @@ void ChainEngine::head_process(pkt::WriteRequest msg) {
 }
 
 void ChainEngine::relay_process(pkt::WriteRequest msg) {
-  auto work = [this, msg = std::move(msg)]() mutable {
+  auto work = [this, msg = std::move(msg), tr = host_.active_trace()]() mutable {
+    ActiveTraceScope scope(host_, tr);
     // Per-slot in-order check: a gap means an earlier write was lost; drop the
     // whole request and let the writer's retransmit repair the chain.
     for (std::size_t i = 0; i < msg.ops.size(); ++i) {
@@ -234,6 +257,7 @@ void ChainEngine::relay_process(pkt::WriteRequest msg) {
         return;
       }
     }
+    bool applied_any = false;
     for (std::size_t i = 0; i < msg.ops.size(); ++i) {
       auto it = spaces_.find(msg.ops[i].space);
       if (it == spaces_.end()) continue;
@@ -243,10 +267,16 @@ void ChainEngine::relay_process(pkt::WriteRequest msg) {
         sp.apply(msg.ops[i].key, msg.ops[i].value, host_.sw().control_plane().token());
         sp.set_guard_seq(slot, msg.seqs[i]);
         sp.set_pending(slot);
+        applied_any = true;
+        if (obs_ != nullptr) {
+          obs_->on_apply(msg.ops[i].space, msg.ops[i].key, msg.writer, msg.write_id,
+                         host_.self());
+        }
       }
       // seqs[i] <= guard: duplicate of an already-applied write; still forward
       // so downstream switches that missed it catch up.
     }
+    if (applied_any) trace_point("chain_apply", msg.ops.front().space, msg.ops.front().key);
     const pkt::ChainConfig& chain = host_.chain_for(msg.ops.front().space);
     if (chain.chain.back() == host_.self()) {
       tail_commit(msg);
@@ -262,6 +292,9 @@ void ChainEngine::relay_process(pkt::WriteRequest msg) {
 }
 
 void ChainEngine::tail_commit(const pkt::WriteRequest& msg) {
+  if (!msg.ops.empty()) {
+    trace_point("tail_commit", msg.ops.front().space, msg.ops.front().key);
+  }
   // The tail's copy is authoritative; it never redirects, so its pending bits
   // can clear immediately.
   for (std::size_t i = 0; i < msg.ops.size(); ++i) {
@@ -290,6 +323,9 @@ void ChainEngine::on_write_ack(const pkt::WriteAck& msg) {
     if (it != pending_writes_.end()) {
       it->second.retry_timer.cancel();
       ++stats_.writes_committed;
+      if (!msg.ops.empty()) {
+        trace_point("commit_ack", msg.ops.front().space, msg.ops.front().key);
+      }
       stats_.write_latency.add(static_cast<std::uint64_t>(host_.sw().simulator().now() -
                                                           it->second.submit_time));
       auto release = std::move(it->second.release);
@@ -354,6 +390,7 @@ ReadStatus ChainEngine::read(pisa::PacketContext* ctx, std::uint32_t space, std:
     }
   }
   ++stats_.reads_local;
+  if (obs_ != nullptr) obs_->on_read(space, key, host_.self());
   auto v = sp.read(key);
   if (!v) return ReadStatus::kMiss;
   value = *v;

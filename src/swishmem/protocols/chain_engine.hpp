@@ -88,6 +88,7 @@ class ChainEngine : public ProtocolEngine {
     unsigned retries = 0;
     TimeNs submit_time = 0;
     sim::TimerHandle retry_timer;
+    telemetry::SpanContext trace;  ///< causal chain of this write (if sampled)
   };
 
   // Message handlers.

@@ -24,6 +24,8 @@
 #include "packet/swish_wire.hpp"
 #include "swishmem/config.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/observatory.hpp"
+#include "telemetry/span.hpp"
 
 namespace swish::pisa {
 class Switch;
@@ -86,6 +88,48 @@ class EngineHost {
   /// donor-side tap of §6.3).
   virtual void recovery_tap(const std::vector<pkt::WriteOp>& ops,
                             const std::vector<SeqNum>& seqs) = 0;
+
+  // -- Observability (defaulted: external hosts need no tracing) ----------------
+  /// Span recorder of this simulation, or nullptr when causal tracing is
+  /// unavailable. Engines cache the pointer; a disabled recorder is one
+  /// branch per call, so they need not re-check enablement.
+  [[nodiscard]] virtual telemetry::SpanRecorder* spans() noexcept { return nullptr; }
+  /// Consistency-lag observatory, or nullptr when unavailable.
+  [[nodiscard]] virtual telemetry::ConsistencyObservatory* observatory() noexcept {
+    return nullptr;
+  }
+  /// Trace context of the causal chain currently executing on this switch —
+  /// set by the runtime around message dispatch and by engines around
+  /// deferred work (control-plane closures, timers). send() attaches it to
+  /// outgoing messages.
+  [[nodiscard]] virtual telemetry::SpanContext active_trace() const noexcept { return {}; }
+  virtual void set_active_trace(const telemetry::SpanContext&) noexcept {}
+  /// Stable pointer to the host's active-trace slot, or nullptr when the
+  /// host keeps none. Engines cache it at construction so the frequent
+  /// "tracing on but this chain unsampled" check is two loads instead of a
+  /// virtual call per datapath operation (bench_throughput --overhead-gate).
+  [[nodiscard]] virtual const telemetry::SpanContext* active_trace_ptr() const noexcept {
+    return nullptr;
+  }
+};
+
+/// RAII guard installing `ctx` as the host's active trace context for the
+/// current scope; restores the previous context on exit. Used by engines to
+/// re-enter a causal chain from deferred work (control-plane submissions,
+/// retry timers, flush buffers).
+class ActiveTraceScope {
+ public:
+  ActiveTraceScope(EngineHost& host, const telemetry::SpanContext& ctx) noexcept
+      : host_(host), saved_(host.active_trace()) {
+    host_.set_active_trace(ctx);
+  }
+  ~ActiveTraceScope() { host_.set_active_trace(saved_); }
+  ActiveTraceScope(const ActiveTraceScope&) = delete;
+  ActiveTraceScope& operator=(const ActiveTraceScope&) = delete;
+
+ private:
+  EngineHost& host_;
+  telemetry::SpanContext saved_;
 };
 
 /// One consistency protocol: owns the space state of its class and the full
@@ -95,7 +139,11 @@ class ProtocolEngine {
   /// (label, value) rows for per-engine reporting (swish_sim exit summary).
   using StatRow = std::pair<std::string, std::uint64_t>;
 
-  explicit ProtocolEngine(EngineHost& host) : host_(host) {}
+  explicit ProtocolEngine(EngineHost& host)
+      : host_(host),
+        obs_(host.observatory()),
+        spans_(host.spans()),
+        active_ctx_(host.active_trace_ptr()) {}
   virtual ~ProtocolEngine() = default;
   ProtocolEngine(const ProtocolEngine&) = delete;
   ProtocolEngine& operator=(const ProtocolEngine&) = delete;
@@ -166,7 +214,64 @@ class ProtocolEngine {
   /// This engine's registry subtree: "shm.sw<id>.<proto_name>.".
   [[nodiscard]] std::string metric_prefix(const char* proto_name) const;
 
+  /// Starts — or continues — the sampled causal chain for a write
+  /// originating on this switch. When the current dispatch already carries a
+  /// sampled context (the write was triggered by a redirect, grant, or
+  /// recovery frame) the chain continues; otherwise the recorder takes a
+  /// fresh root-sampling decision. Records the span and returns its context;
+  /// the engine re-enters it (ActiveTraceScope) around whatever sends the
+  /// resulting protocol traffic — possibly from deferred control-plane work.
+  /// Returns an unsampled context when tracing is off or sampled out.
+  /// Inline: the enabled-but-unsampled steady state must cost only a few
+  /// loads per write (gated at 2% by bench_throughput --overhead-gate).
+  telemetry::SpanContext trace_origin(const char* name, std::uint32_t space, std::uint64_t key) {
+    if (spans_ == nullptr || !spans_->enabled()) return {};
+    const telemetry::SpanContext parent = current_trace();
+    if (parent.sampled()) return spans_->record_instant(parent, host_.self(), name, space, key);
+    const telemetry::SpanContext ctx = spans_->maybe_start_trace();
+    if (!ctx.sampled()) return {};
+    const TimeNs t = spans_->now();
+    spans_->record({ctx.trace_id, ctx.span_id, 0, host_.self(), name, t, t, 0, space, key});
+    return ctx;
+  }
+
+  /// Roots a fresh sampled trace for background/periodic protocol traffic
+  /// (anti-entropy sync, backup flushes) when no trace is already active;
+  /// returns an unsampled context when tracing is off, a trace is already
+  /// active, or root sampling skips this round.
+  telemetry::SpanContext trace_root(const char* name) {
+    if (spans_ == nullptr || !spans_->enabled() || current_trace().sampled()) return {};
+    const telemetry::SpanContext ctx = spans_->maybe_start_trace();
+    if (!ctx.sampled()) return {};
+    const TimeNs t = spans_->now();
+    spans_->record({ctx.trace_id, ctx.span_id, 0, host_.self(), name, t, t, 0, 0, 0});
+    return ctx;
+  }
+
+  /// Records a point span continuing the active trace (e.g. a replica
+  /// apply); returns the recorded context without changing the active trace.
+  telemetry::SpanContext trace_point(const char* name, std::uint32_t space, std::uint64_t key) {
+    if (spans_ == nullptr || !spans_->enabled()) return {};
+    const telemetry::SpanContext parent = current_trace();
+    if (!parent.sampled()) return {};
+    return spans_->record_instant(parent, host_.self(), name, space, key);
+  }
+
   EngineHost& host_;
+  /// Consistency-lag observatory, cached at construction (nullptr for hosts
+  /// without one; a disabled observatory early-returns on every call).
+  telemetry::ConsistencyObservatory* obs_ = nullptr;
+
+ private:
+  /// Host's active trace context via the cached slot pointer when available.
+  [[nodiscard]] telemetry::SpanContext current_trace() const noexcept {
+    return active_ctx_ != nullptr ? *active_ctx_ : host_.active_trace();
+  }
+
+  /// Span recorder and active-trace slot, cached at construction (both have
+  /// stable addresses for the lifetime of the simulation).
+  telemetry::SpanRecorder* spans_ = nullptr;
+  const telemetry::SpanContext* active_ctx_ = nullptr;
 };
 
 /// Creates the engine implementing `cls` (the only place that maps a

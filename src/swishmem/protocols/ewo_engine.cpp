@@ -47,10 +47,41 @@ bool EwoEngine::handle_message(const pkt::SwishMessage& msg) {
   const auto* update = std::get_if<pkt::EwoUpdate>(&msg);
   if (!update) return false;
   ++stats_.updates_received;
+  const bool observe = obs_ != nullptr && obs_->enabled();
+  bool merged_any = false;
   for (const auto& entry : update->entries) {
     auto it = spaces_.find(entry.space);
     if (it == spaces_.end()) continue;
-    if (it->second->merge(entry)) ++stats_.entries_merged;
+    const bool merged = it->second->merge(entry);
+    if (merged) {
+      ++stats_.entries_merged;
+      merged_any = true;
+    }
+    // Periodic full-state syncs rebroadcast every slot every round; almost
+    // all entries are already known, so only the ones that actually changed
+    // local state report to the observatory — keeping the per-entry map
+    // lookup off the steady-state sync path. Mirror flushes (one delivery
+    // per write, possibly retransmitted) always report; the observatory
+    // deduplicates by identity and replica.
+    if (observe && (merged || !update->periodic)) {
+      // Origin and identity are recoverable from the entry itself: LWW
+      // versions embed the writing switch, CRDT slots name their owner in
+      // the tag. Duplicates and already-known entries are deduplicated by
+      // the observatory (identity subsume + one count per replica).
+      NodeId origin;
+      std::uint64_t ident;
+      if (it->second->config().merge == MergePolicy::kLww) {
+        origin = Version::switch_id(entry.version);
+        ident = entry.version;
+      } else {
+        origin = static_cast<NodeId>(entry.version >> 1);
+        ident = entry.value;
+      }
+      obs_->on_apply(entry.space, entry.key, origin, ident, host_.self());
+    }
+  }
+  if (merged_any && !update->entries.empty()) {
+    trace_point("ewo_apply", update->entries.front().space, update->entries.front().key);
   }
   return true;
 }
@@ -63,6 +94,7 @@ std::uint64_t EwoEngine::local_read(std::uint32_t space, std::uint64_t key) {
   auto it = spaces_.find(space);
   if (it == spaces_.end()) return 0;
   ++stats_.reads;
+  if (obs_ != nullptr) obs_->on_read(space, key, host_.self());
   return it->second->read(key);
 }
 
@@ -77,8 +109,13 @@ void EwoEngine::local_write(std::uint32_t space, std::uint64_t key, std::uint64_
   TimeNs ts = host_.sw().simulator().now() + host_.config().clock_offset;
   if (ts <= last_lww_timestamp_) ts = last_lww_timestamp_ + 1;
   last_lww_timestamp_ = ts;
-  it->second->write_local(key, value, Version::pack(ts, host_.self()));
-  if (it->second->config().mirror_writes) mirror_enqueue(*it->second, key);
+  const RawVersion version = Version::pack(ts, host_.self());
+  it->second->write_local(key, value, version);
+  const telemetry::SpanContext tr = trace_origin("ewo_write", space, key);
+  if (obs_ != nullptr && obs_->enabled()) {
+    obs_->on_commit(space, key, version, host_.self(), expected_replicas());
+  }
+  if (it->second->config().mirror_writes) mirror_enqueue(*it->second, key, tr);
 }
 
 std::uint64_t EwoEngine::add(std::uint32_t space, std::uint64_t key, std::int64_t delta) {
@@ -86,7 +123,9 @@ std::uint64_t EwoEngine::add(std::uint32_t space, std::uint64_t key, std::int64_
   if (it == spaces_.end()) return 0;
   ++stats_.local_writes;
   const std::uint64_t result = it->second->add_local(key, delta);
-  if (it->second->config().mirror_writes) mirror_enqueue(*it->second, key);
+  const telemetry::SpanContext tr = trace_origin("ewo_add", space, key);
+  observe_commit(*it->second, space, key);
+  if (it->second->config().mirror_writes) mirror_enqueue(*it->second, key, tr);
   return result;
 }
 
@@ -95,7 +134,9 @@ std::uint64_t EwoEngine::set_add(std::uint32_t space, std::uint64_t key, std::ui
   if (it == spaces_.end()) return 0;
   ++stats_.local_writes;
   const std::uint64_t result = it->second->set_add_local(key, bits);
-  if (it->second->config().mirror_writes) mirror_enqueue(*it->second, key);
+  const telemetry::SpanContext tr = trace_origin("ewo_set_add", space, key);
+  observe_commit(*it->second, space, key);
+  if (it->second->config().mirror_writes) mirror_enqueue(*it->second, key, tr);
   return result;
 }
 
@@ -135,8 +176,35 @@ const std::vector<SwitchId>& EwoEngine::replication_targets() const noexcept {
   return members.empty() ? host_.deployment() : members;
 }
 
-void EwoEngine::mirror_enqueue(const EwoSpaceState& st, std::uint64_t key) {
-  mirror_buffer_.emplace_back(&st, key);
+std::uint32_t EwoEngine::expected_replicas() const noexcept {
+  std::uint32_t n = 0;
+  for (SwitchId dst : replication_targets()) {
+    if (dst != host_.self()) ++n;
+  }
+  return n;
+}
+
+void EwoEngine::observe_commit(const EwoSpaceState& st, std::uint32_t space, std::uint64_t key) {
+  if (obs_ == nullptr || !obs_->enabled()) return;
+  // The identity the observatory will see back in on_apply: for CRDTs that is
+  // the value of this switch's own slot (monotone), for LWW the packed
+  // version. collect_own_entries gives exactly the entries we would mirror.
+  observe_scratch_.clear();
+  std::vector<pkt::EwoEntry>& own = observe_scratch_;
+  st.collect_own_entries(key, own);
+  if (own.empty()) return;
+  std::uint64_t ident = 0;
+  if (st.config().merge == MergePolicy::kLww) {
+    ident = own.front().version;
+  } else {
+    for (const auto& e : own) ident = std::max(ident, e.value);
+  }
+  obs_->on_commit(space, key, ident, host_.self(), expected_replicas());
+}
+
+void EwoEngine::mirror_enqueue(const EwoSpaceState& st, std::uint64_t key,
+                               const telemetry::SpanContext& trace) {
+  mirror_buffer_.push_back({&st, key, trace});
   if (mirror_buffer_.size() >= st.config().mirror_batch) flush_mirror_buffer();
 }
 
@@ -145,10 +213,16 @@ void EwoEngine::flush_mirror_buffer() {
   pkt::EwoUpdate update;
   update.origin = host_.self();
   update.periodic = false;
-  for (const auto& [st, key] : mirror_buffer_) {
-    st->collect_own_entries(key, update.entries);
+  // A coalesced flush carries one trace context on the wire: the first
+  // sampled write in the batch. Later sampled writes in the same batch lose
+  // their individual linkage (documented in DESIGN.md §9).
+  telemetry::SpanContext flush_trace;
+  for (const auto& slot : mirror_buffer_) {
+    slot.st->collect_own_entries(slot.key, update.entries);
+    if (!flush_trace.sampled() && slot.trace.sampled()) flush_trace = slot.trace;
   }
   mirror_buffer_.clear();
+  ActiveTraceScope scope(host_, flush_trace);
   std::uint64_t copies = 0;
   for (SwitchId dst : replication_targets()) {
     if (dst == host_.self()) continue;
@@ -170,6 +244,11 @@ void EwoEngine::periodic_sync() {
     if (m != host_.self()) targets.push_back(m);
   }
   if (targets.empty()) return;
+
+  // Root a span per sync round so anti-entropy repair traffic is visible in
+  // the causal DAG (sampled at the same 1-in-N rate as writes).
+  const telemetry::SpanContext sync_trace = trace_root("ewo_sync");
+  ActiveTraceScope scope(host_, sync_trace.sampled() ? sync_trace : host_.active_trace());
 
   const std::size_t chunk = host_.config().sync_chunk_entries;
   for (std::size_t off = 0; off < all.size(); off += chunk) {

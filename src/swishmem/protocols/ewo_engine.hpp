@@ -63,17 +63,33 @@ class EwoEngine final : public ProtocolEngine {
   [[nodiscard]] const Stats& ewo_stats() const noexcept { return stats_; }
 
  private:
-  void mirror_enqueue(const EwoSpaceState& st, std::uint64_t key);
+  struct MirrorSlot {
+    const EwoSpaceState* st = nullptr;
+    std::uint64_t key = 0;
+    telemetry::SpanContext trace;  ///< causal chain of the buffered write
+  };
+
+  void mirror_enqueue(const EwoSpaceState& st, std::uint64_t key,
+                      const telemetry::SpanContext& trace);
   void flush_mirror_buffer();
   void periodic_sync();
   [[nodiscard]] const std::vector<SwitchId>& replication_targets() const noexcept;
+  /// Replicas other than this switch (expected applies for lag accounting).
+  [[nodiscard]] std::uint32_t expected_replicas() const noexcept;
+  /// Reports commit-at-origin to the observatory; ident is the space's own
+  /// wire identity for the key (LWW packed version / max own CRDT slot).
+  void observe_commit(const EwoSpaceState& st, std::uint32_t space, std::uint64_t key);
 
   std::unordered_map<std::uint32_t, std::unique_ptr<EwoSpaceState>> spaces_;
 
   // Mirror batch buffer: (space state, key) pairs awaiting flush. Spaces are
   // add-only and unique_ptr-owned, so the pointers stay valid and the flush
   // avoids a map lookup per buffered entry.
-  std::vector<std::pair<const EwoSpaceState*, std::uint64_t>> mirror_buffer_;
+  std::vector<MirrorSlot> mirror_buffer_;
+
+  // Scratch for observe_commit: with the observatory on, every local write
+  // collects its own entries — reusing one buffer keeps that allocation-free.
+  std::vector<pkt::EwoEntry> observe_scratch_;
 
   TimeNs last_lww_timestamp_ = 0;  ///< per-switch monotone LWW clock (§6.2)
 

@@ -134,6 +134,7 @@ ReadStatus OwnerEngine::read(pisa::PacketContext* ctx, std::uint32_t space, std:
   auto it = spaces_.find(space);
   if (it == spaces_.end()) return ReadStatus::kMiss;
   ++stats_.reads;
+  if (obs_ != nullptr) obs_->on_read(space, it->second->slot(key), host_.self());
   value = it->second->value(key);
   return ReadStatus::kOk;
 }
@@ -180,8 +181,8 @@ bool OwnerEngine::update(std::uint32_t space, std::uint64_t key, std::int64_t de
 
 void OwnerEngine::apply_owned(OwnSpaceState& st, std::uint32_t space, std::uint64_t key,
                               QueuedOp& op) {
-  (void)space;
   ++stats_.local_writes;
+  trace_origin("own_write", space, key);
   if (op.is_update) {
     const std::uint64_t result = st.value(key) + static_cast<std::uint64_t>(op.delta);
     st.owner_write(key, result);
@@ -189,6 +190,12 @@ void OwnerEngine::apply_owned(OwnSpaceState& st, std::uint32_t space, std::uint6
   } else {
     st.owner_write(key, op.value);
     if (op.completion) op.completion();
+  }
+  // OWN propagates owner writes to exactly one replica — the key's home —
+  // via the periodic backup flush (or the grant relinquish path). Self-homed
+  // keys have no remote copy to lag behind.
+  if (obs_ != nullptr && obs_->enabled() && home_of(space, key) != host_.self()) {
+    obs_->on_commit(space, key, st.version(key), host_.self(), 1);
   }
 }
 
@@ -229,9 +236,12 @@ void OwnerEngine::begin_acquire(std::uint32_t space, std::uint64_t slot) {
   ++stats_.acquisitions_started;
   const std::uint64_t req_id =
       (static_cast<std::uint64_t>(host_.self()) << 40) | ++next_req_id_;
+  const telemetry::SpanContext tr = trace_origin("own_acquire", space, slot);
   PendingAcquire pa;
   pa.req_id = req_id;
+  pa.trace = tr;
   pending_acquires_.emplace(KeyRef{space, slot}, std::move(pa));
+  ActiveTraceScope scope(host_, tr);
   deliver(home_of(space, slot),
           pkt::OwnRequest{space, slot, host_.self(), req_id, /*revoke=*/false});
   arm_acquire_retry(space, slot, req_id);
@@ -253,6 +263,9 @@ void OwnerEngine::arm_acquire_retry(std::uint32_t space, std::uint64_t slot,
         ++stats_.acquisition_retries;
         // Retries reuse the SAME req_id (idempotent at home and owner) but
         // recompute the home, so they survive a failover-driven re-homing.
+        // Re-entering the original acquisition trace (plus the runtime's
+        // req_id-keyed send-span cache) keeps retransmits from double-counting.
+        ActiveTraceScope scope(host_, pit->second.trace);
         deliver(home_of(space, slot),
                 pkt::OwnRequest{space, slot, host_.self(), req_id, /*revoke=*/false});
         arm_acquire_retry(space, slot, req_id);
@@ -273,6 +286,7 @@ void OwnerEngine::install_grant(const pkt::OwnGrant& msg) {
   ++stats_.acquisitions_completed;
   host_.sw().simulator().tracer().record(telemetry::kTraceMigration, host_.self(),
                                          "own_acquired", msg.space, msg.key);
+  trace_point("own_acquired", msg.space, msg.key);
   pit->second.retry_timer.cancel();
   auto queue = std::move(pit->second.queue);
   pending_acquires_.erase(pit);
@@ -306,6 +320,7 @@ void OwnerEngine::on_own_request(const pkt::OwnRequest& msg) {
       ++stats_.revokes_served;
       host_.sw().simulator().tracer().record(telemetry::kTraceMigration, host_.self(),
                                              "own_revoked", msg.space, msg.key);
+      trace_point("own_revoke", msg.space, msg.key);
     }
     deliver(home_of(msg.space, msg.key),
             pkt::OwnGrant{msg.space, msg.key, msg.requester, msg.req_id, st.value(msg.key),
@@ -346,7 +361,18 @@ void OwnerEngine::on_own_grant(const pkt::OwnGrant& msg) {
   // the grant to the requester.
   auto git = pending_grants_.find(KeyRef{msg.space, msg.key});
   if (git != pending_grants_.end() && git->second.req_id == msg.req_id) {
-    if (msg.version >= st.version(msg.key)) st.store(msg.key, msg.value, msg.version);
+    if (msg.version >= st.version(msg.key)) {
+      // The relinquished value folding into the home backup IS the (single)
+      // replica apply for the old owner's in-flight writes: close their
+      // propagation records here so migration does not leak inflight entries.
+      if (obs_ != nullptr) {
+        const SwitchId prev_owner = st.dir_owner(msg.key);
+        if (prev_owner != kInvalidNode && prev_owner != host_.self()) {
+          obs_->on_apply(msg.space, msg.key, prev_owner, msg.version, host_.self());
+        }
+      }
+      st.store(msg.key, msg.value, msg.version);
+    }
     const SwitchId requester = git->second.requester;
     pending_grants_.erase(git);
     grant_from_backup(st, msg.space, msg.key, requester, msg.req_id);
@@ -387,14 +413,21 @@ void OwnerEngine::send_backup_entries(std::uint32_t space, const OwnSpaceState& 
 }
 
 void OwnerEngine::backup_flush() {
+  // Root a span per flush round: backup propagation is the apply half of
+  // OWN's consistency lag, so it must be visible in the causal DAG.
+  const telemetry::SpanContext tr = trace_root("own_backup");
+  ActiveTraceScope scope(host_, tr.sampled() ? tr : host_.active_trace());
   for (auto& [id, sp] : spaces_) send_backup_entries(id, *sp, sp->take_dirty());
 }
 
 void OwnerEngine::flush_claims() {
+  const telemetry::SpanContext tr = trace_root("own_claims");
+  ActiveTraceScope scope(host_, tr.sampled() ? tr : host_.active_trace());
   for (auto& [id, sp] : spaces_) send_backup_entries(id, *sp, sp->owned_slots());
 }
 
 void OwnerEngine::on_own_update(const pkt::OwnUpdate& msg) {
+  bool merged_any = false;
   for (const auto& entry : msg.entries) {
     auto sit = spaces_.find(entry.space);
     if (sit == spaces_.end()) continue;
@@ -403,12 +436,22 @@ void OwnerEngine::on_own_update(const pkt::OwnUpdate& msg) {
     if (entry.version > st.version(entry.key)) {
       st.store(entry.key, entry.value, entry.version);
       ++stats_.backup_entries_merged;
+      merged_any = true;
+    }
+    // The observatory subsumes older idents and deduplicates replicas, so
+    // reporting every entry (merged or not) is safe and closes records whose
+    // value reached us through another path first.
+    if (obs_ != nullptr) {
+      obs_->on_apply(entry.space, entry.key, msg.owner, entry.version, host_.self());
     }
     if (msg.claim && home_of(entry.space, entry.key) == host_.self()) {
       // Directory self-healing: adopt the claimant when the directory has no
       // owner on record. A conflicting record wins — grants are authoritative.
       if (st.dir_owner(entry.key) == kInvalidNode) st.set_dir_owner(entry.key, msg.owner);
     }
+  }
+  if (merged_any && !msg.entries.empty()) {
+    trace_point("own_backup_apply", msg.entries.front().space, msg.entries.front().key);
   }
 }
 

@@ -95,6 +95,7 @@ class OwnerEngine final : public ProtocolEngine {
     unsigned retries = 0;
     std::vector<QueuedOp> queue;
     sim::TimerHandle retry_timer;
+    telemetry::SpanContext trace;  ///< causal chain of this acquisition (if sampled)
   };
 
   /// Home-side in-flight revoke: set when the revoke is forwarded to the

@@ -60,6 +60,38 @@ const char* msg_trace_name(const pkt::SwishMessage& msg) noexcept {
   return "?";
 }
 
+/// Cap on the retry-reuse span cache; blunt-cleared beyond this (a cleared
+/// entry only means a late retransmission starts a fresh span).
+constexpr std::size_t kMaxSendSpans = 65536;
+
+/// Idempotency identity of a message for span reuse across retransmissions:
+/// (tag, id, packed principal+destination). Messages without a stable retry
+/// identity (EwoUpdate mirror batches, periodic sync, heartbeats, config)
+/// return nullopt — their re-flushes carry fresh content, so each
+/// transmission is a distinct causal event.
+std::optional<std::tuple<std::uint8_t, std::uint64_t, std::uint64_t>> send_identity(
+    SwitchId dst, const pkt::SwishMessage& msg) noexcept {
+  const auto d = static_cast<std::uint64_t>(dst);
+  if (const auto* wr = std::get_if<pkt::WriteRequest>(&msg)) {
+    return std::tuple{std::uint8_t{1}, wr->write_id,
+                      (static_cast<std::uint64_t>(wr->writer) << 32) | d};
+  }
+  if (const auto* ack = std::get_if<pkt::WriteAck>(&msg)) {
+    return std::tuple{std::uint8_t{2}, ack->write_id,
+                      (static_cast<std::uint64_t>(ack->writer) << 32) | d};
+  }
+  if (const auto* req = std::get_if<pkt::OwnRequest>(&msg)) {
+    return std::tuple{std::uint8_t{3}, req->req_id,
+                      (static_cast<std::uint64_t>(req->requester) << 33) |
+                          (static_cast<std::uint64_t>(req->revoke) << 32) | d};
+  }
+  if (const auto* grant = std::get_if<pkt::OwnGrant>(&msg)) {
+    return std::tuple{std::uint8_t{4}, grant->req_id,
+                      (static_cast<std::uint64_t>(grant->new_owner) << 32) | d};
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 ShmRuntime::ShmRuntime(pisa::Switch& sw, RuntimeConfig config, NodeId controller)
@@ -72,6 +104,8 @@ ShmRuntime::ShmRuntime(pisa::Switch& sw, RuntimeConfig config, NodeId controller
   recovery_bytes_ = reg.counter(prefix + "bytes_recovery");
   control_bytes_ = reg.counter(prefix + "bytes_control");
   total_bytes_ = reg.counter(prefix + "bytes_total");
+  spans_ = &sw.simulator().spans();
+  observatory_ = &sw.simulator().observatory();
 }
 
 // ---------------------------------------------------------------------------
@@ -112,6 +146,9 @@ void ShmRuntime::add_space(const SpaceConfig& config, const std::vector<SwitchId
   ProtocolEngine& engine = engine_for_class(config.cls);
   engine.add_space(config, replicas);
   space_engines_[config.id] = &engine;
+  // All hosts of a space register it with the shared observatory; after the
+  // first registration the call is a no-op.
+  observatory_->register_space(config.id, config.name, to_string(config.cls));
 }
 
 void ShmRuntime::add_remote_space(const SpaceConfig& config) {
@@ -201,7 +238,8 @@ bool ShmRuntime::is_tail() const noexcept {
 // Transport (EngineHost)
 // ---------------------------------------------------------------------------
 
-pkt::Packet ShmRuntime::wrap(SwitchId dst, const pkt::SwishMessage& msg) const {
+pkt::Packet ShmRuntime::wrap(SwitchId dst, const pkt::SwishMessage& msg,
+                             const telemetry::SpanContext& ctx) const {
   pkt::PacketSpec spec;
   spec.eth_src = pkt::MacAddr::for_node(sw_.id());
   spec.eth_dst = pkt::MacAddr::for_node(dst);
@@ -210,12 +248,40 @@ pkt::Packet ShmRuntime::wrap(SwitchId dst, const pkt::SwishMessage& msg) const {
   spec.protocol = pkt::kProtoUdp;
   spec.src_port = pkt::kSwishPort;
   spec.dst_port = pkt::kSwishPort;
-  spec.payload = pkt::encode_message(msg);
+  spec.payload = pkt::encode_message(msg, ctx);
   return pkt::build_packet(spec);
 }
 
+telemetry::SpanContext ShmRuntime::outgoing_trace(SwitchId dst, const pkt::SwishMessage& msg) {
+  // Fast path for the sampling-disabled steady state: nothing sampled is in
+  // flight and no retransmission context is cached, so there is nothing to
+  // attach and nothing to look up. Keeps the send chokepoint near-free when
+  // tracing is enabled but (almost) never sampling — gated at 2% by
+  // bench_throughput --overhead-gate.
+  if (!active_trace_.sampled() && send_spans_.empty()) return {};
+  const auto identity = send_identity(dst, msg);
+  if (identity) {
+    auto it = send_spans_.find(*identity);
+    if (it != send_spans_.end()) return it->second;  // retransmission: reuse
+  }
+  if (!active_trace_.sampled()) return {};
+  const telemetry::SpanContext ctx =
+      spans_->record_instant(active_trace_, sw_.id(), msg_trace_name(msg));
+  if (identity && ctx.sampled()) {
+    if (send_spans_.size() >= kMaxSendSpans) send_spans_.clear();
+    send_spans_.emplace(*identity, ctx);
+  }
+  return ctx;
+}
+
 std::size_t ShmRuntime::send(SwitchId dst, const pkt::SwishMessage& msg) {
-  pkt::Packet packet = wrap(dst, msg);
+  telemetry::SpanContext trace_ctx;
+  // Inline what outgoing_trace's fast path would check, so the steady state
+  // with tracing enabled but nothing sampled skips the call entirely.
+  if (spans_->enabled() && (active_trace_.sampled() || !send_spans_.empty())) {
+    trace_ctx = outgoing_trace(dst, msg);
+  }
+  pkt::Packet packet = wrap(dst, msg, trace_ctx);
   const std::size_t n = packet.size();
   total_bytes_ += n;
   // Per-class protocol-message tracing: every protocol byte leaves through
@@ -241,8 +307,14 @@ bool ShmRuntime::handle_protocol_packet(pisa::PacketContext& ctx) {
   if (!ctx.parsed || !ctx.parsed->udp || ctx.parsed->udp->dst_port != pkt::kSwishPort) {
     return false;
   }
-  auto msg = pkt::decode_message(ctx.packet.l4_payload(*ctx.parsed));
+  telemetry::SpanContext wire_trace;
+  auto msg = pkt::decode_message(ctx.packet.l4_payload(*ctx.parsed), &wire_trace);
   if (!msg) return true;  // malformed protocol packet: drop
+
+  // The carried trace context is active for the whole dispatch, so every
+  // span recorded below — and every send a handler triggers — continues the
+  // sender's causal chain.
+  ActiveTraceScope trace_scope(*this, wire_trace);
 
   // Cross-engine machinery handled at the runtime level: the recovery-stream
   // transport (which reuses the WriteRequest/WriteAck frames under
@@ -373,6 +445,13 @@ std::uint64_t ShmRuntime::ewo_set_add(std::uint32_t space, std::uint64_t key,
 void ShmRuntime::on_read_redirect(const pkt::ReadRedirect& msg) {
   ++redirects_processed_;
   if (!nf_reentry_) return;
+  // Serving the redirected packet continues the origin's causal chain: any
+  // write the re-run NF performs parents under this span.
+  telemetry::SpanContext serve;
+  if (active_trace_.sampled()) {
+    serve = spans_->record_instant(active_trace_, sw_.id(), "redirect_serve");
+  }
+  ActiveTraceScope scope(*this, serve.sampled() ? serve : active_trace_);
   pisa::PacketContext ctx{sw_, pkt::Packet(msg.original_packet), nullptr,
                           net::kInvalidPort, /*from_edge=*/true, /*recirc_count=*/1};
   ctx.parsed = ctx.packet.parsed();
@@ -458,6 +537,19 @@ void ShmRuntime::recovery_send_next() {
   recovery_->awaiting_ack = chunk.write_id;
   recovery_->retries = 0;
   ++recovery_chunks_sent_;
+  // Recovery chunks root their own causal chains (there is no originating
+  // write); retransmissions reuse the first transmission's span through the
+  // send-identity cache like any other idempotent frame.
+  telemetry::SpanContext root;
+  if (spans_->enabled() && !active_trace_.sampled()) {
+    root = spans_->maybe_start_trace();
+    if (root.sampled()) {
+      const TimeNs t = spans_->now();
+      spans_->record({root.trace_id, root.span_id, 0, sw_.id(), "recovery_chunk", t, t, 0, 0,
+                      chunk.write_id});
+    }
+  }
+  ActiveTraceScope scope(*this, root.sampled() ? root : active_trace_);
   recovery_bytes_ += send(recovery_->target, chunk);
   arm_recovery_timer(chunk.write_id);
 }
@@ -498,6 +590,9 @@ void ShmRuntime::on_recovery_ack(std::uint64_t stream_seq) {
 
 void ShmRuntime::on_recovery_chunk(const pkt::WriteRequest& msg) {
   if (msg.write_id == last_recovery_applied_ + 1) {
+    if (active_trace_.sampled()) {
+      spans_->record_instant(active_trace_, sw_.id(), "recovery_apply", 0, msg.write_id);
+    }
     for (std::size_t i = 0; i < msg.ops.size(); ++i) {
       // Stream order replays the donor's apply order; each op goes to the
       // engine serving its space.

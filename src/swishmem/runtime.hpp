@@ -16,8 +16,10 @@
 #include <array>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
@@ -193,6 +195,19 @@ class ShmRuntime final : public EngineHost {
   [[nodiscard]] bool authoritative() const noexcept override { return authoritative_; }
   void recovery_tap(const std::vector<pkt::WriteOp>& ops,
                     const std::vector<SeqNum>& seqs) override;
+  [[nodiscard]] telemetry::SpanRecorder* spans() noexcept override { return spans_; }
+  [[nodiscard]] telemetry::ConsistencyObservatory* observatory() noexcept override {
+    return observatory_;
+  }
+  [[nodiscard]] telemetry::SpanContext active_trace() const noexcept override {
+    return active_trace_;
+  }
+  [[nodiscard]] const telemetry::SpanContext* active_trace_ptr() const noexcept override {
+    return &active_trace_;
+  }
+  void set_active_trace(const telemetry::SpanContext& ctx) noexcept override {
+    active_trace_ = ctx;
+  }
 
   // -- Introspection ------------------------------------------------------------
 
@@ -244,8 +259,16 @@ class ShmRuntime final : public EngineHost {
   void on_recovery_chunk(const pkt::WriteRequest& msg);
   void retire_recovery_if_joined(const std::vector<SwitchId>& chain);
 
-  [[nodiscard]] pkt::Packet wrap(SwitchId dst, const pkt::SwishMessage& msg) const;
+  [[nodiscard]] pkt::Packet wrap(SwitchId dst, const pkt::SwishMessage& msg,
+                                 const telemetry::SpanContext& ctx) const;
   void notify_config_update();
+
+  /// Trace context to put on the wire for this send. Retransmissions of an
+  /// idempotent message (same write_id/req_id to the same destination) reuse
+  /// the span of the first transmission so a lossy fabric does not
+  /// double-count propagation; first transmissions of a sampled chain record
+  /// a send span and return its context.
+  telemetry::SpanContext outgoing_trace(SwitchId dst, const pkt::SwishMessage& msg);
 
   [[nodiscard]] static bool chain_contains(const pkt::ChainConfig& chain, SwitchId sw) noexcept;
 
@@ -282,6 +305,16 @@ class ShmRuntime final : public EngineHost {
   bool authoritative_ = false;  ///< serving a redirected read at the tail
   bool started_ = false;
   std::function<void(pisa::PacketContext&)> nf_reentry_;
+
+  // Causal tracing (cached from the simulator; one branch when disabled).
+  telemetry::SpanRecorder* spans_ = nullptr;
+  telemetry::ConsistencyObservatory* observatory_ = nullptr;
+  telemetry::SpanContext active_trace_;
+  /// Retry-reuse guard at the send chokepoint: (message tag, idempotency id,
+  /// packed sender/destination) -> span of the first transmission. Only
+  /// populated while the recorder is enabled; blunt-cleared when oversized.
+  std::map<std::tuple<std::uint8_t, std::uint64_t, std::uint64_t>, telemetry::SpanContext>
+      send_spans_;
 
   Rng rng_;
   std::vector<sim::TimerHandle> background_;

@@ -1,0 +1,127 @@
+#include "telemetry/observatory.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace swish::telemetry {
+
+void ConsistencyObservatory::register_space(std::uint32_t space, std::string name,
+                                            std::string cls_name) {
+  SpaceMetrics& m = spaces_[space];
+  if (m.bound) return;  // re-registering an already-bound space is a no-op
+  m.name = std::move(name);
+  m.cls_name = std::move(cls_name);
+  if (registry_ != nullptr) bind_metrics(space, m);
+}
+
+void ConsistencyObservatory::enable(MetricsRegistry& registry) {
+  registry_ = &registry;
+  for (auto& [space, m] : spaces_) {
+    if (!m.bound) bind_metrics(space, m);
+  }
+}
+
+void ConsistencyObservatory::bind_metrics(std::uint32_t space, SpaceMetrics& m) {
+  const std::string prefix = "lag." + m.name + ".";
+  m.propagation = registry_->histogram(prefix + "propagation_ns");
+  m.full_propagation = registry_->histogram(prefix + "full_propagation_ns");
+  m.stale_reads = registry_->counter(prefix + "stale_reads");
+  m.superseded = registry_->counter(prefix + "superseded");
+  m.expired = registry_->counter(prefix + "expired");
+  m.class_propagation = registry_->histogram("lag.class." + m.cls_name + ".propagation_ns");
+  registry_->probe(prefix + "inflight", [this, space] {
+    std::uint64_t n = 0;
+    for (auto it = inflight_.lower_bound(InflightKey{space, 0, 0});
+         it != inflight_.end() && it->first.space == space; ++it) {
+      ++n;
+    }
+    return n;
+  });
+  registry_->probe(prefix + "divergence_window_ns", [this, space] {
+    TimeNs oldest = std::numeric_limits<TimeNs>::max();
+    for (auto it = inflight_.lower_bound(InflightKey{space, 0, 0});
+         it != inflight_.end() && it->first.space == space; ++it) {
+      oldest = std::min(oldest, it->second.commit_time);
+    }
+    if (oldest == std::numeric_limits<TimeNs>::max()) return std::uint64_t{0};
+    const TimeNs window = now() - oldest;
+    return window > 0 ? static_cast<std::uint64_t>(window) : std::uint64_t{0};
+  });
+  m.bound = true;
+}
+
+ConsistencyObservatory::SpaceMetrics* ConsistencyObservatory::metrics_for(std::uint32_t space) {
+  auto it = spaces_.find(space);
+  return (it != spaces_.end() && it->second.bound) ? &it->second : nullptr;
+}
+
+void ConsistencyObservatory::on_commit(std::uint32_t space, std::uint64_t key,
+                                       std::uint64_t ident, NodeId origin,
+                                       std::uint32_t expected_applies) {
+  if (registry_ == nullptr || expected_applies == 0) return;
+  SpaceMetrics* m = metrics_for(space);
+  if (m == nullptr) return;
+  const InflightKey k{space, key, origin};
+  auto it = inflight_.find(k);
+  if (it != inflight_.end()) {
+    // A newer write to the same slot from the same origin replaces the
+    // outstanding record: the earlier value can no longer be observed at the
+    // replicas that missed it, so its remaining lag samples are meaningless.
+    ++m->superseded;
+    it->second = Inflight{ident, now(), expected_applies, {}};
+    return;
+  }
+  if (inflight_.size() >= kMaxInflight) evict_oldest();
+  inflight_.emplace(k, Inflight{ident, now(), expected_applies, {}});
+}
+
+void ConsistencyObservatory::on_apply(std::uint32_t space, std::uint64_t key, NodeId origin,
+                                      std::uint64_t ident, NodeId replica) {
+  if (registry_ == nullptr || inflight_.empty()) return;
+  SpaceMetrics* m = metrics_for(space);
+  if (m == nullptr) return;
+  auto it = inflight_.find(InflightKey{space, key, origin});
+  if (it == inflight_.end()) return;
+  Inflight& rec = it->second;
+  // An apply carrying a newer-or-equal identity subsumes the tracked commit
+  // (coalesced flush, periodic sync, or a retry of the same write). Older
+  // identities belong to a superseded commit and are ignored.
+  if (ident < rec.ident) return;
+  if (std::find(rec.applied.begin(), rec.applied.end(), replica) != rec.applied.end()) return;
+  rec.applied.push_back(replica);
+  const TimeNs lag = now() - rec.commit_time;
+  const auto lag_u = lag > 0 ? static_cast<std::uint64_t>(lag) : 0;
+  m->propagation.add(lag_u);
+  m->class_propagation.add(lag_u);
+  if (rec.applied.size() >= rec.expected) {
+    m->full_propagation.add(lag_u);
+    inflight_.erase(it);
+  }
+}
+
+void ConsistencyObservatory::on_read(std::uint32_t space, std::uint64_t key, NodeId reader) {
+  if (registry_ == nullptr || inflight_.empty()) return;
+  SpaceMetrics* m = metrics_for(space);
+  if (m == nullptr) return;
+  for (auto it = inflight_.lower_bound(InflightKey{space, key, 0});
+       it != inflight_.end() && it->first.space == space && it->first.key == key; ++it) {
+    if (it->first.origin == reader) continue;  // origin always sees its own write
+    const auto& applied = it->second.applied;
+    if (std::find(applied.begin(), applied.end(), reader) == applied.end()) {
+      ++m->stale_reads;
+      return;  // one staleness event per read, however many writes are in flight
+    }
+  }
+}
+
+void ConsistencyObservatory::evict_oldest() {
+  auto victim = inflight_.begin();
+  for (auto it = inflight_.begin(); it != inflight_.end(); ++it) {
+    if (it->second.commit_time < victim->second.commit_time) victim = it;
+  }
+  if (victim == inflight_.end()) return;
+  if (SpaceMetrics* m = metrics_for(victim->first.space)) ++m->expired;
+  inflight_.erase(victim);
+}
+
+}  // namespace swish::telemetry

@@ -63,6 +63,15 @@ std::string trace_mask_to_string(std::uint32_t mask) {
   return out.empty() ? "none" : out;
 }
 
+std::string trace_category_list() {
+  std::string out;
+  for (const auto& [name, bit] : kCategoryNames) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
 void Tracer::enable(std::uint32_t mask, std::size_t capacity) {
   mask_ = mask;
   if (mask_ != 0 && ring_.size() != capacity) {

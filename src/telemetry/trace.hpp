@@ -50,6 +50,9 @@ std::optional<std::uint32_t> parse_trace_mask(std::string_view spec);
 /// Human-readable list of category names in `mask`.
 std::string trace_mask_to_string(std::uint32_t mask);
 
+/// Every valid category name, comma-separated (CLI help and error text).
+std::string trace_category_list();
+
 /// The flight recorder. Owned by sim::Simulator next to the MetricsRegistry.
 class Tracer {
  public:

@@ -4,6 +4,9 @@
 #      never an uncaught exception (which would abort with SIGABRT/134).
 #   2. Two same-seed runs export byte-identical --metrics-json documents.
 #   3. --trace writes a parseable flight-recorder dump.
+#   4. Causal tracing: --perfetto emits a trace-event JSON the analyze
+#      subcommand accepts, --timeseries emits CSV, --metrics-json - writes
+#      pure JSON to stdout, and --trace-mask errors enumerate valid names.
 set -u
 
 BIN="${1:?usage: cli_swish_sim_test.sh <path-to-swish_sim>}"
@@ -71,6 +74,48 @@ if ! "$BIN" --switches 3 --duration-ms 60 --kill 1:20 --quiet \
 fi
 grep -q "switch_failed" "$TMP/trace.txt" || {
   echo "FAIL: trace dump has no switch_failed event"
+  fail=1
+}
+
+# Causal tracing exporters: sampled spans reach the Perfetto JSON and the
+# analyze subcommand stitches them back into traces.
+if ! "$BIN" --nf nat --switches 3 --duration-ms 60 --seed 5 --quiet \
+     --span-sample 1 --perfetto "$TMP/spans.json" \
+     --timeseries "$TMP/ts.csv" --timeseries-period-us 10000 >/dev/null 2>&1; then
+  echo "FAIL: perfetto/timeseries run exited nonzero"
+  fail=1
+fi
+grep -q '"traceEvents"' "$TMP/spans.json" || {
+  echo "FAIL: perfetto output is not a trace-event document"
+  fail=1
+}
+grep -q '"ph"' "$TMP/spans.json" || { echo "FAIL: perfetto output has no events"; fail=1; }
+if ! "$BIN" analyze "$TMP/spans.json" >"$TMP/analyze.txt" 2>&1; then
+  echo "FAIL: analyze subcommand exited nonzero"
+  fail=1
+fi
+grep -q "traces" "$TMP/analyze.txt" || { echo "FAIL: analyze printed no trace count"; fail=1; }
+head -1 "$TMP/ts.csv" | grep -q "^time_ns,metric,value$" || {
+  echo "FAIL: timeseries CSV missing header"
+  fail=1
+}
+[ "$(wc -l <"$TMP/ts.csv")" -gt 1 ] || { echo "FAIL: timeseries CSV has no samples"; fail=1; }
+
+# --metrics-json - writes the JSON document (and nothing else) to stdout.
+if ! "$BIN" --nf nat --switches 3 --duration-ms 40 --seed 11 --quiet \
+     --metrics-json - >"$TMP/stdout.json" 2>/dev/null; then
+  echo "FAIL: --metrics-json - run exited nonzero"
+  fail=1
+fi
+if ! cmp -s "$TMP/stdout.json" "$TMP/m1.json"; then
+  echo "FAIL: --metrics-json - stdout differs from file export"
+  fail=1
+fi
+
+# A bad --trace-mask names the valid categories in its error.
+"$BIN" --trace-mask not-a-category >/dev/null 2>"$TMP/err" || true
+grep -q "valid names:.*proto-chain" "$TMP/err" || {
+  echo "FAIL: --trace-mask error does not enumerate category names"
   fail=1
 }
 

@@ -182,5 +182,85 @@ TEST_P(WireSweep, WriteRequestRoundTripAtSize) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, WireSweep, ::testing::Values(0, 1, 2, 16, 64, 255, 1000));
 
+// ---------------------------------------------------------------------------
+// In-band trace context (causal tracing)
+// ---------------------------------------------------------------------------
+
+TEST(WireTrace, SampledContextRoundTrips) {
+  WriteRequest m;
+  m.epoch = 2;
+  m.writer = 5;
+  m.write_id = 0xFEED;
+  m.ops = {{1, 7, 9}};
+  const telemetry::SpanContext ctx{0x1122334455667788ULL, 0x99AABBCCDDEEFF00ULL, 3};
+  const auto bytes = encode_message(m, ctx);
+  EXPECT_EQ(bytes[0] & kTracedFlag, kTracedFlag);
+  EXPECT_EQ(bytes.size(), encode_message(m).size() + telemetry::kSpanContextWireBytes);
+
+  telemetry::SpanContext out;
+  const auto decoded = decode_message(bytes, &out);
+  ASSERT_TRUE(decoded.has_value());
+  const auto* req = std::get_if<WriteRequest>(&*decoded);
+  ASSERT_NE(req, nullptr);
+  EXPECT_EQ(*req, m);
+  EXPECT_EQ(out, ctx);
+
+  // The context-less decoder skips the header transparently.
+  const auto plain = decode_message(bytes);
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(*std::get_if<WriteRequest>(&*plain), m);
+}
+
+TEST(WireTrace, UnsampledContextEncodesByteIdentical) {
+  // An unsampled write must be indistinguishable on the wire from a run with
+  // tracing compiled out — the bandwidth model and pcap-level tests rely on
+  // this.
+  EwoUpdate m;
+  m.origin = 3;
+  m.entries = {{5, 10, 0xAABB, 77}};
+  EXPECT_EQ(encode_message(m, telemetry::SpanContext{}), encode_message(m));
+
+  telemetry::SpanContext out{1, 2, 3};  // poison: decode must reset it
+  const auto decoded = decode_message(encode_message(m), &out);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_FALSE(out.sampled());
+}
+
+TEST(WireTrace, TruncatedTracedHeaderRejected) {
+  OwnRequest m;
+  m.space = 1;
+  m.key = 2;
+  m.requester = 3;
+  m.req_id = 4;
+  const telemetry::SpanContext ctx{7, 8, 1};
+  auto bytes = encode_message(m, ctx);
+  // Any cut inside the 17-byte context (or the body behind it) must fail
+  // cleanly rather than mis-frame the message.
+  for (std::size_t len = 1; len < bytes.size(); ++len) {
+    telemetry::SpanContext out;
+    EXPECT_FALSE(decode_message({bytes.data(), len}, &out).has_value())
+        << "truncated at " << len;
+  }
+}
+
+TEST(WireTrace, EveryMessageTypeCarriesContext) {
+  const telemetry::SpanContext ctx{42, 43, 2};
+  const auto check = [&](const SwishMessage& msg) {
+    telemetry::SpanContext out;
+    const auto decoded = decode_message(encode_message(msg, ctx), &out);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->index(), msg.index());
+    EXPECT_EQ(out, ctx);
+  };
+  check(WriteRequest{1, 2, 3, false, {{1, 2, 3}}, {}});
+  check(WriteAck{1, 2, 3, {{1, 2, 3}}, {4}});
+  check(EwoUpdate{1, false, {{1, 2, 3, 4}}});
+  check(Heartbeat{1, 2});
+  check(ChainConfig{1, {1, 2}});
+  check(GroupConfig{1, {3}});
+  check(ReadRedirect{1, {2}});
+  check(OwnRequest{1, 2, 3, 4, false});
+}
+
 }  // namespace
 }  // namespace swish::pkt

@@ -29,6 +29,11 @@ COMMIT="$(git -C "$ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)"
   --baseline "$ROOT/bench/baseline_throughput.json" \
   --out "$ROOT/BENCH_throughput.json"
 
+# Causal-tracing overhead gate: with the span recorder enabled but (almost)
+# never sampling, throughput must stay within 2% of the tracer-off path.
+echo
+"$BUILD/bench/bench_throughput" --sim-ms "$SIM_MS" --overhead-gate 2
+
 "$BUILD/bench/bench_micro_primitives" \
   --benchmark_format=console \
   --benchmark_out_format=json \

@@ -21,6 +21,7 @@
 #include <string>
 
 #include "common/table.hpp"
+#include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 #include "nf/ddos.hpp"
@@ -59,6 +60,11 @@ struct Options {
   std::string metrics_json;
   std::string trace;
   std::uint32_t trace_mask = telemetry::kTraceAll;
+  std::uint64_t span_sample = 0;  ///< 0 = causal tracing off
+  std::string perfetto;
+  std::string timeseries;
+  TimeNs timeseries_period = 10 * kMs;
+  std::size_t top_slowest = 10;
   bool quiet = false;
 };
 
@@ -83,12 +89,27 @@ struct Options {
       << "                          (CLS: sro|ero|ewo|own; repeatable)\n"
       << "  --pcap FILE             capture all fabric traffic\n"
       << "  --metrics-json FILE     write the full metrics registry as JSON\n"
+      << "                          (FILE of - writes to stdout)\n"
       << "  --trace FILE            record a flight-recorder trace and dump it\n"
-      << "  --trace-mask CATS      comma list: packet,drop,recirc,proto-chain,\n"
-      << "                          proto-ewo,proto-own,proto-control,migration,\n"
-      << "                          failover,all (default all; needs --trace)\n"
+      << "  --trace-mask CATS       comma list of categories (needs --trace):\n"
+      << "                          " << telemetry::trace_category_list() << "\n"
+      << "                          (default all)\n"
+      << "  --span-sample N         causal tracing: sample 1 in N trace roots\n"
+      << "                          and enable the consistency-lag observatory\n"
+      << "  --perfetto FILE         write sampled spans as Chrome/Perfetto\n"
+      << "                          trace-event JSON (implies --span-sample 64\n"
+      << "                          unless one is given)\n"
+      << "  --timeseries FILE       periodic metrics time-series CSV\n"
+      << "  --timeseries-period-us N  time-series sampling period (default 10000)\n"
+      << "  --top-slowest K         slowest sampled propagations in the exit\n"
+      << "                          report (default 10)\n"
       << "  --seed N                RNG seed (default 1)\n"
-      << "  --quiet                 summary only\n";
+      << "  --quiet                 summary only\n"
+      << "\n"
+      << "subcommand:\n"
+      << "  " << argv0 << " analyze TRACE.json [--top K]\n"
+      << "                          stitch a --perfetto trace back into causal\n"
+      << "                          chains and print the K slowest propagations\n";
   std::exit(2);
 }
 
@@ -175,18 +196,76 @@ Options parse(int argc, char** argv) {
     else if (a == "--metrics-json") opt.metrics_json = need(i);
     else if (a == "--trace") opt.trace = need(i);
     else if (a == "--trace-mask") {
-      const auto mask = telemetry::parse_trace_mask(need(i));
-      if (!mask) usage(argv[0]);
+      const std::string spec = need(i);
+      const auto mask = telemetry::parse_trace_mask(spec);
+      if (!mask) {
+        std::cerr << "error: unknown category in --trace-mask '" << spec
+                  << "'; valid names: " << telemetry::trace_category_list() << "\n";
+        usage(argv[0]);
+      }
       opt.trace_mask = *mask;
       trace_mask_given = true;
-    } else if (a == "--seed") opt.seed = parse_u64(need(i), argv[0]);
+    } else if (a == "--span-sample") opt.span_sample = parse_u64(need(i), argv[0]);
+    else if (a == "--perfetto") opt.perfetto = need(i);
+    else if (a == "--timeseries") opt.timeseries = need(i);
+    else if (a == "--timeseries-period-us")
+      opt.timeseries_period = parse_time(need(i), argv[0], kUs);
+    else if (a == "--top-slowest") opt.top_slowest = parse_u64(need(i), argv[0]);
+    else if (a == "--seed") opt.seed = parse_u64(need(i), argv[0]);
     else if (a == "--quiet") opt.quiet = true;
     else usage(argv[0]);
   }
   if (trace_mask_given && opt.trace.empty()) {
     std::cerr << "warning: --trace-mask has no effect without --trace FILE\n";
   }
+  if (!opt.perfetto.empty() && opt.span_sample == 0) opt.span_sample = 64;
+  if (opt.span_sample == 0 && opt.top_slowest != 10) {
+    std::cerr << "warning: --top-slowest has no effect without --span-sample/--perfetto\n";
+  }
   return opt;
+}
+
+/// `swish_sim analyze TRACE.json [--top K]`: offline stitching of a
+/// previously written --perfetto trace into causal chains.
+int run_analyze(int argc, char** argv) {
+  std::string file;
+  std::size_t top = 10;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--top") {
+      if (++i >= argc) usage(argv[0]);
+      top = parse_u64(argv[i], argv[0]);
+    } else if (file.empty()) {
+      file = a;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (file.empty()) usage(argv[0]);
+  std::ifstream in(file);
+  if (!in) {
+    std::cerr << "error: cannot open " << file << "\n";
+    return 1;
+  }
+  std::vector<telemetry::Span> spans;
+  try {
+    spans = telemetry::read_perfetto(in);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << file << ": " << e.what() << "\n";
+    return 1;
+  }
+  const auto summaries = telemetry::stitch_traces(spans);
+  std::size_t total_spans = 0;
+  std::size_t cross_switch = 0;
+  for (const auto& s : summaries) {
+    total_spans += s.span_count;
+    if (s.node_count > 1) ++cross_switch;
+  }
+  std::cout << "trace: " << file << "\n"
+            << "traces: " << summaries.size() << " (" << cross_switch << " cross-switch), "
+            << total_spans << " spans\n\n";
+  telemetry::print_trace_summaries(std::cout, telemetry::top_slowest(summaries, top));
+  return 0;
 }
 
 const std::vector<pkt::Ipv4Addr> kBackends{{10, 1, 0, 1}, {10, 1, 0, 2}, {10, 1, 0, 3}};
@@ -194,6 +273,7 @@ const std::vector<pkt::Ipv4Addr> kBackends{{10, 1, 0, 1}, {10, 1, 0, 2}, {10, 1,
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "analyze") == 0) return run_analyze(argc, argv);
   const Options opt = parse(argc, argv);
 
   shm::FabricConfig cfg;
@@ -212,6 +292,12 @@ int main(int argc, char** argv) {
 
   shm::Fabric fabric(cfg);
   if (!opt.trace.empty()) fabric.simulator().tracer().enable(opt.trace_mask);
+  // Causal tracing + consistency-lag observatory. The observatory also runs
+  // for --timeseries so the CSV picks up the lag.* series.
+  if (opt.span_sample > 0) fabric.simulator().spans().enable(opt.span_sample);
+  if (opt.span_sample > 0 || !opt.timeseries.empty()) {
+    fabric.simulator().observatory().enable(fabric.simulator().metrics());
+  }
 
   // Declare the NF's spaces (applying any --space class overrides) and factory.
   std::vector<std::string> declared_spaces;
@@ -324,24 +410,36 @@ int main(int argc, char** argv) {
     fabric.simulator().schedule_at(at, [&fabric, idx = idx]() { fabric.revive_switch(idx); });
   }
 
+  telemetry::TimeSeriesSampler sampler;
+  sim::TimerHandle sampler_timer;
+  if (!opt.timeseries.empty()) {
+    sampler_timer = fabric.simulator().schedule_periodic(opt.timeseries_period, [&]() {
+      sampler.sample(fabric.simulator().now(), fabric.simulator().metrics());
+    });
+  }
+
   fabric.run_for(opt.duration + 500 * kMs);  // traffic + settling
 
   // One snapshot feeds the exit tables and --metrics-json, so the report and
   // the exported file can never disagree.
   const telemetry::MetricsSnapshot snap = fabric.simulator().metrics().snapshot();
 
+  // With `--metrics-json -` the JSON owns stdout: the human report moves to
+  // stderr so piped consumers parse pure JSON.
+  std::ostream& rep = opt.metrics_json == "-" ? std::cerr : std::cout;
+
   // ---- Report ---------------------------------------------------------------
-  std::cout << "scenario: nf=" << opt.nf << " switches=" << opt.switches << " topology="
+  rep << "scenario: nf=" << opt.nf << " switches=" << opt.switches << " topology="
             << opt.topology << " loss=" << opt.loss << " duration=" << opt.duration / 1000000
             << "ms\n\n";
-  std::cout << "workload: " << gen.stats().flows_started << " flows, "
+  rep << "workload: " << gen.stats().flows_started << " flows, "
             << gen.stats().packets_sent << " packets, " << gen.stats().reroutes
             << " reroutes\n";
-  std::cout << "delivered: " << sink.delivered() << " packets, p50 latency "
+  rep << "delivered: " << sink.delivered() << " packets, p50 latency "
             << sink.latency().p50() / 1000.0 << " us, p99 " << sink.latency().p99() / 1000.0
             << " us\n";
-  if (attacker) std::cout << "attack packets: " << attacker->stats().packets_sent << "\n";
-  std::cout << "\n";
+  if (attacker) rep << "attack packets: " << attacker->stats().packets_sent << "\n";
+  rep << "\n";
 
   if (!opt.quiet) {
     TextTable table("per-switch protocol activity");
@@ -357,7 +455,7 @@ int main(int argc, char** argv) {
                  std::to_string(st.ewo_updates_received),
                  std::to_string(fabric.sw(i).control_plane().stats().dropped)});
     }
-    table.print(std::cout);
+    table.print(rep);
 
     // Per-engine protocol counters, aggregated across the fabric straight
     // from the metrics registry (names shm.sw<N>.<engine>.<metric>). Counter
@@ -383,7 +481,7 @@ int main(int argc, char** argv) {
       }
     }
     if (!engines.empty()) {
-      std::cout << "\n";
+      rep << "\n";
       TextTable engine_table("per-engine protocol counters (fabric-wide)");
       engine_table.header({"engine", "counter", "value"});
       for (const auto& [name, agg] : engines) {
@@ -395,27 +493,65 @@ int main(int argc, char** argv) {
           engine_table.row({name, metric + " (p99)", std::to_string(hist.p99())});
         }
       }
-      engine_table.print(std::cout);
+      engine_table.print(rep);
     }
 
     const auto net_stats = fabric.network().total_stats();
-    std::cout << "\nfabric links: " << net_stats.packets_sent << " packets, "
+    rep << "\nfabric links: " << net_stats.packets_sent << " packets, "
               << net_stats.bytes_sent << " bytes, " << net_stats.packets_dropped_loss
               << " lost, " << net_stats.packets_dropped_queue << " queue-dropped\n";
+
+    if (opt.span_sample > 0) {
+      const telemetry::SpanRecorder& rec = fabric.simulator().spans();
+      rep << "\ncausal tracing: " << rec.spans().size() << " spans, 1-in-"
+                << opt.span_sample << " sampling over " << rec.root_decisions()
+                << " roots, " << rec.dropped() << " dropped\n\n";
+      telemetry::print_trace_summaries(
+          rep,
+          telemetry::top_slowest(telemetry::stitch_traces(rec.spans()), opt.top_slowest));
+    }
   }
   if (pcap) {
     pcap->flush();
-    std::cout << "pcap: wrote " << pcap->packets_written() << " packets to " << opt.pcap << "\n";
+    rep << "pcap: wrote " << pcap->packets_written() << " packets to " << opt.pcap << "\n";
   }
-  if (!opt.metrics_json.empty()) {
-    std::ofstream out(opt.metrics_json);
+  if (!opt.perfetto.empty()) {
+    std::ofstream out(opt.perfetto);
     if (!out) {
-      std::cerr << "error: cannot open " << opt.metrics_json << " for writing\n";
+      std::cerr << "error: cannot open " << opt.perfetto << " for writing\n";
       return 1;
     }
-    out << snap.to_json();
-    std::cout << "metrics: wrote " << snap.values.size() << " metrics to " << opt.metrics_json
+    std::map<NodeId, std::string> node_names;
+    for (std::size_t i = 0; i < fabric.size(); ++i) {
+      node_names[fabric.sw(i).id()] = "sw" + std::to_string(i);
+    }
+    const auto& spans = fabric.simulator().spans().spans();
+    telemetry::write_perfetto(out, spans, node_names);
+    rep << "perfetto: wrote " << spans.size() << " spans to " << opt.perfetto << "\n";
+  }
+  if (!opt.timeseries.empty()) {
+    std::ofstream out(opt.timeseries);
+    if (!out) {
+      std::cerr << "error: cannot open " << opt.timeseries << " for writing\n";
+      return 1;
+    }
+    sampler.write_csv(out);
+    rep << "timeseries: wrote " << sampler.size() << " samples to " << opt.timeseries
               << "\n";
+  }
+  if (!opt.metrics_json.empty()) {
+    if (opt.metrics_json == "-") {
+      std::cout << snap.to_json();
+    } else {
+      std::ofstream out(opt.metrics_json);
+      if (!out) {
+        std::cerr << "error: cannot open " << opt.metrics_json << " for writing\n";
+        return 1;
+      }
+      out << snap.to_json();
+      rep << "metrics: wrote " << snap.values.size() << " metrics to "
+                << opt.metrics_json << "\n";
+    }
   }
   if (!opt.trace.empty()) {
     std::ofstream out(opt.trace);
@@ -425,7 +561,7 @@ int main(int argc, char** argv) {
     }
     const telemetry::Tracer& tracer = fabric.simulator().tracer();
     tracer.dump(out);
-    std::cout << "trace: wrote " << tracer.size() << " events (" << tracer.recorded()
+    rep << "trace: wrote " << tracer.size() << " events (" << tracer.recorded()
               << " recorded, mask " << telemetry::trace_mask_to_string(tracer.mask())
               << ") to " << opt.trace << "\n";
   }
