@@ -48,8 +48,11 @@ struct Options {
   TimeNs gap = 1 * kUs;          ///< pump period
   TimeNs sim_duration = 20 * kMs;
   std::uint64_t threshold = 1'000'000'000;  ///< keep the HH detector counting
+  std::size_t shards = 1;
+  std::vector<std::size_t> sweep_shards;  ///< non-empty: one run per count
   std::string out;
   std::string baseline;
+  std::string write_baseline;
   std::string label = "current";
   std::string commit = "unknown";
   double overhead_gate = 0.0;  ///< >0: compare tracer-off vs spans-enabled
@@ -64,11 +67,19 @@ struct Options {
             << "  --batch N         packets per pump firing per leaf (default 4)\n"
             << "  --gap-ns N        pump period in ns (default 1000)\n"
             << "  --sim-ms N        simulated duration (default 20)\n"
+            << "  --shards N        parallel simulation shards (default 1)\n"
+            << "  --sweep-shards L  comma list of shard counts (e.g. 1,2,4,8); runs the\n"
+            << "                    scenario once per count, emits one JSON run entry\n"
+            << "                    each, and reports scaling_efficiency vs the 1-shard\n"
+            << "                    run (pps@N / (N x pps@1))\n"
             << "  --label S         run label recorded in the JSON (default current)\n"
             << "  --commit S        commit hash recorded in the JSON (default unknown)\n"
             << "  --out FILE        write the JSON result document (appends to its\n"
             << "                    run history when FILE is a schema-2 artifact)\n"
             << "  --baseline FILE   embed FILE's run object as the baseline\n"
+            << "  --write-baseline FILE  also write this run's params/results in the\n"
+            << "                    baseline-block shape (only measured metrics — no\n"
+            << "                    null placeholders)\n"
             << "  --overhead-gate P run the scenario twice — causal tracing off vs\n"
             << "                    enabled-but-unsampled — and fail (exit 1) when the\n"
             << "                    enabled run is more than P%% slower\n"
@@ -102,10 +113,28 @@ Options parse(int argc, char** argv) {
     else if (a == "--batch") opt.batch = static_cast<std::size_t>(num(i));
     else if (a == "--gap-ns") opt.gap = num(i);
     else if (a == "--sim-ms") opt.sim_duration = num(i) * kMs;
+    else if (a == "--shards") opt.shards = static_cast<std::size_t>(num(i));
+    else if (a == "--sweep-shards") {
+      std::stringstream list(need(i));
+      std::string item;
+      while (std::getline(list, item, ',')) {
+        try {
+          std::size_t used = 0;
+          const unsigned long long n = std::stoull(item, &used);
+          if (used != item.size() || n == 0) throw std::invalid_argument(item);
+          opt.sweep_shards.push_back(static_cast<std::size_t>(n));
+        } catch (const std::exception&) {
+          std::cerr << argv[0] << ": bad shard count '" << item << "' in --sweep-shards\n";
+          std::exit(2);
+        }
+      }
+      if (opt.sweep_shards.empty()) usage(argv[0]);
+    }
     else if (a == "--label") opt.label = need(i);
     else if (a == "--commit") opt.commit = need(i);
     else if (a == "--out") opt.out = need(i);
     else if (a == "--baseline") opt.baseline = need(i);
+    else if (a == "--write-baseline") opt.write_baseline = need(i);
     else if (a == "--overhead-gate") opt.overhead_gate = static_cast<double>(num(i));
     else if (a == "--quiet") opt.quiet = true;
     else usage(argv[0]);
@@ -113,19 +142,22 @@ Options parse(int argc, char** argv) {
   return opt;
 }
 
-/// Self-rescheduling injector: one per leaf, firing every `gap` ns.
+/// Self-rescheduling injector: one per leaf, firing every `gap` ns. Lives on
+/// the leaf's own shard (it posts to and injects into that shard's event
+/// queue), so a sharded run drives every leaf from its local clock.
 class InjectionPump {
  public:
   InjectionPump(shm::Fabric& fabric, std::size_t leaf, const std::vector<pkt::Packet>& pool,
                 TimeNs gap, std::size_t batch)
-      : fabric_(fabric), leaf_(leaf), pool_(pool), gap_(gap), batch_(batch) {}
+      : fabric_(fabric), sim_(fabric.simulator_for(leaf)), leaf_(leaf), pool_(pool), gap_(gap),
+        batch_(batch) {}
 
   void start(TimeNs deadline) { arm(deadline); }
 
  private:
   void arm(TimeNs deadline) {
-    fabric_.simulator().post_after(gap_, [this, deadline]() {
-      if (fabric_.simulator().now() >= deadline) return;
+    sim_.post_after(gap_, [this, deadline]() {
+      if (sim_.now() >= deadline) return;
       for (std::size_t i = 0; i < batch_; ++i) {
         fabric_.sw(leaf_).inject(pool_[cursor_]);  // by-value: exercises the copy path
         cursor_ = (cursor_ + 1) % pool_.size();
@@ -135,6 +167,7 @@ class InjectionPump {
   }
 
   shm::Fabric& fabric_;
+  sim::Simulator& sim_;
   std::size_t leaf_;
   const std::vector<pkt::Packet>& pool_;
   TimeNs gap_;
@@ -211,17 +244,18 @@ struct RunStats {
   net::LinkStats link;
 };
 
-RunStats run_scenario(const Options& opt, std::uint64_t span_sample,
+RunStats run_scenario(const Options& opt, std::size_t shards, std::uint64_t span_sample,
                       bool observatory = false) {
   shm::FabricConfig cfg;
   cfg.num_switches = opt.leaves;
   cfg.topology = shm::FabricConfig::Topology::kLeafSpine;
   cfg.spine_count = opt.spines;
   cfg.seed = 7;
+  cfg.shards = shards;
 
   shm::Fabric fabric(cfg);
-  if (span_sample > 0) fabric.simulator().spans().enable(span_sample);
-  if (observatory) fabric.simulator().observatory().enable(fabric.simulator().metrics());
+  if (span_sample > 0) fabric.enable_spans(span_sample);
+  if (observatory) fabric.enable_observatory();
   fabric.add_space(nf::HeavyHitterApp::space(4096));
   nf::HeavyHitterApp::Config hh;
   hh.threshold = opt.threshold;
@@ -229,7 +263,13 @@ RunStats run_scenario(const Options& opt, std::uint64_t span_sample,
   fabric.start();
 
   RunStats rs;
-  fabric.set_delivery_sink([&rs](const pkt::Packet&) { ++rs.delivered; });
+  // Per-switch cells, summed post-run: each switch's delivery events execute
+  // on exactly one shard, so the cells are single-writer under sharding.
+  std::vector<std::uint64_t> delivered_per_switch(fabric.size(), 0);
+  for (std::size_t i = 0; i < fabric.size(); ++i) {
+    std::uint64_t* cell = &delivered_per_switch[i];
+    fabric.sw(i).set_delivery_sink([cell](const pkt::Packet&) { ++*cell; });
+  }
 
   // Prebuilt pool: distinct sources spread over /24 prefixes so the NF's
   // counter slots disperse; injection copies from the pool every time.
@@ -262,18 +302,19 @@ RunStats run_scenario(const Options& opt, std::uint64_t span_sample,
 
   const auto wall_start = std::chrono::steady_clock::now();
   const std::clock_t cpu_start = std::clock();
-  const std::uint64_t events_before = fabric.simulator().executed_events();
+  const std::uint64_t events_before = fabric.shard_set().executed_events();
   fabric.run_for(opt.sim_duration + 2 * kMs);  // drain in-flight traffic
   const std::clock_t cpu_end = std::clock();
   const auto wall_end = std::chrono::steady_clock::now();
 
   rs.wall_seconds = std::chrono::duration<double>(wall_end - wall_start).count();
   rs.cpu_seconds = static_cast<double>(cpu_end - cpu_start) / CLOCKS_PER_SEC;
-  rs.events = fabric.simulator().executed_events() - events_before;
+  rs.events = fabric.shard_set().executed_events() - events_before;
   for (std::size_t i = 0; i < fabric.size(); ++i) {
     rs.injected += fabric.sw(i).stats().injected;
     rs.processed += fabric.sw(i).stats().processed;
     rs.sw_delivered += fabric.sw(i).stats().delivered;
+    rs.delivered += delivered_per_switch[i];
   }
   rs.link = fabric.network().total_stats();
   return rs;
@@ -308,11 +349,11 @@ int run_overhead_gate(const Options& opt) {
   RunStats off, on, full;
   std::vector<double> on_deltas, full_deltas;
   for (int r = 0; r < kRounds; ++r) {
-    RunStats o = run_scenario(opt, 0);
+    RunStats o = run_scenario(opt, 1, 0);
     if (r == 0 || o.cpu_seconds < off.cpu_seconds) off = o;
-    RunStats s = run_scenario(opt, std::uint64_t{1} << 62);
+    RunStats s = run_scenario(opt, 1, std::uint64_t{1} << 62);
     if (r == 0 || s.cpu_seconds < on.cpu_seconds) on = s;
-    RunStats f = run_scenario(opt, std::uint64_t{1} << 62, true);
+    RunStats f = run_scenario(opt, 1, std::uint64_t{1} << 62, true);
     if (r == 0 || f.cpu_seconds < full.cpu_seconds) full = f;
     const double o_pps = static_cast<double>(o.processed) / o.cpu_seconds;
     const double s_pps = static_cast<double>(s.processed) / s.cpu_seconds;
@@ -347,63 +388,127 @@ int run_overhead_gate(const Options& opt) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const Options opt = parse(argc, argv);
-  if (opt.overhead_gate > 0.0) return run_overhead_gate(opt);
-
-  const RunStats rs = run_scenario(opt, 0);
-  const double wall_seconds = rs.wall_seconds;
-  const std::uint64_t events = rs.events;
-  const std::uint64_t injected = rs.injected;
-  const std::uint64_t processed = rs.processed;
-  const std::uint64_t delivered = rs.delivered;
-  const std::uint64_t sw_delivered = rs.sw_delivered;
-  const net::LinkStats link = rs.link;
-
-  // All numeric results go through a MetricsRegistry; the run object's
-  // "metrics" payload is the registry's deterministic hierarchical export.
-  telemetry::MetricsRegistry report;
+/// Registry export of one measured run. Only metrics the run actually
+/// measured are registered — absent metrics are simply absent from the JSON,
+/// never null placeholders (the seed artifact's hand-written baseline block
+/// carried `"parse_executions": null` etc.; schema 2 forbids that).
+void build_report(telemetry::MetricsRegistry& report, const Options& opt, std::size_t shards,
+                  const RunStats& rs, double pps_at_1) {
   report.counter("params.leaves") += opt.leaves;
   report.counter("params.spines") += opt.spines;
   report.counter("params.flows") += opt.flows;
   report.counter("params.batch") += opt.batch;
   report.counter("params.gap_ns") += static_cast<std::uint64_t>(opt.gap);
   report.counter("params.sim_ms") += static_cast<std::uint64_t>(opt.sim_duration / kMs);
-  report.gauge("results.wall_seconds") = wall_seconds;
+  report.counter("params.shards") += shards;
+  const double pps = static_cast<double>(rs.processed) / rs.wall_seconds;
+  report.gauge("results.wall_seconds") = rs.wall_seconds;
   report.gauge("results.sim_seconds") = static_cast<double>(opt.sim_duration) / kSec;
-  report.counter("results.executed_events") += events;
-  report.gauge("results.events_per_wall_sec") = static_cast<double>(events) / wall_seconds;
-  report.counter("results.packets_injected") += injected;
-  report.counter("results.packets_processed") += processed;
-  report.counter("results.packets_delivered") += delivered;
-  report.gauge("results.packets_per_wall_sec") = static_cast<double>(processed) / wall_seconds;
+  report.counter("results.executed_events") += rs.events;
+  report.gauge("results.events_per_wall_sec") =
+      static_cast<double>(rs.events) / rs.wall_seconds;
+  report.counter("results.packets_injected") += rs.injected;
+  report.counter("results.packets_processed") += rs.processed;
+  report.counter("results.packets_delivered") += rs.delivered;
+  report.gauge("results.packets_per_wall_sec") = pps;
   report.gauge("results.delivered_per_wall_sec") =
-      static_cast<double>(delivered) / wall_seconds;
-  report.counter("results.link_packets_sent") += link.packets_sent;
-  report.counter("results.link_bytes_sent") += link.bytes_sent;
-  report.counter("results.switch_delivered") += sw_delivered;
+      static_cast<double>(rs.delivered) / rs.wall_seconds;
+  report.counter("results.link_packets_sent") += rs.link.packets_sent;
+  report.counter("results.link_bytes_sent") += rs.link.bytes_sent;
+  report.counter("results.switch_delivered") += rs.sw_delivered;
+  if (pps_at_1 > 0.0) {
+    report.gauge("results.speedup_vs_1shard") = pps / pps_at_1;
+    report.gauge("results.scaling_efficiency") =
+        pps / (static_cast<double>(shards) * pps_at_1);
+  }
 #ifdef SWISH_PACKET_STATS
   const auto& ps = pkt::PacketStats::global();
+  const std::uint64_t parse_execs = ps.parse_executions;
+  const std::uint64_t parse_hits = ps.parse_cache_hits;
   const double hit_rate =
-      ps.parse_executions + ps.parse_cache_hits == 0
+      parse_execs + parse_hits == 0
           ? 0.0
-          : static_cast<double>(ps.parse_cache_hits) /
-                static_cast<double>(ps.parse_executions + ps.parse_cache_hits);
-  report.counter("results.parse_executions") += ps.parse_executions;
-  report.counter("results.parse_cache_hits") += ps.parse_cache_hits;
+          : static_cast<double>(parse_hits) / static_cast<double>(parse_execs + parse_hits);
+  report.counter("results.parse_executions") += parse_execs;
+  report.counter("results.parse_cache_hits") += parse_hits;
   report.gauge("results.parse_cache_hit_rate") = hit_rate;
   report.counter("results.buffer_deep_copies") += ps.rewrite_copies;
   report.gauge("results.bytes_copied_per_delivered") =
-      delivered == 0 ? 0.0
-                     : static_cast<double>(ps.rewrite_bytes) / static_cast<double>(delivered);
+      rs.delivered == 0
+          ? 0.0
+          : static_cast<double>(ps.rewrite_bytes) / static_cast<double>(rs.delivered);
 #endif
+}
 
-  std::ostringstream run;
-  run << "{\n"
-      << "  \"label\": \"" << opt.label << "\",\n"
-      << "  \"commit\": \"" << opt.commit << "\",\n"
-      << "  \"metrics\": " << trim_trailing(report.to_json()) << "\n"
-      << "}";
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  if (opt.overhead_gate > 0.0) return run_overhead_gate(opt);
+
+  std::vector<std::size_t> counts = opt.sweep_shards;
+  if (counts.empty()) counts.push_back(opt.shards);
+
+  std::vector<std::string> run_objects;
+  double pps_at_1 = 0.0;
+  std::string baseline_block;
+  for (const std::size_t shards : counts) {
+    const RunStats rs = run_scenario(opt, shards, 0);
+    const double pps = static_cast<double>(rs.processed) / rs.wall_seconds;
+    // Scaling is relative to a 1-shard run measured in the same invocation;
+    // a sweep that skips 1 gets plain numbers and no efficiency field.
+    if (shards == 1 && pps_at_1 == 0.0) pps_at_1 = pps;
+    telemetry::MetricsRegistry report;
+    build_report(report, opt, shards, rs, pps_at_1);
+
+    std::ostringstream run;
+    run << "{\n"
+        << "  \"label\": \"" << opt.label << "\",\n"
+        << "  \"commit\": \"" << opt.commit << "\",\n"
+        << "  \"metrics\": " << trim_trailing(report.to_json()) << "\n"
+        << "}";
+    run_objects.push_back(run.str());
+
+    if (baseline_block.empty()) {
+      // Baseline-block shape: label/commit, then the registry's params and
+      // results maps spliced in at top level.
+      const std::string body = trim_trailing(report.to_json());
+      std::ostringstream bl;
+      bl << "{\n  \"label\": \"" << opt.label << "\",\n  \"commit\": \"" << opt.commit
+         << "\",\n"
+         << body.substr(body.find('{') + 1);
+      baseline_block = bl.str();
+    }
+
+    if (!opt.quiet) {
+      std::cout << "bench_throughput [" << opt.label << " @ " << opt.commit << ", shards "
+                << shards << "]\n"
+                << "  wall time          " << json_num(rs.wall_seconds) << " s for "
+                << json_num(static_cast<double>(opt.sim_duration) / kSec)
+                << " simulated s\n"
+                << "  events             " << rs.events << " ("
+                << json_num(static_cast<double>(rs.events) / rs.wall_seconds) << "/s wall)\n"
+                << "  packets processed  " << rs.processed << " (" << json_num(pps)
+                << "/s wall)\n"
+                << "  packets delivered  " << rs.delivered << "\n"
+                << "  link traffic       " << rs.link.packets_sent << " pkts, "
+                << rs.link.bytes_sent << " bytes\n";
+      if (pps_at_1 > 0.0 && shards != 1) {
+        std::cout << "  speedup vs 1 shard " << json_num(pps / pps_at_1) << "x (efficiency "
+                  << json_num(pps / (static_cast<double>(shards) * pps_at_1)) << ")\n";
+      }
+#ifdef SWISH_PACKET_STATS
+      const auto& stats = pkt::PacketStats::global();
+      std::cout << "  parse executions   " << std::uint64_t{stats.parse_executions}
+                << " (cache hits " << std::uint64_t{stats.parse_cache_hits} << ")\n"
+                << "  deep copies        " << std::uint64_t{stats.rewrite_copies} << " ("
+                << std::uint64_t{stats.rewrite_bytes} << " bytes)\n";
+#endif
+    }
+  }
+
+  if (!opt.write_baseline.empty()) {
+    std::ofstream bl(opt.write_baseline);
+    bl << baseline_block << "\n";
+  }
 
   if (!opt.out.empty()) {
     std::string baseline_text = "null";
@@ -419,27 +524,10 @@ int main(int argc, char** argv) {
     out << "{\n\"bench\": \"throughput\",\n\"schema\": 2,\n\"baseline\": " << baseline_text
         << ",\n\"runs\": [\n";
     if (!previous.empty()) out << previous << ",\n";
-    out << run.str() << "\n]\n}\n";
-  }
-
-  if (!opt.quiet) {
-    std::cout << "bench_throughput [" << opt.label << " @ " << opt.commit << "]\n"
-              << "  wall time          " << json_num(wall_seconds) << " s for "
-              << json_num(static_cast<double>(opt.sim_duration) / kSec) << " simulated s\n"
-              << "  events             " << events << " (" << json_num(events / wall_seconds)
-              << "/s wall)\n"
-              << "  packets processed  " << processed << " ("
-              << json_num(processed / wall_seconds) << "/s wall)\n"
-              << "  packets delivered  " << delivered << "\n"
-              << "  link traffic       " << link.packets_sent << " pkts, " << link.bytes_sent
-              << " bytes\n";
-#ifdef SWISH_PACKET_STATS
-    const auto& stats = pkt::PacketStats::global();
-    std::cout << "  parse executions   " << stats.parse_executions << " (cache hits "
-              << stats.parse_cache_hits << ")\n"
-              << "  deep copies        " << stats.rewrite_copies << " ("
-              << stats.rewrite_bytes << " bytes)\n";
-#endif
+    for (std::size_t i = 0; i < run_objects.size(); ++i) {
+      out << run_objects[i] << (i + 1 < run_objects.size() ? ",\n" : "\n");
+    }
+    out << "]\n}\n";
   }
   return 0;
 }

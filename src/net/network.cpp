@@ -13,6 +13,18 @@ std::string link_prefix(NodeId node, PortId port) {
   return "net.link.n" + std::to_string(node) + ".p" + std::to_string(port) + ".";
 }
 
+// SplitMix64 finalizer: full-avalanche 64-bit mix for per-link seeding.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t link_seed(std::uint64_t seed, NodeId node, PortId port) {
+  return mix64(seed ^ mix64((static_cast<std::uint64_t>(node) << 32) | port));
+}
+
 }  // namespace
 
 void Network::attach(Node& node) {
@@ -29,18 +41,28 @@ Network::Connection Network::connect(NodeId a, NodeId b, const LinkParams& param
   auto& pb = ports_[b];
   const auto port_a = static_cast<PortId>(pa.size());
   const auto port_b = static_cast<PortId>(pb.size());
-  pa.push_back(HalfLink{b, port_b, params, 0, make_counters(a, port_a)});
-  pb.push_back(HalfLink{a, port_a, params, 0, make_counters(b, port_b)});
+  pa.push_back(HalfLink{b, port_b, params, 0, make_counters(a, port_a, b),
+                        Rng(link_seed(seed_, a, port_a))});
+  pb.push_back(HalfLink{a, port_a, params, 0, make_counters(b, port_b, a),
+                        Rng(link_seed(seed_, b, port_b))});
+  if (shards_ != nullptr && shards_->shard_of(a) != shards_->shard_of(b)) {
+    // The minimum cross-shard propagation delay funds the conservative
+    // lookahead (throws on zero delay: that would stall the window engine).
+    shards_->note_cross_link(params.propagation_delay);
+  }
   return Connection{port_a, port_b};
 }
 
-Network::LinkCounters Network::make_counters(NodeId node, PortId port) {
-  telemetry::MetricsRegistry& reg = sim_.metrics();
+Network::LinkCounters Network::make_counters(NodeId node, PortId port, NodeId peer) {
+  telemetry::MetricsRegistry& reg = sim_for(node).metrics();
   const std::string prefix = link_prefix(node, port);
   LinkCounters c;
   c.packets_sent = reg.counter(prefix + "packets_sent");
   c.bytes_sent = reg.counter(prefix + "bytes_sent");
-  c.packets_delivered = reg.counter(prefix + "packets_delivered");
+  // Delivery events execute on the receiving node's shard, so this one cell
+  // lives in that shard's registry (same cell when both share a simulator);
+  // the merged post-run snapshot reassembles the per-link counter set.
+  c.packets_delivered = sim_for(peer).metrics().counter(prefix + "packets_delivered");
   c.packets_dropped_loss = reg.counter(prefix + "packets_dropped_loss");
   c.packets_dropped_queue = reg.counter(prefix + "packets_dropped_queue");
   return c;
@@ -64,7 +86,8 @@ const Network::HalfLink& Network::half(NodeId node, PortId port) const {
 
 void Network::send(NodeId from, PortId port, pkt::Packet packet, TimeNs egress_delay) {
   HalfLink& link = half(from, port);
-  const TimeNs now = sim_.now() + egress_delay;
+  sim::Simulator& src_sim = sim_for(from);
+  const TimeNs now = src_sim.now() + egress_delay;
 
   // Serialization / queueing on the transmit side. A queue-dropped packet
   // never occupies the wire: next_free_time stays put, no sent/bytes are
@@ -72,7 +95,8 @@ void Network::send(NodeId from, PortId port, pkt::Packet packet, TimeNs egress_d
   TimeNs tx_start = std::max(now, link.next_free_time);
   if (tx_start - now > link.params.max_queue_delay) {
     ++link.stats.packets_dropped_queue;
-    sim_.tracer().record(telemetry::kTraceDrop, from, "link_queue_drop", link.to, packet.size());
+    src_sim.tracer().record(telemetry::kTraceDrop, from, "link_queue_drop", link.to,
+                            packet.size());
     return;
   }
   TimeNs tx_time = 0;
@@ -88,29 +112,47 @@ void Network::send(NodeId from, PortId port, pkt::Packet packet, TimeNs egress_d
   // Loss after transmission starts (models on-wire corruption/drop): the
   // transmitter has already paid the serialization time, so the wire stays
   // occupied and the packet stays counted in packets_sent.
-  if (link.params.loss_probability > 0.0 && rng_.chance(link.params.loss_probability)) {
+  if (link.params.loss_probability > 0.0 && link.rng.chance(link.params.loss_probability)) {
     ++link.stats.packets_dropped_loss;
-    sim_.tracer().record(telemetry::kTraceDrop, from, "link_loss_drop", link.to, packet.size());
+    src_sim.tracer().record(telemetry::kTraceDrop, from, "link_loss_drop", link.to,
+                            packet.size());
     return;
   }
 
-  TimeNs jitter = link.params.jitter > 0
-                      ? static_cast<TimeNs>(rng_.next_below(static_cast<std::uint64_t>(link.params.jitter) + 1))
-                      : 0;
+  TimeNs jitter =
+      link.params.jitter > 0
+          ? static_cast<TimeNs>(
+                link.rng.next_below(static_cast<std::uint64_t>(link.params.jitter) + 1))
+          : 0;
   const TimeNs delivery = link.next_free_time + link.params.propagation_delay + jitter;
   const NodeId to = link.to;
   const PortId to_port = link.to_port;
+  const bool cross_shard =
+      shards_ != nullptr && shards_->count() > 1 && shards_->shard_of(to) != shards_->shard_of(from);
+  if (cross_shard) {
+    // Warm the parse cache on the sending thread: the underlying buffer may
+    // be shared with same-shard copies (multicast fan-out), and the cache
+    // must not be written concurrently from two shards. After this, every
+    // later parse() on any shard is a read; the barrier between windows
+    // publishes the cached result.
+    (void)packet.parse();
+  }
   // Fire-and-forget delivery: no cancellation handle. The HalfLink is
   // re-resolved at delivery time because connect() may reallocate the port
   // vectors between scheduling and firing.
-  sim_.post_at(delivery, [this, from, port, to, to_port, p = std::move(packet)]() mutable {
+  auto deliver = [this, from, port, to, to_port, p = std::move(packet)]() mutable {
     auto it = nodes_.find(to);
     if (it == nodes_.end()) return;
     Node* n = it->second;
     if (!n->alive()) return;  // failed switches black-hole traffic
     ++half(from, port).stats.packets_delivered;
     n->handle_packet(std::move(p), to_port);
-  });
+  };
+  if (cross_shard) {
+    shards_->post_at_node(to, delivery, std::move(deliver));
+  } else {
+    src_sim.post_at(delivery, std::move(deliver));
+  }
 }
 
 std::size_t Network::port_count(NodeId node) const {

@@ -15,6 +15,7 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "packet/packet.hpp"
+#include "sim/shard.hpp"
 #include "sim/simulator.hpp"
 
 namespace swish::net {
@@ -74,10 +75,22 @@ struct LinkStats {
 };
 
 /// Registry of nodes and links; routes packets between them in virtual time.
+///
+/// Loss and jitter draw from a per-half-link Rng seeded from (fabric seed,
+/// node, port): each link's drop/jitter sequence is a pure function of its
+/// own traffic, independent of shard interleaving — a prerequisite for the
+/// sharded core (two threads never share a generator, and the wire behaves
+/// identically at every shard count).
 class Network {
  public:
-  Network(sim::Simulator& simulator, std::uint64_t seed)
-      : sim_(simulator), rng_(seed) {}
+  Network(sim::Simulator& simulator, std::uint64_t seed) : sim_(simulator), seed_(seed) {}
+
+  /// Sharded fabric: nodes live on the shard the set assigns them
+  /// (ShardSet::assign before connect()); cross-shard links register their
+  /// propagation delay as conservative lookahead, and deliveries hop shards
+  /// through the set's inbox lanes.
+  Network(sim::ShardSet& shards, std::uint64_t seed)
+      : sim_(shards.sim(0)), shards_(&shards), seed_(seed) {}
 
   /// Registers a node. The caller retains ownership; the node must outlive
   /// the network.
@@ -128,6 +141,16 @@ class Network {
 
   [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
 
+  /// The simulator executing `node`'s events (shard-resolved; `sim_` when
+  /// the network was built on a single Simulator).
+  [[nodiscard]] sim::Simulator& sim_for(NodeId node) noexcept {
+    return shards_ != nullptr ? shards_->sim_for(node) : sim_;
+  }
+
+  /// The shard set this network runs on, or nullptr for the legacy
+  /// single-simulator construction.
+  [[nodiscard]] sim::ShardSet* shard_set() noexcept { return shards_; }
+
  private:
   /// Registry-backed per-direction counters; see LinkStats for invariants.
   struct LinkCounters {
@@ -138,21 +161,27 @@ class Network {
     telemetry::Counter packets_dropped_queue;
   };
 
-  /// One direction of a link.
+  /// One direction of a link. Mutable fields (next_free_time, rng, counter
+  /// cells) are touched only by the sending node's shard — the single-writer
+  /// property the sharded core relies on. The one exception,
+  /// packets_delivered, is incremented by the delivery event and therefore
+  /// bound to the *receiving* node's shard registry (see make_counters).
   struct HalfLink {
     NodeId to = kInvalidNode;
     PortId to_port = kInvalidPort;
     LinkParams params;
     TimeNs next_free_time = 0;  ///< when the transmitter finishes the current packet
     LinkCounters stats;
+    Rng rng{0};  ///< loss/jitter draws; seeded per (fabric seed, node, port)
   };
 
   HalfLink& half(NodeId node, PortId port);
   [[nodiscard]] const HalfLink& half(NodeId node, PortId port) const;
-  [[nodiscard]] LinkCounters make_counters(NodeId node, PortId port);
+  [[nodiscard]] LinkCounters make_counters(NodeId node, PortId port, NodeId peer);
 
   sim::Simulator& sim_;
-  Rng rng_;
+  sim::ShardSet* shards_ = nullptr;
+  std::uint64_t seed_;
   std::unordered_map<NodeId, Node*> nodes_;
   std::unordered_map<NodeId, std::vector<HalfLink>> ports_;
   std::function<void(NodeId, NodeId, const pkt::Packet&, TimeNs)> tap_;

@@ -1,0 +1,27 @@
+#include "net/partition.hpp"
+
+#include <stdexcept>
+
+namespace swish::net {
+
+PartitionPlan plan_partition(std::size_t leaves, std::size_t extras, std::size_t shards) {
+  if (shards == 0) throw std::invalid_argument("plan_partition: shard count must be >= 1");
+  if (shards > leaves) {
+    throw std::invalid_argument("plan_partition: more shards than leaf switches");
+  }
+  PartitionPlan plan;
+  plan.shards = shards;
+  plan.leaf_shard.reserve(leaves);
+  // Contiguous balanced blocks: leaf i -> floor(i * shards / leaves) yields
+  // block sizes differing by at most one, in id order.
+  for (std::size_t i = 0; i < leaves; ++i) {
+    plan.leaf_shard.push_back(i * shards / leaves);
+  }
+  plan.extra_shard.reserve(extras);
+  for (std::size_t s = 0; s < extras; ++s) {
+    plan.extra_shard.push_back(s % shards);
+  }
+  return plan;
+}
+
+}  // namespace swish::net

@@ -1,0 +1,31 @@
+// Topology-aware shard partitioning for the parallel simulation core.
+//
+// The partition objective is simple: keep each leaf's heavy local event
+// traffic (pipeline stages, recirculation, NF work) inside one shard, spread
+// leaves evenly, and accept that leaf<->spine hops cross shards — those are
+// exactly the links whose propagation delay funds the conservative lookahead.
+// Leaves are therefore split into contiguous equal blocks (preserving any
+// locality in id-adjacent traffic patterns, e.g. chain topologies), while
+// spines — pure transit, touched by every leaf — are dealt round-robin so no
+// single shard carries all transit load. The controller always lives on
+// shard 0, next to the management-plane callbacks and the workload drivers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace swish::net {
+
+struct PartitionPlan {
+  std::size_t shards = 1;
+  std::vector<std::size_t> leaf_shard;   ///< leaf position -> shard
+  std::vector<std::size_t> extra_shard;  ///< spine position -> shard
+};
+
+/// Plans a partition of `leaves` leaf switches and `extras` transit spines
+/// onto `shards` shards. Requires 1 <= shards <= leaves (each shard must own
+/// at least one leaf or it would idle every window).
+[[nodiscard]] PartitionPlan plan_partition(std::size_t leaves, std::size_t extras,
+                                           std::size_t shards);
+
+}  // namespace swish::net

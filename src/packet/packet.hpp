@@ -10,6 +10,7 @@
 // re-parsed at later hops, taps, or recirculations).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -43,18 +44,42 @@ struct ParsedPacket {
   }
 };
 
-/// Data-path instrumentation (single global instance; the simulation is
-/// single-threaded). Cheap enough to keep always-on: a few integer bumps per
-/// buffer/parse, nothing per-copy.
-struct PacketStats {
-  std::uint64_t buffers_created = 0;   ///< fresh buffer allocations
-  std::uint64_t buffer_bytes = 0;      ///< bytes placed into fresh buffers
-  std::uint64_t parse_executions = 0;  ///< full header-stack parses run
-  std::uint64_t parse_cache_hits = 0;  ///< parse() answered from the buffer cache
-  std::uint64_t rewrite_copies = 0;    ///< copy-on-write buffer materializations
-  std::uint64_t rewrite_bytes = 0;     ///< bytes copied by those rewrites
+/// Relaxed atomic counter with plain-integer ergonomics. The packet-layer
+/// stats are process-global while the sharded simulator runs one thread per
+/// shard, so the bumps must be atomic; relaxed ordering keeps them a single
+/// uncontended RMW (each counter is a pure tally — no ordering is derived
+/// from it, totals are read after the run joins).
+class RelaxedCounter {
+ public:
+  constexpr RelaxedCounter() noexcept = default;
+  void operator++() noexcept { v_.fetch_add(1, std::memory_order_relaxed); }
+  void operator+=(std::uint64_t d) noexcept { v_.fetch_add(d, std::memory_order_relaxed); }
+  operator std::uint64_t() const noexcept {  // NOLINT(google-explicit-constructor)
+    return v_.load(std::memory_order_relaxed);
+  }
 
-  void reset() { *this = PacketStats{}; }
+ private:
+  friend struct PacketStats;
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Data-path instrumentation (single global instance, shared by every shard).
+/// Cheap enough to keep always-on: a few relaxed bumps per buffer/parse,
+/// nothing per-copy.
+struct PacketStats {
+  RelaxedCounter buffers_created;   ///< fresh buffer allocations
+  RelaxedCounter buffer_bytes;      ///< bytes placed into fresh buffers
+  RelaxedCounter parse_executions;  ///< full header-stack parses run
+  RelaxedCounter parse_cache_hits;  ///< parse() answered from the buffer cache
+  RelaxedCounter rewrite_copies;    ///< copy-on-write buffer materializations
+  RelaxedCounter rewrite_bytes;     ///< bytes copied by those rewrites
+
+  void reset() noexcept {
+    for (RelaxedCounter* c : {&buffers_created, &buffer_bytes, &parse_executions,
+                              &parse_cache_hits, &rewrite_copies, &rewrite_bytes}) {
+      c->v_.store(0, std::memory_order_relaxed);
+    }
+  }
   static PacketStats& global() noexcept;
 };
 

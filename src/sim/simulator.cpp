@@ -121,4 +121,24 @@ void Simulator::run_until(TimeNs deadline) {
   if (now_ < deadline) now_ = deadline;
 }
 
+void Simulator::run_before(TimeNs horizon) {
+  // Open-coded rather than built on step(): step() discards cancelled heads
+  // and keeps popping until it executes *something*, which could be an event
+  // at or past the horizon. A conservative window must never overrun its
+  // bound, so the time check here guards every pop.
+  stopped_ = false;
+  while (!stopped_ && !heap_.empty() && heap_.front().time < horizon) {
+    const EventKey key = pop_min();
+    EventSlot& slot = slots_[key.slot];
+    EventFn fn = std::move(slot.fn);
+    const bool skip = slot.cancelled && *slot.cancelled;
+    slot.cancelled.reset();
+    free_slots_.push_back(key.slot);  // recycle before running: fn may push
+    if (skip) continue;
+    now_ = key.time;
+    ++executed_;
+    fn();
+  }
+}
+
 }  // namespace swish::sim

@@ -26,6 +26,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <new>
 #include <type_traits>
@@ -225,6 +226,28 @@ class Simulator {
   /// Runs events with time <= deadline; leaves later events queued and
   /// advances now() to the deadline.
   void run_until(TimeNs deadline);
+
+  /// Runs events with time strictly < horizon; leaves later events queued
+  /// and does NOT advance now() past the last executed event. Unlike
+  /// run_until()+step(), a cancelled head never pulls an event at >= horizon
+  /// into the pass — the bound is strict. This is the window-execution
+  /// primitive for the sharded core (ShardSet), where the horizon is a
+  /// conservative-synchronization bound that must not be overrun.
+  void run_before(TimeNs horizon);
+
+  /// Timestamp of the earliest queued event (cancelled events included —
+  /// an upper bound on how stale the answer can be is harmless to the
+  /// conservative window computation), or kNoEvent when the queue is empty.
+  static constexpr TimeNs kNoEvent = std::numeric_limits<TimeNs>::max();
+  [[nodiscard]] TimeNs next_event_time() const noexcept {
+    return heap_.empty() ? kNoEvent : heap_.front().time;
+  }
+
+  /// Advances now() to `t` if it is ahead of the clock (no-op otherwise).
+  /// Used at the end of a sharded run to settle every shard on the deadline.
+  void advance_to(TimeNs t) noexcept {
+    if (t > now_) now_ = t;
+  }
 
   /// Requests run()/run_until() to return after the current event.
   void stop() noexcept { stopped_ = true; }

@@ -11,6 +11,24 @@ namespace swish::shm {
 Controller::Controller(sim::Simulator& simulator, net::Network& network, NodeId id, Config config)
     : net::Node(id), sim_(simulator), network_(network), config_(config) {}
 
+void Controller::post_to_node(NodeId node, TimeNs delay, sim::EventFn fn) {
+  if (sharded()) {
+    // Cross-shard delays are widened to the lookahead by the shard set; the
+    // management latency (hundreds of µs) dominates any realistic lookahead,
+    // so the widening never actually changes a timestamp here.
+    shards_->post_after_node(node, delay, std::move(fn));
+  } else {
+    sim_.post_after(delay, std::move(fn));
+  }
+}
+
+std::function<void()> Controller::to_controller(std::function<void()> fn) {
+  if (!sharded()) return fn;
+  sim::ShardSet* shards = shards_;
+  const NodeId me = id();
+  return [shards, me, f = std::move(fn)]() { shards->post_after_node(me, 0, f); };
+}
+
 void Controller::register_switch(pisa::Switch& sw, ShmRuntime& runtime) {
   members_[sw.id()] = Member{&sw, &runtime, 0, true};
 }
@@ -52,7 +70,7 @@ void Controller::push_space_chains(bool immediate) {
       if (immediate) {
         apply();
       } else {
-        sim_.post_after(config_.mgmt_latency, std::move(apply));
+        post_to_node(id, config_.mgmt_latency, std::move(apply));
       }
     }
   }
@@ -72,10 +90,10 @@ void Controller::migrate_space(std::uint32_t space, std::vector<SwitchId> new_re
     if (std::find(entry.replicas.begin(), entry.replicas.end(), id) == entry.replicas.end()) {
       joiners->push_back(id);
       ShmRuntime* rt = members_.at(id).runtime;
-      sim_.post_after(config_.mgmt_latency,
-                          [rt, config = entry.config, new_replicas]() {
-                            rt->add_space(config, new_replicas);
-                          });
+      post_to_node(id, config_.mgmt_latency,
+                   [rt, config = entry.config, new_replicas]() {
+                     rt->add_space(config, new_replicas);
+                   });
     }
   }
 
@@ -109,6 +127,9 @@ void Controller::migrate_space(std::uint32_t space, std::vector<SwitchId> new_re
   }
 
   // Stream to each joiner sequentially (the donor runs one stream at a time).
+  // stream_next always executes on the controller's shard; sharded fabrics
+  // post the kickoff onto the donor's shard and route the stream-done
+  // callback back here before advancing to the next joiner.
   ShmRuntime* donor = members_.at(donor_id).runtime;
   auto stream_next = std::make_shared<std::function<void()>>();
   auto index = std::make_shared<std::size_t>(0);
@@ -116,15 +137,23 @@ void Controller::migrate_space(std::uint32_t space, std::vector<SwitchId> new_re
   // an unreclaimable cycle); each stream's done-callback keeps it alive until
   // the last joiner finishes.
   std::weak_ptr<std::function<void()>> weak_next = stream_next;
-  *stream_next = [this, donor, joiners, index, weak_next, finish, space]() {
+  *stream_next = [this, donor_id, donor, joiners, index, weak_next, finish, space]() {
     if (*index >= joiners->size()) {
       finish();
       return;
     }
     const SwitchId target = (*joiners)[(*index)++];
     auto self = weak_next.lock();
-    donor->start_recovery_stream(
-        target, [self]() { if (self && *self) (*self)(); }, space);
+    if (sharded()) {
+      auto resume = to_controller([self]() { if (self && *self) (*self)(); });
+      shards_->post_after_node(donor_id, 0,
+                               [donor, target, resume = std::move(resume), space]() {
+                                 donor->start_recovery_stream(target, resume, space);
+                               });
+    } else {
+      donor->start_recovery_stream(
+          target, [self]() { if (self && *self) (*self)(); }, space);
+    }
   };
   sim_.post_after(2 * config_.mgmt_latency, [stream_next]() { (*stream_next)(); });
 }
@@ -208,24 +237,28 @@ void Controller::readmit_switch(SwitchId id) {
 
   // SRO: the current tail streams its snapshot (plus tapped live commits) to
   // the newcomer; only then does the newcomer join the chain — as the new
-  // tail (§6.3).
-  ShmRuntime* donor = members_.at(chain_.chain.back()).runtime;
-  sim_.post_after(config_.mgmt_latency, [this, donor, id]() {
-    donor->start_recovery_stream(id, [this, id]() {
-      const std::uint32_t epoch = next_epoch_++;
-      chain_.epoch = epoch;
-      group_.epoch = epoch;
-      if (std::find(chain_.chain.begin(), chain_.chain.end(), id) == chain_.chain.end()) {
-        chain_.chain.push_back(id);
-      }
-      push_configs(/*immediate=*/false);
-      if (on_recovery_complete) {
-        sim_.post_after(config_.mgmt_latency, [this, id]() {
-          on_recovery_complete(id, sim_.now());
-        });
-      }
-    });
+  // tail (§6.3). The stream runs on the donor's shard; the chain switchover
+  // below is controller state, so its callback hops back to this shard.
+  const SwitchId donor_id = chain_.chain.back();
+  ShmRuntime* donor = members_.at(donor_id).runtime;
+  auto streamed = to_controller([this, id]() {
+    const std::uint32_t epoch = next_epoch_++;
+    chain_.epoch = epoch;
+    group_.epoch = epoch;
+    if (std::find(chain_.chain.begin(), chain_.chain.end(), id) == chain_.chain.end()) {
+      chain_.chain.push_back(id);
+    }
+    push_configs(/*immediate=*/false);
+    if (on_recovery_complete) {
+      sim_.post_after(config_.mgmt_latency, [this, id]() {
+        on_recovery_complete(id, sim_.now());
+      });
+    }
   });
+  post_to_node(donor_id, config_.mgmt_latency,
+               [donor, id, streamed = std::move(streamed)]() {
+                 donor->start_recovery_stream(id, streamed);
+               });
 }
 
 std::vector<NodeId> Controller::failed_nodes() const {
@@ -250,7 +283,7 @@ void Controller::push_configs(bool immediate) {
     if (immediate) {
       apply();
     } else {
-      sim_.post_after(config_.mgmt_latency, std::move(apply));
+      post_to_node(id, config_.mgmt_latency, std::move(apply));
     }
   }
 }

@@ -29,6 +29,14 @@ class Controller : public net::Node {
 
   Controller(sim::Simulator& simulator, net::Network& network, NodeId id, Config config);
 
+  /// Binds the sharded simulation core (set by Fabric). With more than one
+  /// shard the controller routes every member-object call through the shard
+  /// set: config/chain pushes land on the member's shard, recovery-stream
+  /// kickoffs run on the donor's shard, and stream-completion callbacks hop
+  /// back to the controller's shard. Unset — or one shard — keeps the legacy
+  /// direct paths bit-for-bit.
+  void set_shard_set(sim::ShardSet* shards) noexcept { shards_ = shards; }
+
   /// Registers a switch and its runtime. Registration order defines the
   /// initial chain order (head first).
   void register_switch(pisa::Switch& sw, ShmRuntime& runtime);
@@ -78,6 +86,21 @@ class Controller : public net::Node {
   void check_liveness();
   void handle_failure(SwitchId failed);
 
+  [[nodiscard]] bool sharded() const noexcept {
+    return shards_ != nullptr && shards_->count() > 1;
+  }
+
+  /// Runs `fn` after `delay` on the shard executing `node`'s events (the
+  /// legacy sim_.post_after when unsharded — same event position, so a
+  /// one-shard run stays byte-identical).
+  void post_to_node(NodeId node, TimeNs delay, sim::EventFn fn);
+
+  /// Wraps a callback that will fire on a member's shard so its body executes
+  /// on the controller's shard (one lookahead later); identity when unsharded.
+  /// std::function (not sim::EventFn) because stream-done callbacks are
+  /// copyable handles held by the runtime.
+  [[nodiscard]] std::function<void()> to_controller(std::function<void()> fn);
+
   /// Pushes chain/group/routing to all live switches over the management
   /// network (mgmt_latency); `immediate` bypasses latency for bootstrap.
   void push_configs(bool immediate);
@@ -101,6 +124,7 @@ class Controller : public net::Node {
 
   sim::Simulator& sim_;
   net::Network& network_;
+  sim::ShardSet* shards_ = nullptr;
   Config config_;
   std::map<SwitchId, Member> members_;  // ordered => deterministic chain order
   pkt::ChainConfig chain_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "net/partition.hpp"
+
 namespace swish::shm {
 namespace {
 
@@ -21,27 +23,57 @@ class TransitProgram : public pisa::PipelineProgram {
 constexpr NodeId kControllerId = 1000;
 constexpr NodeId kSpineBase = 2000;
 
+std::size_t validated_shards(const FabricConfig& c) {
+  if (c.shards == 0) throw std::invalid_argument("Fabric: shard count must be >= 1");
+  if (c.num_switches != 0 && c.shards > c.num_switches) {
+    throw std::invalid_argument("Fabric: more shards than switches");
+  }
+  return c.shards;
+}
+
 }  // namespace
 
 Fabric::Fabric(FabricConfig config)
-    : config_(config), sim_(), net_(sim_, config.seed) {
+    : config_(config), shards_(validated_shards(config_)), net_(shards_, config.seed) {
   if (config_.num_switches == 0) throw std::invalid_argument("Fabric: need >= 1 switch");
 
+  // Partition before any node exists: Switch constructors capture their
+  // shard's simulator, and connect() derives the conservative lookahead from
+  // endpoints that already know their shards.
+  const std::size_t spine_n =
+      config_.topology == FabricConfig::Topology::kLeafSpine ? config_.spine_count : 0;
+  const net::PartitionPlan plan =
+      net::plan_partition(config_.num_switches, spine_n, shards_.count());
+  for (std::size_t i = 0; i < config_.num_switches; ++i) {
+    shards_.assign(static_cast<NodeId>(i + 1), plan.leaf_shard[i]);
+  }
+  for (std::size_t s = 0; s < spine_n; ++s) {
+    shards_.assign(static_cast<NodeId>(kSpineBase + s), plan.extra_shard[s]);
+  }
+  shards_.assign(kControllerId, 0);
+
   // Packet-layer stats are process-global (the buffer/parse cache has no
-  // simulator handle); surface them in this simulation's registry as pull
-  // probes so JSON/table exports include them. In-process determinism tests
-  // reset PacketStats::global() between runs.
-  telemetry::MetricsRegistry& reg = sim_.metrics();
-  reg.probe("pkt.buffers_created", []() { return pkt::PacketStats::global().buffers_created; });
-  reg.probe("pkt.buffer_bytes", []() { return pkt::PacketStats::global().buffer_bytes; });
-  reg.probe("pkt.parse_executions", []() { return pkt::PacketStats::global().parse_executions; });
-  reg.probe("pkt.parse_cache_hits", []() { return pkt::PacketStats::global().parse_cache_hits; });
-  reg.probe("pkt.rewrite_copies", []() { return pkt::PacketStats::global().rewrite_copies; });
-  reg.probe("pkt.rewrite_bytes", []() { return pkt::PacketStats::global().rewrite_bytes; });
+  // simulator handle); surface them in shard 0's registry as pull probes so
+  // JSON/table exports include them. In-process determinism tests reset
+  // PacketStats::global() between runs.
+  telemetry::MetricsRegistry& reg = shards_.sim(0).metrics();
+  reg.probe("pkt.buffers_created",
+            []() -> std::uint64_t { return pkt::PacketStats::global().buffers_created; });
+  reg.probe("pkt.buffer_bytes",
+            []() -> std::uint64_t { return pkt::PacketStats::global().buffer_bytes; });
+  reg.probe("pkt.parse_executions",
+            []() -> std::uint64_t { return pkt::PacketStats::global().parse_executions; });
+  reg.probe("pkt.parse_cache_hits",
+            []() -> std::uint64_t { return pkt::PacketStats::global().parse_cache_hits; });
+  reg.probe("pkt.rewrite_copies",
+            []() -> std::uint64_t { return pkt::PacketStats::global().rewrite_copies; });
+  reg.probe("pkt.rewrite_bytes",
+            []() -> std::uint64_t { return pkt::PacketStats::global().rewrite_bytes; });
 
   for (std::size_t i = 0; i < config_.num_switches; ++i) {
     const auto id = static_cast<NodeId>(i + 1);
-    switches_.push_back(std::make_unique<pisa::Switch>(sim_, net_, id, config_.switch_config));
+    switches_.push_back(
+        std::make_unique<pisa::Switch>(shards_.sim_for(id), net_, id, config_.switch_config));
     ids_.push_back(id);
     net_.attach(*switches_.back());
   }
@@ -57,7 +89,8 @@ Fabric::Fabric(FabricConfig config)
       std::vector<NodeId> spine_ids;
       for (std::size_t s = 0; s < config_.spine_count; ++s) {
         const auto id = static_cast<NodeId>(kSpineBase + s);
-        spines_.push_back(std::make_unique<pisa::Switch>(sim_, net_, id, config_.switch_config));
+        spines_.push_back(
+            std::make_unique<pisa::Switch>(shards_.sim_for(id), net_, id, config_.switch_config));
         net_.attach(*spines_.back());
         spines_.back()->install_program(std::make_unique<TransitProgram>());
         spine_ids.push_back(id);
@@ -67,7 +100,9 @@ Fabric::Fabric(FabricConfig config)
     }
   }
 
-  controller_ = std::make_unique<Controller>(sim_, net_, kControllerId, config_.controller);
+  controller_ =
+      std::make_unique<Controller>(shards_.sim(0), net_, kControllerId, config_.controller);
+  controller_->set_shard_set(&shards_);
   net_.attach(*controller_);
   // The controller has a (lossy, in-band) link to every switch, so losing any
   // one switch cannot partition it from the rest of the fabric — standard
@@ -130,6 +165,62 @@ void Fabric::revive_switch(std::size_t i) {
   sw.recover();
   runtimes_.at(i)->reset_state();
   controller_->readmit_switch(sw.id());
+}
+
+void Fabric::inject(std::size_t i, pkt::Packet packet) {
+  pisa::Switch& sw = *switches_.at(i);
+  if (shards_.count() == 1 || shards_.shard_of(sw.id()) == 0) {
+    sw.inject(std::move(packet));
+    return;
+  }
+  // The injected packet is exclusively owned, so no parse pre-warm is needed;
+  // the +lookahead skew is the price of conservatism and is uniform across
+  // all cross-shard switches (workload generators account for it).
+  pisa::Switch* swp = &sw;
+  shards_.post_at_node(sw.id(), shards_.sim(0).now() + shards_.lookahead(),
+                       [swp, p = std::move(packet)]() mutable { swp->inject(std::move(p)); });
+}
+
+void Fabric::schedule_kill(std::size_t i, TimeNs at) {
+  pisa::Switch* sw = switches_.at(i).get();
+  shards_.sim_for(sw->id()).schedule_at(at, [sw]() { sw->fail(); });
+}
+
+void Fabric::schedule_revive(std::size_t i, TimeNs at) {
+  if (!installed_) throw std::logic_error("Fabric::schedule_revive before install()");
+  if (shards_.count() == 1) {
+    shards_.sim(0).schedule_at(at, [this, i]() { revive_switch(i); });
+    return;
+  }
+  // Sharded split: the local flip + state reset run where the switch lives;
+  // re-admission runs on the controller's shard at the same virtual time.
+  // Ordering matches the one-shard path because the controller's first
+  // effect on the revived switch is a management RPC >= mgmt_latency later.
+  pisa::Switch* sw = switches_.at(i).get();
+  ShmRuntime* rt = runtimes_.at(i).get();
+  shards_.sim_for(sw->id()).schedule_at(at, [sw, rt]() {
+    sw->recover();
+    rt->reset_state();
+  });
+  shards_.sim(0).schedule_at(at, [this, sw]() { controller_->readmit_switch(sw->id()); });
+}
+
+void Fabric::enable_spans(std::uint64_t sample_every, std::size_t max_spans) {
+  for (std::size_t k = 0; k < shards_.count(); ++k) {
+    shards_.sim(k).spans().enable(sample_every, max_spans);
+  }
+}
+
+void Fabric::enable_observatory() {
+  shards_.enable_observatory();
+  if (shards_.count() > 1) {
+    // Space declarations made at install() time went to per-shard instances
+    // that were not yet in log mode; re-declare every space on the master so
+    // its metric cells bind regardless of enable ordering.
+    for (const auto& [space, replicas] : spaces_) {
+      shards_.observatory().register_space(space.id, space.name, to_string(space.cls));
+    }
+  }
 }
 
 }  // namespace swish::shm

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "net/topology.hpp"
+#include "sim/shard.hpp"
 #include "swishmem/controller.hpp"
 #include "swishmem/runtime.hpp"
 
@@ -25,6 +26,15 @@ namespace swish::shm {
 
 struct FabricConfig {
   std::size_t num_switches = 4;
+
+  /// Logical processes for the parallel simulation core. The fabric's nodes
+  /// are partitioned across this many shards (leaf switches in contiguous id
+  /// blocks, spines round-robin, controller on shard 0), each with its own
+  /// event queue and virtual clock, synchronized conservatively with the
+  /// minimum inter-shard propagation delay as lookahead. 1 (the default) is
+  /// the legacy single-threaded core — byte-identical output. Must be in
+  /// [1, num_switches].
+  std::size_t shards = 1;
 
   enum class Topology { kFullMesh, kChain, kLeafSpine } topology = Topology::kFullMesh;
   std::size_t spine_count = 2;  ///< leaf-spine only (switches become leaves)
@@ -60,12 +70,24 @@ class Fabric {
   /// Bootstraps configuration and starts heartbeats/sync/failure detection.
   void start();
 
-  /// Runs the simulation clock forward.
-  void run_for(TimeNs duration) { sim_.run_until(sim_.now() + duration); }
+  /// Runs the simulation clock forward (every shard, conservatively synced;
+  /// one shard delegates straight to Simulator::run_until).
+  void run_for(TimeNs duration) { shards_.run_until(shards_.now() + duration); }
 
   // -- Accessors ----------------------------------------------------------------
 
-  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+  /// Shard 0's simulator — the reference clock, and the exact legacy
+  /// simulator when shards == 1.
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return shards_.sim(0); }
+  [[nodiscard]] sim::ShardSet& shard_set() noexcept { return shards_; }
+  [[nodiscard]] const sim::ShardSet& shard_set() const noexcept { return shards_; }
+  /// The simulator executing switch i's events (== simulator() at one shard).
+  [[nodiscard]] sim::Simulator& simulator_for(std::size_t i) {
+    return shards_.sim_for(ids_.at(i));
+  }
+  [[nodiscard]] std::size_t shard_of_switch(std::size_t i) const {
+    return shards_.shard_of(ids_.at(i));
+  }
   [[nodiscard]] net::Network& network() noexcept { return net_; }
   [[nodiscard]] Controller& controller() noexcept { return *controller_; }
   [[nodiscard]] std::size_t size() const noexcept { return switches_.size(); }
@@ -76,6 +98,49 @@ class Fabric {
 
   /// Installs the same delivery sink on every switch.
   void set_delivery_sink(std::function<void(const pkt::Packet&)> sink);
+
+  // -- Sharded experiment plumbing -----------------------------------------------
+  // Harness entry points that work at any shard count; at one shard each is
+  // exactly the legacy direct call.
+
+  /// Edge ingress from the experiment harness. Shard-0 switches (and one-shard
+  /// fabrics) take the direct sw(i).inject path; cross-shard switches receive
+  /// the packet one lookahead ahead of shard 0's clock via the inbox lanes.
+  /// Callable from shard 0's events or between runs.
+  void inject(std::size_t i, pkt::Packet packet);
+
+  /// Schedules a fail-stop kill at absolute virtual time `at`, on the
+  /// switch's own shard (where its traffic executes).
+  void schedule_kill(std::size_t i, TimeNs at);
+
+  /// Schedules revival of a previously-killed switch at `at`: local recover +
+  /// state reset on the switch's shard, controller re-admission on shard 0 —
+  /// the sharded split of revive_switch(). Requires install().
+  void schedule_revive(std::size_t i, TimeNs at);
+
+  // -- Fabric-wide telemetry ------------------------------------------------------
+
+  /// Metrics across all shards, merged deterministically (exactly the legacy
+  /// snapshot at one shard).
+  [[nodiscard]] telemetry::MetricsSnapshot metrics_snapshot() const {
+    return shards_.merged_metrics_snapshot();
+  }
+
+  /// All recorded causal spans, concatenated in shard order.
+  [[nodiscard]] std::vector<telemetry::Span> all_spans() const { return shards_.all_spans(); }
+
+  /// Enables span sampling on every shard's recorder.
+  void enable_spans(std::uint64_t sample_every,
+                    std::size_t max_spans = telemetry::SpanRecorder::kDefaultMaxSpans);
+
+  /// Enables the consistency-lag observatory: the simulator's own at one
+  /// shard; per-shard logs replayed into a fabric-wide master otherwise.
+  void enable_observatory();
+
+  /// Where lag measurements accumulate (pair with enable_observatory()).
+  [[nodiscard]] telemetry::ConsistencyObservatory& observatory() noexcept {
+    return shards_.observatory();
+  }
 
   // -- Failure experiments (§6.3) --------------------------------------------------
 
@@ -88,7 +153,7 @@ class Fabric {
 
  private:
   FabricConfig config_;
-  sim::Simulator sim_;
+  sim::ShardSet shards_;
   net::Network net_;
   std::vector<std::unique_ptr<pisa::Switch>> switches_;
   std::vector<std::unique_ptr<ShmRuntime>> runtimes_;

@@ -7,6 +7,16 @@ namespace swish::telemetry {
 
 void ConsistencyObservatory::register_space(std::uint32_t space, std::string name,
                                             std::string cls_name) {
+  if (log_ != nullptr) {
+    ObsEvent ev;
+    ev.kind = ObsEvent::Kind::kRegister;
+    ev.time = now();
+    ev.space = space;
+    ev.name = std::move(name);
+    ev.cls_name = std::move(cls_name);
+    log_->push_back(std::move(ev));
+    return;
+  }
   SpaceMetrics& m = spaces_[space];
   if (m.bound) return;  // re-registering an already-bound space is a no-op
   m.name = std::move(name);
@@ -58,7 +68,20 @@ ConsistencyObservatory::SpaceMetrics* ConsistencyObservatory::metrics_for(std::u
 void ConsistencyObservatory::on_commit(std::uint32_t space, std::uint64_t key,
                                        std::uint64_t ident, NodeId origin,
                                        std::uint32_t expected_applies) {
-  if (registry_ == nullptr || expected_applies == 0) return;
+  if (expected_applies == 0) return;
+  if (log_ != nullptr) {
+    ObsEvent ev;
+    ev.kind = ObsEvent::Kind::kCommit;
+    ev.time = now();
+    ev.space = space;
+    ev.key = key;
+    ev.ident = ident;
+    ev.origin = origin;
+    ev.expected = expected_applies;
+    log_->push_back(std::move(ev));
+    return;
+  }
+  if (registry_ == nullptr) return;
   SpaceMetrics* m = metrics_for(space);
   if (m == nullptr) return;
   const InflightKey k{space, key, origin};
@@ -77,6 +100,18 @@ void ConsistencyObservatory::on_commit(std::uint32_t space, std::uint64_t key,
 
 void ConsistencyObservatory::on_apply(std::uint32_t space, std::uint64_t key, NodeId origin,
                                       std::uint64_t ident, NodeId replica) {
+  if (log_ != nullptr) {
+    ObsEvent ev;
+    ev.kind = ObsEvent::Kind::kApply;
+    ev.time = now();
+    ev.space = space;
+    ev.key = key;
+    ev.ident = ident;
+    ev.origin = origin;
+    ev.replica = replica;
+    log_->push_back(std::move(ev));
+    return;
+  }
   if (registry_ == nullptr || inflight_.empty()) return;
   SpaceMetrics* m = metrics_for(space);
   if (m == nullptr) return;
@@ -100,6 +135,16 @@ void ConsistencyObservatory::on_apply(std::uint32_t space, std::uint64_t key, No
 }
 
 void ConsistencyObservatory::on_read(std::uint32_t space, std::uint64_t key, NodeId reader) {
+  if (log_ != nullptr) {
+    ObsEvent ev;
+    ev.kind = ObsEvent::Kind::kRead;
+    ev.time = now();
+    ev.space = space;
+    ev.key = key;
+    ev.origin = reader;
+    log_->push_back(std::move(ev));
+    return;
+  }
   if (registry_ == nullptr || inflight_.empty()) return;
   SpaceMetrics* m = metrics_for(space);
   if (m == nullptr) return;
@@ -111,6 +156,23 @@ void ConsistencyObservatory::on_read(std::uint32_t space, std::uint64_t key, Nod
       ++m->stale_reads;
       return;  // one staleness event per read, however many writes are in flight
     }
+  }
+}
+
+void ConsistencyObservatory::replay(const ObsEvent& ev) {
+  switch (ev.kind) {
+    case ObsEvent::Kind::kRegister:
+      register_space(ev.space, ev.name, ev.cls_name);
+      break;
+    case ObsEvent::Kind::kCommit:
+      on_commit(ev.space, ev.key, ev.ident, ev.origin, ev.expected);
+      break;
+    case ObsEvent::Kind::kApply:
+      on_apply(ev.space, ev.key, ev.origin, ev.ident, ev.replica);
+      break;
+    case ObsEvent::Kind::kRead:
+      on_read(ev.space, ev.key, ev.origin);
+      break;
   }
 }
 

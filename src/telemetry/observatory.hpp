@@ -33,6 +33,23 @@
 
 namespace swish::telemetry {
 
+/// One logged observatory call, for deferred cross-shard replay (see
+/// ConsistencyObservatory::set_event_log). `origin` doubles as the reader for
+/// kRead events; `name`/`cls_name` are only populated for kRegister.
+struct ObsEvent {
+  enum class Kind : std::uint8_t { kRegister, kCommit, kApply, kRead };
+  Kind kind = Kind::kCommit;
+  TimeNs time = 0;
+  std::uint32_t space = 0;
+  std::uint64_t key = 0;
+  std::uint64_t ident = 0;
+  NodeId origin = 0;
+  NodeId replica = 0;
+  std::uint32_t expected = 0;
+  std::string name;
+  std::string cls_name;
+};
+
 class ConsistencyObservatory {
  public:
   /// Max in-flight commit records across all spaces; beyond this the oldest
@@ -45,7 +62,24 @@ class ConsistencyObservatory {
 
   /// Turns measurement on and binds the metric cells. Idempotent.
   void enable(MetricsRegistry& registry);
-  [[nodiscard]] bool enabled() const noexcept { return registry_ != nullptr; }
+  [[nodiscard]] bool enabled() const noexcept {
+    return registry_ != nullptr || log_ != nullptr;
+  }
+
+  /// Log mode, for sharded simulations: lag correlation is fabric-wide (a
+  /// commit on one shard matches applies on others), so per-shard instances
+  /// cannot measure locally. Instead every on_* / register_space call is
+  /// appended to `log` with its virtual timestamp, and the ShardSet replays
+  /// the merged logs — ordered by (time, shard, log index) — into a single
+  /// master observatory at synchronization barriers. Pass nullptr to leave
+  /// log mode. While a log is set, enabled() is true and no metric cells are
+  /// touched locally.
+  void set_event_log(std::vector<ObsEvent>* log) noexcept { log_ = log; }
+
+  /// Master-side dispatch of one logged event. The caller owns the replay
+  /// clock: point set_clock() at a time variable and store ev.time into it
+  /// before each call, so lag math sees the event's original timestamp.
+  void replay(const ObsEvent& ev);
 
   void set_clock(const TimeNs* now) noexcept { now_ = now; }
 
@@ -98,6 +132,7 @@ class ConsistencyObservatory {
   void evict_oldest();
 
   MetricsRegistry* registry_ = nullptr;
+  std::vector<ObsEvent>* log_ = nullptr;
   const TimeNs* now_ = nullptr;
   std::map<std::uint32_t, SpaceMetrics> spaces_;
   /// Deterministic ordered map: eviction and divergence scans walk it in

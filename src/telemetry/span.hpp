@@ -93,6 +93,16 @@ class SpanRecorder {
     return SpanContext{parent.trace_id, ++next_span_id_, hop};
   }
 
+  /// Partitions the id space for sharded simulations: recorder k allocates
+  /// trace/span ids above `base` (ShardSet uses shard << 48), so ids are
+  /// globally unique across per-shard recorders without coordination. Shard
+  /// 0 keeps base 0 — a one-shard run allocates exactly the legacy ids.
+  /// Call before the first trace starts.
+  void set_id_base(std::uint64_t base) noexcept {
+    next_trace_id_ = base;
+    next_span_id_ = base;
+  }
+
   /// The simulator stamps spans with virtual time via this hook (same
   /// pattern as Tracer::set_clock).
   void set_clock(const TimeNs* now) noexcept { now_ = now; }

@@ -24,9 +24,9 @@ void AttackGenerator::send_one(TimeNs deadline) {
   // Round-robin over live switches: the attack arrives everywhere.
   for (std::size_t i = 0; i < fabric_.size(); ++i) {
     next_ingress_ = (next_ingress_ + 1) % fabric_.size();
-    if (fabric_.sw(next_ingress_).alive()) break;
+    if (ingress_alive(next_ingress_)) break;
   }
-  fabric_.sw(next_ingress_).inject(pkt::build_packet(spec));
+  fabric_.inject(next_ingress_, pkt::build_packet(spec));
   ++stats_.packets_sent;
 
   const auto gap = static_cast<TimeNs>(

@@ -3,6 +3,8 @@
 // the full attack volume — detection requires the fabric-wide sketch.
 #pragma once
 
+#include <functional>
+
 #include "common/rng.hpp"
 #include "swishmem/fabric.hpp"
 
@@ -28,13 +30,24 @@ class AttackGenerator {
 
   void start();
 
+  /// Liveness oracle for sharded runs (same contract as
+  /// TrafficGenerator::set_liveness_oracle): alive flags flip on the switch's
+  /// own shard, so the round-robin must not read them cross-shard.
+  void set_liveness_oracle(std::function<bool(std::size_t)> oracle) {
+    liveness_ = std::move(oracle);
+  }
+
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
  private:
   void send_one(TimeNs deadline);
+  [[nodiscard]] bool ingress_alive(std::size_t i) const {
+    return liveness_ ? liveness_(i) : fabric_.sw(i).alive();
+  }
 
   shm::Fabric& fabric_;
   AttackConfig config_;
+  std::function<bool(std::size_t)> liveness_;
   Rng rng_;
   Stats stats_;
   std::size_t next_ingress_ = 0;

@@ -46,11 +46,15 @@ std::size_t TrafficGenerator::pick_ingress(std::uint64_t flow_id) {
   return pick_alive(static_cast<std::size_t>(flow_id % fabric_.size()));
 }
 
+bool TrafficGenerator::ingress_alive(std::size_t i) const {
+  return liveness_ ? liveness_(i) : fabric_.sw(i).alive();
+}
+
 std::size_t TrafficGenerator::pick_alive(std::size_t preferred) {
   // Edge routing steers flows away from failed switches (ECMP reconvergence).
   for (std::size_t i = 0; i < fabric_.size(); ++i) {
     const std::size_t candidate = (preferred + i) % fabric_.size();
-    if (fabric_.sw(candidate).alive()) return candidate;
+    if (ingress_alive(candidate)) return candidate;
   }
   return preferred;
 }
@@ -79,7 +83,7 @@ void TrafficGenerator::inject(const Flow& flow) {
 
   pkt::Packet packet = pkt::build_packet(spec);
   if (on_inject) on_inject(stamp, packet);
-  fabric_.sw(flow.ingress).inject(std::move(packet));
+  fabric_.inject(flow.ingress, std::move(packet));
   ++stats_.packets_sent;
 }
 
@@ -109,7 +113,7 @@ void TrafficGenerator::schedule_data_packet(Flow flow) {
       flow.ingress = next;
       ++stats_.reroutes;
     }
-  } else if (!fabric_.sw(flow.ingress).alive()) {
+  } else if (!ingress_alive(flow.ingress)) {
     flow.ingress = pick_alive(flow.ingress);
     ++stats_.reroutes;
   }

@@ -62,8 +62,18 @@ class TrafficGenerator {
   std::function<void(const Stamp&, const pkt::Packet&)> on_inject;
 
   /// Feed delivered packets back (gated mode): call from the delivery sink
-  /// with the stamp decoded from each delivered packet.
+  /// with the stamp decoded from each delivered packet. Must run on the
+  /// generator's shard (shard 0) — sharded harnesses post the notification
+  /// back through the shard set.
   void notify_delivered(const Stamp& stamp);
+
+  /// Replaces the direct sw(i).alive() liveness check used for ingress
+  /// steering. Sharded runs must install one: a switch's alive flag flips on
+  /// its own shard, so the generator (shard 0) computes liveness from the
+  /// experiment's kill/revive schedule instead of peeking across shards.
+  void set_liveness_oracle(std::function<bool(std::size_t)> oracle) {
+    liveness_ = std::move(oracle);
+  }
 
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
@@ -85,9 +95,11 @@ class TrafficGenerator {
   void arm_syn_retransmit(std::uint64_t flow_id, unsigned attempt);
   [[nodiscard]] std::size_t pick_ingress(std::uint64_t flow_id);
   [[nodiscard]] std::size_t pick_alive(std::size_t preferred);
+  [[nodiscard]] bool ingress_alive(std::size_t i) const;
 
   shm::Fabric& fabric_;
   TrafficConfig config_;
+  std::function<bool(std::size_t)> liveness_;
   Rng rng_;
   ZipfGenerator client_zipf_;
   Stats stats_;

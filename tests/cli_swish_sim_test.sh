@@ -7,6 +7,9 @@
 #   4. Causal tracing: --perfetto emits a trace-event JSON the analyze
 #      subcommand accepts, --timeseries emits CSV, --metrics-json - writes
 #      pure JSON to stdout, and --trace-mask errors enumerate valid names.
+#   5. Sharding: impossible --shards values exit 2 with a diagnostic,
+#      --shards 1 is byte-identical to the flagless run, and same-seed
+#      multi-shard runs are byte-identical to each other.
 set -u
 
 BIN="${1:?usage: cli_swish_sim_test.sh <path-to-swish_sim>}"
@@ -109,6 +112,64 @@ if ! "$BIN" --nf nat --switches 3 --duration-ms 40 --seed 11 --quiet \
 fi
 if ! cmp -s "$TMP/stdout.json" "$TMP/m1.json"; then
   echo "FAIL: --metrics-json - stdout differs from file export"
+  fail=1
+fi
+
+# Sharding contract. Impossible --shards combinations exit 2 with a
+# diagnostic (not a throw from inside Fabric).
+expect_error2() {
+  local pattern="$1"
+  shift
+  local rc=0
+  "$BIN" "$@" >"$TMP/out" 2>"$TMP/err" || rc=$?
+  if [ "$rc" -ne 2 ]; then
+    echo "FAIL: swish_sim $* exited $rc (want 2)"
+    fail=1
+  elif ! grep -q "$pattern" "$TMP/err"; then
+    echo "FAIL: swish_sim $* diagnostic missing '$pattern'"
+    head -3 "$TMP/err"
+    fail=1
+  fi
+}
+
+expect_error2 "at least one event loop"  --switches 3 --shards 0
+expect_error2 "exceeds the fabric"       --switches 3 --shards 9
+expect_error2 "expects a count"          --switches 3 --shards banana
+expect_error2 "expects a count"          --switches 3 --shards 2x
+expect_error2 "multi-switch fabric"      --switches 1 --shards auto
+expect_error2 "require --shards 1"       --switches 3 --shards 3 --trace "$TMP/t.txt"
+expect_error2 "require --shards 1"       --switches 3 --shards 3 --timeseries "$TMP/t.csv"
+
+# --shards 1 must reproduce the flagless (legacy single-threaded) run
+# byte-for-byte: m1.json above was exported without the flag.
+if ! "$BIN" "${run_args[@]}" --shards 1 --metrics-json "$TMP/m_s1.json" >/dev/null 2>&1; then
+  echo "FAIL: --shards 1 run exited nonzero"
+  fail=1
+fi
+if ! cmp -s "$TMP/m_s1.json" "$TMP/m1.json"; then
+  echo "FAIL: --shards 1 differs from the flagless run"
+  diff "$TMP/m_s1.json" "$TMP/m1.json" | head -20
+  fail=1
+fi
+
+# Multi-shard determinism: same seed + same shard count, byte-identical
+# metrics and Perfetto exports across repeat runs.
+shard_args=(--nf nat --switches 3 --shards 3 --duration-ms 40 --seed 11 --quiet
+            --span-sample 1)
+for i in 1 2; do
+  if ! "$BIN" "${shard_args[@]}" --metrics-json "$TMP/ms$i.json" \
+       --perfetto "$TMP/ps$i.json" >/dev/null 2>&1; then
+    echo "FAIL: sharded run $i exited nonzero"
+    fail=1
+  fi
+done
+if ! cmp -s "$TMP/ms1.json" "$TMP/ms2.json"; then
+  echo "FAIL: same-seed --shards 3 runs produced different metrics"
+  diff "$TMP/ms1.json" "$TMP/ms2.json" | head -20
+  fail=1
+fi
+if ! cmp -s "$TMP/ps1.json" "$TMP/ps2.json"; then
+  echo "FAIL: same-seed --shards 3 runs produced different Perfetto exports"
   fail=1
 fi
 

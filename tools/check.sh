@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # Strict pre-merge check: Debug build with warnings-as-errors plus
-# ASan/UBSan, then the full test suite under the sanitizers. Slower than the
-# default Release build — run before merging protocol changes, not on every
-# edit.
+# ASan/UBSan and the full test suite under those sanitizers, then a
+# ThreadSanitizer build (SWISH_SANITIZE=thread) running the sharded-core
+# determinism and conformance suites with worker threads forced on
+# (SWISH_SHARD_FORCE_THREADS=1), so the window barrier and handoff-lane
+# protocol are exercised under real contention even on small machines.
+# Slower than the default Release build — run before merging protocol
+# changes, not on every edit.
 #
 #   tools/check.sh [--jobs N]
 set -euo pipefail
@@ -29,5 +33,20 @@ ASAN_OPTIONS=halt_on_error=1 \
 UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
   ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
 
+# TSan pass over the multi-shard suites: the sharded-sim determinism tests
+# and the consistency-conformance suite (the heaviest cross-switch protocol
+# traffic). TSan and ASan cannot share a build, hence the second tree.
+TSAN_BUILD="$ROOT/build-check-tsan"
+cmake -B "$TSAN_BUILD" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSWISH_WERROR=ON \
+  -DSWISH_SANITIZE=thread >/dev/null
+cmake --build "$TSAN_BUILD" -j "$JOBS"
+
+TSAN_OPTIONS=halt_on_error=1 \
+SWISH_SHARD_FORCE_THREADS=1 \
+  ctest --test-dir "$TSAN_BUILD" --output-on-failure -j "$JOBS" \
+    -R 'ShardedSim|Conformance'
+
 echo
-echo "check.sh: clean (Werror + ASan/UBSan)"
+echo "check.sh: clean (Werror + ASan/UBSan + TSan sharded suites)"

@@ -4,14 +4,18 @@
 # artifact carries its own before/after comparison (see DESIGN.md,
 # "Data-path performance model").
 #
-#   tools/run_benches.sh [--sim-ms N]
+#   tools/run_benches.sh [--sim-ms N] [--sweep-sim-ms N] [--sweep-shards LIST]
 set -euo pipefail
 
 SIM_MS=50  # must match bench/baseline_throughput.json's params.sim_ms
+SWEEP_SIM_MS=10
+SWEEP_SHARDS=1,2,4,8
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --sim-ms) SIM_MS="$2"; shift 2 ;;
-    *) echo "usage: $0 [--sim-ms N]" >&2; exit 2 ;;
+    --sweep-sim-ms) SWEEP_SIM_MS="$2"; shift 2 ;;
+    --sweep-shards) SWEEP_SHARDS="$2"; shift 2 ;;
+    *) echo "usage: $0 [--sim-ms N] [--sweep-sim-ms N] [--sweep-shards LIST]" >&2; exit 2 ;;
   esac
 done
 
@@ -25,6 +29,19 @@ COMMIT="$(git -C "$ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
 "$BUILD/bench/bench_throughput" \
   --sim-ms "$SIM_MS" \
+  --commit "$COMMIT" \
+  --baseline "$ROOT/bench/baseline_throughput.json" \
+  --out "$ROOT/BENCH_throughput.json"
+
+# Shard-scaling sweep on the 16-leaf x 4-spine fabric: one run entry per
+# shard count, with scaling_efficiency (pps@N / (N x pps@1)) relative to the
+# sweep's own 1-shard run. Appends to the same schema-2 artifact.
+echo
+"$BUILD/bench/bench_throughput" \
+  --leaves 16 --spines 4 \
+  --sim-ms "$SWEEP_SIM_MS" \
+  --sweep-shards "$SWEEP_SHARDS" \
+  --label "shard-sweep" \
   --commit "$COMMIT" \
   --baseline "$ROOT/bench/baseline_throughput.json" \
   --out "$ROOT/BENCH_throughput.json"

@@ -19,6 +19,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "common/table.hpp"
 #include "telemetry/export.hpp"
@@ -42,6 +43,7 @@ namespace {
 struct Options {
   std::string nf = "nat";
   std::size_t switches = 4;
+  std::string shards = "1";  ///< "auto" or a count; resolved after parsing
   std::string topology = "mesh";
   std::size_t spines = 2;
   double loss = 0.0;
@@ -73,6 +75,9 @@ struct Options {
       << "usage: " << argv0 << " [options]\n"
       << "  --nf nat|firewall|lb|ips|ddos|ratelimiter|none   NF to deploy (default nat)\n"
       << "  --switches N            fabric size (default 4)\n"
+      << "  --shards N|auto         parallel simulation shards (default 1; auto =\n"
+      << "                          min(switches, hardware threads); 1 reproduces\n"
+      << "                          the single-threaded core byte-for-byte)\n"
       << "  --topology mesh|chain|leafspine\n"
       << "  --spines N              spine count for leafspine (default 2)\n"
       << "  --loss P                per-link loss probability (default 0)\n"
@@ -162,6 +167,7 @@ Options parse(int argc, char** argv) {
     const std::string a = argv[i];
     if (a == "--nf") opt.nf = need(i);
     else if (a == "--switches") opt.switches = parse_u64(need(i), argv[0]);
+    else if (a == "--shards") opt.shards = need(i);
     else if (a == "--topology") opt.topology = need(i);
     else if (a == "--spines") opt.spines = parse_u64(need(i), argv[0]);
     else if (a == "--loss") opt.loss = parse_prob_or_rate(need(i), argv[0]);
@@ -270,14 +276,61 @@ int run_analyze(int argc, char** argv) {
 
 const std::vector<pkt::Ipv4Addr> kBackends{{10, 1, 0, 1}, {10, 1, 0, 2}, {10, 1, 0, 3}};
 
+/// Resolves --shards against the fabric size. Impossible combinations get a
+/// clear diagnostic and exit code 2 (the contract tests/cli_swish_sim_test.sh
+/// pins down) instead of a throw from deep inside Fabric.
+std::size_t resolve_shards(const Options& opt) {
+  std::size_t shards = 1;
+  if (opt.shards == "auto") {
+    if (opt.switches <= 1) {
+      std::cerr << "error: --shards auto needs a multi-switch fabric to partition (got "
+                << opt.switches << " switch); use --shards 1\n";
+      std::exit(2);
+    }
+    const auto hw = static_cast<std::size_t>(std::max(1u, std::thread::hardware_concurrency()));
+    shards = std::min(opt.switches, hw);
+  } else {
+    try {
+      std::size_t pos = 0;
+      shards = std::stoull(opt.shards, &pos);
+      if (pos != opt.shards.size() || opt.shards[0] == '-' || opt.shards[0] == '+') {
+        throw std::invalid_argument("trailing characters");
+      }
+    } catch (const std::logic_error&) {
+      std::cerr << "error: --shards expects a count or 'auto', got '" << opt.shards << "'\n";
+      std::exit(2);
+    }
+    if (shards == 0) {
+      std::cerr << "error: --shards 0 is impossible: the simulation needs at least one "
+                   "event loop; use --shards 1 (or auto)\n";
+      std::exit(2);
+    }
+    if (shards > opt.switches) {
+      std::cerr << "error: --shards " << shards << " exceeds the fabric's " << opt.switches
+                << " switch(es); shards partition switches, so use at most --shards "
+                << opt.switches << "\n";
+      std::exit(2);
+    }
+  }
+  if (shards > 1 && (!opt.pcap.empty() || !opt.trace.empty() || !opt.timeseries.empty())) {
+    std::cerr << "error: --pcap, --trace and --timeseries observe a single global event "
+                 "loop and require --shards 1\n";
+    std::exit(2);
+  }
+  return shards;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "analyze") == 0) return run_analyze(argc, argv);
   const Options opt = parse(argc, argv);
 
+  const std::size_t num_shards = resolve_shards(opt);
+
   shm::FabricConfig cfg;
   cfg.num_switches = opt.switches;
+  cfg.shards = num_shards;
   cfg.seed = opt.seed;
   cfg.link.loss_probability = opt.loss;
   cfg.link.propagation_delay = opt.link_delay;
@@ -293,10 +346,11 @@ int main(int argc, char** argv) {
   shm::Fabric fabric(cfg);
   if (!opt.trace.empty()) fabric.simulator().tracer().enable(opt.trace_mask);
   // Causal tracing + consistency-lag observatory. The observatory also runs
-  // for --timeseries so the CSV picks up the lag.* series.
-  if (opt.span_sample > 0) fabric.simulator().spans().enable(opt.span_sample);
+  // for --timeseries so the CSV picks up the lag.* series. Both helpers hit
+  // every shard (at one shard: exactly the legacy direct enables).
+  if (opt.span_sample > 0) fabric.enable_spans(opt.span_sample);
   if (opt.span_sample > 0 || !opt.timeseries.empty()) {
-    fabric.simulator().observatory().enable(fabric.simulator().metrics());
+    fabric.enable_observatory();
   }
 
   // Declare the NF's spaces (applying any --space class overrides) and factory.
@@ -375,7 +429,14 @@ int main(int argc, char** argv) {
         [&pcap](NodeId, NodeId, const pkt::Packet& p, TimeNs t) { pcap->write(t, p); });
   }
 
-  workload::MeasuringSink sink(fabric.simulator());
+  // One MeasuringSink per shard: delivery sinks run on the switch's shard, so
+  // each shard accumulates into its own sink and the report merges them (at
+  // one shard this is exactly the legacy single sink).
+  sim::ShardSet& shard_set = fabric.shard_set();
+  std::vector<std::unique_ptr<workload::MeasuringSink>> sinks;
+  for (std::size_t k = 0; k < shard_set.count(); ++k) {
+    sinks.push_back(std::make_unique<workload::MeasuringSink>(shard_set.sim(k)));
+  }
   workload::TrafficConfig traffic;
   traffic.flows_per_sec = opt.flows_per_sec;
   traffic.mean_packets_per_flow = opt.packets_per_flow;
@@ -383,14 +444,56 @@ int main(int argc, char** argv) {
   traffic.server_ip = server_ip;
   traffic.seed = opt.seed + 1;
   workload::TrafficGenerator gen(fabric, traffic);
-  fabric.set_delivery_sink([&](const pkt::Packet& p) {
-    sink.observe(p);
-    auto parsed = p.parse();
-    if (!parsed) return;
-    if (auto stamp = workload::Stamp::decode(p.l4_payload(*parsed))) {
-      gen.notify_delivered(*stamp);
+  // Liveness for ingress steering in sharded runs: a pure function of the
+  // kill/revive schedule and shard 0's clock — the generators must not read
+  // another shard's alive flags.
+  std::function<bool(std::size_t)> oracle;
+  if (shard_set.count() > 1) {
+    oracle = [kills = opt.kills, revives = opt.revives, &fabric](std::size_t i) {
+      const TimeNs now = fabric.simulator().now();
+      TimeNs killed = -1;
+      TimeNs revived = -1;
+      for (const auto& [idx, at] : kills) {
+        if (idx == i && at <= now) killed = std::max(killed, at);
+      }
+      for (const auto& [idx, at] : revives) {
+        if (idx == i && at <= now) revived = std::max(revived, at);
+      }
+      return killed < 0 || revived >= killed;
+    };
+  }
+  if (shard_set.count() == 1) {
+    workload::MeasuringSink& sink = *sinks[0];
+    fabric.set_delivery_sink([&sink, &gen](const pkt::Packet& p) {
+      sink.observe(p);
+      auto parsed = p.parse();
+      if (!parsed) return;
+      if (auto stamp = workload::Stamp::decode(p.l4_payload(*parsed))) {
+        gen.notify_delivered(*stamp);
+      }
+    });
+  } else {
+    // Sharded: observe locally; the generator lives on shard 0, so SYN-gate
+    // notifications from other shards hop home through the inbox lanes.
+    for (std::size_t i = 0; i < fabric.size(); ++i) {
+      const std::size_t sh = fabric.shard_of_switch(i);
+      workload::MeasuringSink* sink = sinks[sh].get();
+      fabric.sw(i).set_delivery_sink([sink, sh, &shard_set, &gen](const pkt::Packet& p) {
+        sink->observe(p);
+        auto parsed = p.parse();
+        if (!parsed) return;
+        if (auto stamp = workload::Stamp::decode(p.l4_payload(*parsed))) {
+          if (sh == 0) {
+            gen.notify_delivered(*stamp);
+          } else {
+            shard_set.post_at_shard(0, shard_set.sim(sh).now() + shard_set.lookahead(),
+                                    [&gen, st = *stamp]() { gen.notify_delivered(st); });
+          }
+        }
+      });
     }
-  });
+    gen.set_liveness_oracle(oracle);
+  }
   gen.start(opt.duration);
 
   std::unique_ptr<workload::AttackGenerator> attacker;
@@ -400,15 +503,15 @@ int main(int argc, char** argv) {
     acfg.start = static_cast<TimeNs>((*opt.attack)[1]) * kMs;
     acfg.duration = static_cast<TimeNs>((*opt.attack)[2]) * kMs;
     attacker = std::make_unique<workload::AttackGenerator>(fabric, acfg);
+    if (oracle) attacker->set_liveness_oracle(oracle);
     attacker->start();
   }
 
-  for (const auto& [idx, at] : opt.kills) {
-    fabric.simulator().schedule_at(at, [&fabric, idx = idx]() { fabric.kill_switch(idx); });
-  }
-  for (const auto& [idx, at] : opt.revives) {
-    fabric.simulator().schedule_at(at, [&fabric, idx = idx]() { fabric.revive_switch(idx); });
-  }
+  // Fail/revive on the owning shards (at one shard: the same schedule_at
+  // calls, in the same order, on the same simulator as the legacy inline
+  // lambdas — byte-identical event numbering).
+  for (const auto& [idx, at] : opt.kills) fabric.schedule_kill(idx, at);
+  for (const auto& [idx, at] : opt.revives) fabric.schedule_revive(idx, at);
 
   telemetry::TimeSeriesSampler sampler;
   sim::TimerHandle sampler_timer;
@@ -421,8 +524,16 @@ int main(int argc, char** argv) {
   fabric.run_for(opt.duration + 500 * kMs);  // traffic + settling
 
   // One snapshot feeds the exit tables and --metrics-json, so the report and
-  // the exported file can never disagree.
-  const telemetry::MetricsSnapshot snap = fabric.simulator().metrics().snapshot();
+  // the exported file can never disagree. Sharded runs merge per-shard
+  // registries deterministically; one shard is exactly the legacy snapshot.
+  const telemetry::MetricsSnapshot snap = fabric.metrics_snapshot();
+
+  std::uint64_t delivered_total = 0;
+  Histogram delivery_latency;
+  for (const auto& s : sinks) {
+    delivered_total += s->delivered();
+    delivery_latency.merge(s->latency());
+  }
 
   // With `--metrics-json -` the JSON owns stdout: the human report moves to
   // stderr so piped consumers parse pure JSON.
@@ -435,10 +546,15 @@ int main(int argc, char** argv) {
   rep << "workload: " << gen.stats().flows_started << " flows, "
             << gen.stats().packets_sent << " packets, " << gen.stats().reroutes
             << " reroutes\n";
-  rep << "delivered: " << sink.delivered() << " packets, p50 latency "
-            << sink.latency().p50() / 1000.0 << " us, p99 " << sink.latency().p99() / 1000.0
+  rep << "delivered: " << delivered_total << " packets, p50 latency "
+            << delivery_latency.p50() / 1000.0 << " us, p99 " << delivery_latency.p99() / 1000.0
             << " us\n";
   if (attacker) rep << "attack packets: " << attacker->stats().packets_sent << "\n";
+  if (shard_set.count() > 1) {
+    rep << "shards: " << shard_set.count() << ", lookahead " << shard_set.lookahead()
+        << " ns, " << shard_set.windows() << " sync windows, " << shard_set.cross_events()
+        << " cross-shard events\n";
+  }
   rep << "\n";
 
   if (!opt.quiet) {
@@ -502,13 +618,18 @@ int main(int argc, char** argv) {
               << " lost, " << net_stats.packets_dropped_queue << " queue-dropped\n";
 
     if (opt.span_sample > 0) {
-      const telemetry::SpanRecorder& rec = fabric.simulator().spans();
-      rep << "\ncausal tracing: " << rec.spans().size() << " spans, 1-in-"
-                << opt.span_sample << " sampling over " << rec.root_decisions()
-                << " roots, " << rec.dropped() << " dropped\n\n";
+      const std::vector<telemetry::Span> spans = fabric.all_spans();
+      std::uint64_t roots = 0;
+      std::uint64_t dropped = 0;
+      for (std::size_t k = 0; k < shard_set.count(); ++k) {
+        roots += shard_set.sim(k).spans().root_decisions();
+        dropped += shard_set.sim(k).spans().dropped();
+      }
+      rep << "\ncausal tracing: " << spans.size() << " spans, 1-in-"
+                << opt.span_sample << " sampling over " << roots
+                << " roots, " << dropped << " dropped\n\n";
       telemetry::print_trace_summaries(
-          rep,
-          telemetry::top_slowest(telemetry::stitch_traces(rec.spans()), opt.top_slowest));
+          rep, telemetry::top_slowest(telemetry::stitch_traces(spans), opt.top_slowest));
     }
   }
   if (pcap) {
@@ -525,7 +646,7 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < fabric.size(); ++i) {
       node_names[fabric.sw(i).id()] = "sw" + std::to_string(i);
     }
-    const auto& spans = fabric.simulator().spans().spans();
+    const std::vector<telemetry::Span> spans = fabric.all_spans();
     telemetry::write_perfetto(out, spans, node_names);
     rep << "perfetto: wrote " << spans.size() << " spans to " << opt.perfetto << "\n";
   }
