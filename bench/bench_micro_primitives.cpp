@@ -10,6 +10,7 @@
 #include "packet/swish_wire.hpp"
 #include "pisa/control_plane.hpp"
 #include "sim/simulator.hpp"
+#include "swishmem/store/ordered_index.hpp"
 
 namespace swish {
 namespace {
@@ -104,6 +105,80 @@ void BM_ExactTableLookup(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExactTableLookup);
+
+// Sparse-store primitives: the ordered CoW index under sparse spaces. Keys
+// use a golden-ratio stride so the tree sees the spread a hashed workload
+// produces.
+constexpr std::uint64_t kStride = 0x9e3779b97f4a7c15ULL;
+
+void fill_index(shm::store::OrderedIndex& idx, std::uint64_t n) {
+  std::uint64_t key = kStride;
+  for (std::uint64_t i = 0; i < n; ++i, key += kStride) {
+    idx.upsert(key).value = i;
+  }
+}
+
+void BM_StoreUpsert(benchmark::State& state) {
+  shm::store::OrderedIndex idx;
+  fill_index(idx, static_cast<std::uint64_t>(state.range(0)));
+  std::uint64_t key = kStride;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx.upsert(key).value += 1);
+    key += kStride;
+  }
+}
+BENCHMARK(BM_StoreUpsert)->Arg(1024)->Arg(65536)->Arg(1048576);
+
+void BM_StoreFind(benchmark::State& state) {
+  shm::store::OrderedIndex idx;
+  fill_index(idx, static_cast<std::uint64_t>(state.range(0)));
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx.find((i + 1) * kStride));
+    i = (i + 1) % n;
+  }
+}
+BENCHMARK(BM_StoreFind)->Arg(1024)->Arg(65536)->Arg(1048576);
+
+void BM_StoreLpmLookup(benchmark::State& state) {
+  // /8 through /24 prefixes over a 32-bit keyspace; each lookup probes
+  // longest-first until a hit.
+  shm::store::OrderedIndex idx;
+  for (std::uint64_t p = 0; p < 256; ++p) {
+    idx.upsert(shm::store::lpm_pack(p << 24, 8, 32)).value = p + 1;
+    idx.upsert(shm::store::lpm_pack((p << 24) | (p << 16), 24, 32)).value = p + 1000;
+  }
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx.lookup_lpm(addr & 0xffffffffu, 32));
+    addr += kStride;
+  }
+}
+BENCHMARK(BM_StoreLpmLookup);
+
+void BM_StoreSnapshotPin(benchmark::State& state) {
+  shm::store::OrderedIndex idx;
+  fill_index(idx, static_cast<std::uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    auto snap = idx.snapshot();
+    benchmark::DoNotOptimize(snap);
+  }
+}
+BENCHMARK(BM_StoreSnapshotPin)->Arg(65536)->Arg(1048576);
+
+void BM_StoreCowWriteUnderPin(benchmark::State& state) {
+  // Worst case for a write: a held snapshot forces path copies.
+  shm::store::OrderedIndex idx;
+  fill_index(idx, static_cast<std::uint64_t>(state.range(0)));
+  std::uint64_t key = kStride;
+  for (auto _ : state) {
+    auto snap = idx.snapshot();
+    benchmark::DoNotOptimize(idx.upsert(key).value += 1);
+    key += kStride;
+  }
+}
+BENCHMARK(BM_StoreCowWriteUnderPin)->Arg(65536)->Arg(1048576);
 
 void BM_SimulatorEventThroughput(benchmark::State& state) {
   for (auto _ : state) {

@@ -45,7 +45,14 @@ void FirewallApp::process(pisa::PacketContext& ctx, shm::ShmRuntime& rt) {
     return;
   }
 
-  // Inbound: admit only packets of connections the inside opened.
+  // Inbound: the LPM blocklist is consulted first (an undeclared space reads
+  // as nullopt, so deployments without prefix_space() pay nothing)...
+  if (const auto verdict = rt.read_lpm(kFirewallPrefixSpace, p.ipv4->src.value());
+      verdict && *verdict != 0) {
+    ++stats_.blocked_prefix;
+    return;
+  }
+  // ...then admit only packets of connections the inside opened.
   std::uint64_t state = 0;
   switch (rt.sro_read(ctx, kFirewallSpace, key, state)) {
     case shm::ReadStatus::kOk:

@@ -2,6 +2,11 @@
 // strongly-consistent table (SRO), queried on every packet and written on
 // connection open/close. Policy: traffic initiated from the protected
 // (internal) side opens a pinhole; unsolicited external traffic is dropped.
+//
+// Optionally a sparse LPM blocklist space (prefix_space) maps source
+// prefixes to a nonzero verdict; inbound packets matching a blocked prefix
+// are dropped before the connection-table lookup. The space is EWO/LWW so
+// any switch can install or lift a block and the fabric converges.
 #pragma once
 
 #include "nf/common.hpp"
@@ -26,6 +31,7 @@ class FirewallApp : public shm::NfApp {
     std::uint64_t connections_opened = 0;
     std::uint64_t connections_closed = 0;
     std::uint64_t redirected = 0;
+    std::uint64_t blocked_prefix = 0;  ///< inbound drops from the LPM blocklist
   };
 
   explicit FirewallApp(Config config) : config_(config) {}
@@ -38,6 +44,31 @@ class FirewallApp : public shm::NfApp {
     s.size = table_size;
     s.table_backed = true;
     return s;
+  }
+
+  /// Sparse LPM blocklist: lpm_pack()ed IPv4 source prefixes -> nonzero
+  /// verdict. Memory is proportional to installed prefixes, not 2^32.
+  static shm::SpaceConfig prefix_space() {
+    shm::SpaceConfig s;
+    s.id = kFirewallPrefixSpace;
+    s.name = "fw.blocked_prefixes";
+    s.cls = shm::ConsistencyClass::kEWO;
+    s.merge = shm::MergePolicy::kLww;
+    s.kind = shm::SpaceKind::kSparse;
+    s.key_bits = 32;
+    return s;
+  }
+
+  /// Blocklist key of an IPv4 prefix/len.
+  static std::uint64_t prefix_key(pkt::Ipv4Addr prefix, unsigned len) {
+    return shm::store::lpm_pack(prefix.value(), len, 32);
+  }
+
+  /// Installs (verdict != 0) or lifts (verdict == 0) a block on a source
+  /// prefix; requires prefix_space() to be deployed.
+  static void block_prefix(shm::ShmRuntime& rt, pkt::Ipv4Addr prefix, unsigned len,
+                           std::uint64_t verdict = 1) {
+    rt.ewo_write(kFirewallPrefixSpace, prefix_key(prefix, len), verdict);
   }
 
   void process(pisa::PacketContext& ctx, shm::ShmRuntime& rt) override;

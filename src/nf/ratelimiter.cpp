@@ -21,10 +21,16 @@ void RateLimiterApp::process(pisa::PacketContext& ctx, shm::ShmRuntime& rt) {
   }
   const std::uint64_t aggregate = rt.ewo_add(kRateLimiterSpace, slot,
                                              static_cast<std::int64_t>(ctx.packet.size()));
+  // A subnet-specific budget (longest matching prefix) overrides the global
+  // default; deployments without subnet_space() read nullopt and pay nothing.
+  std::uint64_t limit = config_.bytes_per_window;
+  if (const auto sub = rt.read_lpm(kRateLimiterPrefixSpace, ctx.parsed->ipv4->src.value())) {
+    limit = *sub;
+  }
   // Inline over-limit check gives sub-window reaction on the switch that
   // carries most of the user's traffic; cross-switch aggregation catches the
   // rest at the window boundary.
-  if (aggregate - window_base_[slot] > config_.bytes_per_window) {
+  if (aggregate - window_base_[slot] > limit) {
     if (limited_ && limited_->read(slot) == 0) {
       limited_->write(slot, 1);
       ++stats_.users_limited;

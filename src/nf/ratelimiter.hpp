@@ -4,6 +4,10 @@
 // throttled. A user spreading traffic over many switches is caught by the
 // *aggregate*, which no purely-local limiter could enforce — the motivating
 // "per-client rate limiter" of §3.2.
+//
+// Optionally a sparse LPM space (subnet_space) maps source subnets to a
+// per-window byte budget overriding the global default — the longest
+// matching prefix wins, so a tight /24 limit can sit inside a loose /8.
 #pragma once
 
 #include <vector>
@@ -37,6 +41,31 @@ class RateLimiterApp : public shm::NfApp {
     s.size = user_slots;
     s.mirror_batch = 16;
     return s;
+  }
+
+  /// Sparse LPM space of per-subnet byte budgets: lpm_pack()ed IPv4 prefixes
+  /// -> bytes_per_window override (0 = block the subnet outright).
+  static shm::SpaceConfig subnet_space() {
+    shm::SpaceConfig s;
+    s.id = kRateLimiterPrefixSpace;
+    s.name = "rl.subnet_limits";
+    s.cls = shm::ConsistencyClass::kEWO;
+    s.merge = shm::MergePolicy::kLww;
+    s.kind = shm::SpaceKind::kSparse;
+    s.key_bits = 32;
+    return s;
+  }
+
+  /// Key of an IPv4 subnet prefix/len in subnet_space.
+  static std::uint64_t subnet_key(pkt::Ipv4Addr prefix, unsigned len) {
+    return shm::store::lpm_pack(prefix.value(), len, 32);
+  }
+
+  /// Installs a per-window byte budget for a subnet; requires subnet_space()
+  /// to be deployed.
+  static void set_subnet_limit(shm::ShmRuntime& rt, pkt::Ipv4Addr prefix, unsigned len,
+                               std::uint64_t bytes_per_window) {
+    rt.ewo_write(kRateLimiterPrefixSpace, subnet_key(prefix, len), bytes_per_window);
   }
 
   void setup(pisa::Switch& sw, shm::ShmRuntime& runtime) override;

@@ -33,6 +33,7 @@ void encode_body(ByteWriter& w, const WriteRequest& m) {
   w.u32(m.writer);
   w.u64(m.write_id);
   w.u8(m.snapshot_replay ? 1 : 0);
+  w.u32(m.snapshot_epoch);
   encode_ops(w, m.ops, m.seqs);
 }
 
@@ -167,6 +168,7 @@ std::optional<SwishMessage> decode_body(ByteReader& r, MsgType type) {
         m.writer = r.u32();
         m.write_id = r.u64();
         m.snapshot_replay = r.u8() != 0;
+        m.snapshot_epoch = r.u32();
         decode_ops(r, m.ops, m.seqs);
         return m;
       }

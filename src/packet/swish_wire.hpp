@@ -4,7 +4,7 @@
 // the simulated fabric, so they are subject to the same loss/reordering as
 // application traffic — exactly the environment the protocols are designed
 // for. Messages are deliberately small (the paper notes ~100-byte objects
-// suit in-switch replication); a WriteRequest with one op is 47 bytes of
+// suit in-switch replication); a WriteRequest with one op is 51 bytes of
 // payload.
 #pragma once
 
@@ -63,6 +63,11 @@ struct WriteRequest {
   SwitchId writer = kInvalidNode;     ///< switch whose control plane buffers P'
   std::uint64_t write_id = 0;
   bool snapshot_replay = false;       ///< recovery resend guarded by old seqs
+  /// Recovery only: identifies the donor stream this chunk belongs to
+  /// ((donor << 16) | stream counter, never 0). A target seeing a new epoch
+  /// resets its write_id cursor, so restarted or re-homed streams — whose
+  /// write_ids start from 1 again — are not misread as duplicates.
+  std::uint32_t snapshot_epoch = 0;
   std::vector<WriteOp> ops;
   std::vector<SeqNum> seqs;           ///< parallel to ops once head-assigned
 

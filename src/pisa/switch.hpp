@@ -83,6 +83,16 @@ class Switch : public net::Node {
   LpmTable& add_lpm_table(std::string name, std::size_t capacity);
   TernaryTable& add_ternary_table(std::string name, std::size_t capacity);
 
+  /// Registers an externally-constructed stateful object (e.g. the sparse
+  /// ordered store) so it participates in SRAM accounting like the typed
+  /// objects above.
+  template <typename T>
+  T& add_object(std::unique_ptr<T> object) {
+    T& ref = *object;
+    objects_.push_back(std::move(object));
+    return ref;
+  }
+
   /// Total SRAM consumed by stateful objects; compare to config().memory_budget.
   [[nodiscard]] std::size_t memory_bytes() const noexcept;
   [[nodiscard]] bool within_memory_budget() const noexcept {

@@ -21,6 +21,20 @@ enum class ConsistencyClass : std::uint8_t {
 
 ConsistencyClass parse_consistency_class(const std::string& s);  // throws on unknown
 
+/// Storage layout of a space (ROADMAP item 5).
+enum class SpaceKind : std::uint8_t {
+  /// Flat fixed-size arrays/tables sized at config time (the original
+  /// layout): O(1) access, memory proportional to `size` whether keys are
+  /// live or not.
+  kDense,
+  /// Ordered copy-on-write B+-tree (swishmem/store/): millions of
+  /// addressable keys with memory proportional to live keys, ordered/range
+  /// iteration, longest-prefix-match reads, and O(1) consistent snapshots.
+  kSparse,
+};
+
+SpaceKind parse_space_kind(const std::string& s);  // throws on unknown
+
 /// How an EWO replica merges remote updates (§6.2).
 enum class MergePolicy : std::uint8_t {
   kLww,        ///< last-writer-wins by (timestamp, switch-id) version
@@ -41,6 +55,7 @@ enum class SyncFanout : std::uint8_t {
 
 const char* to_string(ConsistencyClass cls) noexcept;
 const char* to_string(MergePolicy policy) noexcept;
+const char* to_string(SpaceKind kind) noexcept;
 
 /// Static description of one shared register space (a named register array or
 /// control-plane table replicated across the deployment).
@@ -48,8 +63,17 @@ struct SpaceConfig {
   std::uint32_t id = 0;
   std::string name;
   ConsistencyClass cls = ConsistencyClass::kEWO;
-  std::size_t size = 1024;  ///< number of registers / table capacity
+  /// Dense: number of registers / table capacity (allocated up front).
+  /// Sparse: addressable key count only — nothing is allocated until keys go
+  /// live, so millions are fine here.
+  std::size_t size = 1024;
   unsigned value_bits = 64;
+
+  /// Storage layout; kSparse rebuilds the space on the ordered CoW store.
+  SpaceKind kind = SpaceKind::kDense;
+  /// Logical key width in bits. Sparse spaces accepting LPM-packed keys
+  /// (store::lpm_pack) need key_bits <= 56; plain keyed use allows 64.
+  unsigned key_bits = 64;
 
   // SRO/ERO only --------------------------------------------------------
   /// Guard (sequence number + pending bit) slots. 0 means one per key; a
@@ -72,6 +96,7 @@ struct SpaceConfig {
   [[nodiscard]] std::size_t effective_guard_slots() const noexcept {
     return guard_slots == 0 ? size : guard_slots;
   }
+  [[nodiscard]] bool sparse() const noexcept { return kind == SpaceKind::kSparse; }
 };
 
 /// Per-switch runtime tuning.

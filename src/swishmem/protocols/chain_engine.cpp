@@ -209,11 +209,10 @@ void ChainEngine::head_process(pkt::WriteRequest msg) {
         auto it = spaces_.find(op.space);
         if (it == spaces_.end()) continue;
         SroSpaceState& sp = *it->second;
-        const std::size_t slot = sp.slot(op.key);
-        const SeqNum seq = sp.guard_seq(slot) + 1;
+        const SeqNum seq = sp.key_guard_seq(op.key) + 1;
         sp.apply(op.key, op.value, host_.sw().control_plane().token());
-        sp.set_guard_seq(slot, seq);
-        sp.set_pending(slot);
+        sp.set_key_guard_seq(op.key, seq);
+        sp.set_key_pending(op.key);
         msg.seqs[i] = seq;
       }
       // Bounded dedup memory: entries are erased on ack; a blunt clear guards
@@ -252,7 +251,7 @@ void ChainEngine::relay_process(pkt::WriteRequest msg) {
       auto it = spaces_.find(msg.ops[i].space);
       if (it == spaces_.end()) continue;
       const SroSpaceState& sp = *it->second;
-      if (msg.seqs[i] > sp.guard_seq(sp.slot(msg.ops[i].key)) + 1) {
+      if (msg.seqs[i] > sp.key_guard_seq(msg.ops[i].key) + 1) {
         ++stats_.chain_gap_drops;
         return;
       }
@@ -262,11 +261,10 @@ void ChainEngine::relay_process(pkt::WriteRequest msg) {
       auto it = spaces_.find(msg.ops[i].space);
       if (it == spaces_.end()) continue;
       SroSpaceState& sp = *it->second;
-      const std::size_t slot = sp.slot(msg.ops[i].key);
-      if (msg.seqs[i] == sp.guard_seq(slot) + 1) {
+      if (msg.seqs[i] == sp.key_guard_seq(msg.ops[i].key) + 1) {
         sp.apply(msg.ops[i].key, msg.ops[i].value, host_.sw().control_plane().token());
-        sp.set_guard_seq(slot, msg.seqs[i]);
-        sp.set_pending(slot);
+        sp.set_key_guard_seq(msg.ops[i].key, msg.seqs[i]);
+        sp.set_key_pending(msg.ops[i].key);
         applied_any = true;
         if (obs_ != nullptr) {
           obs_->on_apply(msg.ops[i].space, msg.ops[i].key, msg.writer, msg.write_id,
@@ -301,7 +299,7 @@ void ChainEngine::tail_commit(const pkt::WriteRequest& msg) {
     auto it = spaces_.find(msg.ops[i].space);
     if (it == spaces_.end()) continue;
     SroSpaceState& sp = *it->second;
-    sp.clear_pending_up_to(sp.slot(msg.ops[i].key), msg.seqs[i]);
+    sp.clear_key_pending_up_to(msg.ops[i].key, msg.seqs[i]);
   }
   pkt::WriteAck ack{msg.epoch, msg.writer, msg.write_id, msg.ops, msg.seqs};
   send_chain_msg(msg.writer, ack);
@@ -344,7 +342,7 @@ void ChainEngine::on_write_ack(const pkt::WriteAck& msg) {
     auto it = spaces_.find(msg.ops[i].space);
     if (it == spaces_.end()) continue;
     SroSpaceState& sp = *it->second;
-    sp.clear_pending_up_to(sp.slot(msg.ops[i].key), msg.seqs[i]);
+    sp.clear_key_pending_up_to(msg.ops[i].key, msg.seqs[i]);
   }
   head_assigned_.erase(msg.write_id);
 }
@@ -375,7 +373,7 @@ ReadStatus ChainEngine::read(pisa::PacketContext* ctx, std::uint32_t space, std:
                   || host_.authoritative() // already at the tail
                   || tail_here;            // tail state is committed
   if (!local_ok && chain_contains(chain, host_.self())) {
-    local_ok = !sp.pending(sp.slot(key));  // CRAQ-style local read (§6.1)
+    local_ok = !sp.key_pending(key);  // CRAQ-style local read (§6.1)
   }
   if (!local_ok) {
     if (chain.chain.empty() || ctx == nullptr) {
@@ -397,27 +395,66 @@ ReadStatus ChainEngine::read(pisa::PacketContext* ctx, std::uint32_t space, std:
   return ReadStatus::kOk;
 }
 
+std::optional<std::uint64_t> ChainEngine::read_lpm(std::uint32_t space, std::uint64_t key) {
+  auto it = spaces_.find(space);
+  if (it == spaces_.end()) return std::nullopt;
+  ++stats_.reads_local;
+  return it->second->read_lpm(key);
+}
+
 // ---------------------------------------------------------------------------
 // Recovery (§6.3)
 // ---------------------------------------------------------------------------
 
-void ChainEngine::collect_snapshot(std::optional<std::uint32_t> space_filter,
-                                   std::vector<SnapshotOp>& out) const {
+std::vector<std::uint32_t> ChainEngine::snapshot_space_ids(
+    std::optional<std::uint32_t> space_filter) const {
+  std::vector<std::uint32_t> ids;
   for (const auto& [id, sp] : spaces_) {
     if (space_filter && id != *space_filter) continue;
-    for (const auto& entry : sp->snapshot()) out.push_back({entry.op, entry.seq});
+    ids.push_back(id);
   }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+void ChainEngine::collect_snapshot(std::optional<std::uint32_t> space_filter,
+                                   std::vector<SnapshotOp>& out) const {
+  for (const std::uint32_t id : snapshot_space_ids(space_filter)) {
+    const SroSpaceState& sp = *spaces_.at(id);
+    for (const auto& entry : sp.snapshot()) out.push_back({entry.op, entry.seq});
+  }
+}
+
+std::unique_ptr<SnapshotSource> ChainEngine::snapshot_source(
+    std::optional<std::uint32_t> space_filter) {
+  std::vector<std::unique_ptr<SnapshotSource>> parts;
+  for (const std::uint32_t id : snapshot_space_ids(space_filter)) {
+    SroSpaceState& sp = *spaces_.at(id);
+    if (sp.sparse_store() != nullptr) {
+      // CoW pin taken now: writes after this call never enter the stream's
+      // snapshot portion (the runtime's live tap carries them instead).
+      parts.push_back(make_pinned_source(
+          sp.pin_snapshot(), [id](const store::Entry& e, SnapshotOp& op) {
+            op = {pkt::WriteOp{id, e.key, e.value}, static_cast<SeqNum>(e.aux)};
+            return true;  // tombstones stream too — they carry deletions
+          }));
+    } else {
+      std::vector<SnapshotOp> ops;
+      for (const auto& entry : sp.snapshot()) ops.push_back({entry.op, entry.seq});
+      parts.push_back(make_vector_source(std::move(ops)));
+    }
+  }
+  return make_chained_source(std::move(parts));
 }
 
 void ChainEngine::apply_recovery_op(const pkt::WriteOp& op, SeqNum seq) {
   auto it = spaces_.find(op.space);
   if (it == spaces_.end()) return;
   SroSpaceState& sp = *it->second;
-  const std::size_t slot = sp.slot(op.key);
   // Stream order replays the donor's apply order, so application is
   // unconditional; guards advance monotonically.
   sp.apply(op.key, op.value, host_.sw().control_plane().token());
-  if (seq > sp.guard_seq(slot)) sp.set_guard_seq(slot, seq);
+  if (seq > sp.key_guard_seq(op.key)) sp.set_key_guard_seq(op.key, seq);
 }
 
 std::vector<ProtocolEngine::StatRow> ChainEngine::stat_rows() const {

@@ -54,6 +54,8 @@ class ChainEngine : public ProtocolEngine {
 
   ReadStatus read(pisa::PacketContext* ctx, std::uint32_t space, std::uint64_t key,
                   std::uint64_t& value) override;
+  [[nodiscard]] std::optional<std::uint64_t> read_lpm(std::uint32_t space,
+                                                      std::uint64_t key) override;
   void write(std::vector<pkt::WriteOp> ops, pkt::Packet output, WriteRelease release) override;
 
   [[nodiscard]] std::vector<pkt::MsgType> message_types() const override;
@@ -61,6 +63,8 @@ class ChainEngine : public ProtocolEngine {
 
   void collect_snapshot(std::optional<std::uint32_t> space_filter,
                         std::vector<SnapshotOp>& out) const override;
+  [[nodiscard]] std::unique_ptr<SnapshotSource> snapshot_source(
+      std::optional<std::uint32_t> space_filter) override;
   void apply_recovery_op(const pkt::WriteOp& op, SeqNum seq) override;
 
   [[nodiscard]] std::uint64_t protocol_bytes() const noexcept override {
@@ -110,6 +114,11 @@ class ChainEngine : public ProtocolEngine {
 
   [[nodiscard]] SwitchId chain_successor(const pkt::ChainConfig& chain) const noexcept;
   [[nodiscard]] static bool chain_contains(const pkt::ChainConfig& chain, SwitchId sw) noexcept;
+
+  /// Hosted space ids matching `space_filter`, ascending — snapshot order
+  /// must not depend on unordered_map iteration (determinism across runs).
+  [[nodiscard]] std::vector<std::uint32_t> snapshot_space_ids(
+      std::optional<std::uint32_t> space_filter) const;
 
   std::unordered_map<std::uint32_t, std::unique_ptr<SroSpaceState>> spaces_;
   std::unordered_map<std::uint32_t, SpaceConfig> remote_spaces_;

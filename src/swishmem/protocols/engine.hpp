@@ -23,6 +23,7 @@
 #include "packet/packet.hpp"
 #include "packet/swish_wire.hpp"
 #include "swishmem/config.hpp"
+#include "swishmem/store/ordered_index.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/observatory.hpp"
 #include "telemetry/span.hpp"
@@ -54,6 +55,37 @@ struct SnapshotOp {
   pkt::WriteOp op;
   SeqNum seq = 0;
 };
+
+/// Pull-based donor snapshot stream (§6.3). The source is created — and its
+/// state frozen — synchronously at start_recovery_stream time; the runtime
+/// then drains it one chunk per in-flight frame, so a sparse space's CoW pin
+/// is held only as long as the drain and a million-key snapshot never
+/// materializes in memory at once.
+class SnapshotSource {
+ public:
+  virtual ~SnapshotSource() = default;
+  SnapshotSource() = default;
+  SnapshotSource(const SnapshotSource&) = delete;
+  SnapshotSource& operator=(const SnapshotSource&) = delete;
+
+  /// Appends up to `max_ops` snapshot ops to `out`; returns true while more
+  /// remain (false = drained; pinned pages are released at that point).
+  virtual bool next(std::size_t max_ops, std::vector<SnapshotOp>& out) = 0;
+};
+
+/// Wraps an eagerly collected snapshot (dense spaces: the collect itself is
+/// the freeze point).
+std::unique_ptr<SnapshotSource> make_vector_source(std::vector<SnapshotOp> ops);
+/// Lazily drains a pinned CoW snapshot in key order; `project` fills the
+/// replay op for an entry (protocol-specific seq extraction) or returns
+/// false to skip it. The pin is released when the drain completes or the
+/// source dies.
+std::unique_ptr<SnapshotSource> make_pinned_source(
+    store::OrderedIndex::Snapshot snap,
+    std::function<bool(const store::Entry&, SnapshotOp&)> project);
+/// Concatenates sub-sources in order (multi-space donors).
+std::unique_ptr<SnapshotSource> make_chained_source(
+    std::vector<std::unique_ptr<SnapshotSource>> sources);
 
 /// Services the runtime provides to its engines: transport with byte
 /// accounting, configuration pushed by the controller, timers, and hooks
@@ -176,6 +208,11 @@ class ProtocolEngine {
   /// never redirect ignore it (and accept nullptr).
   virtual ReadStatus read(pisa::PacketContext* ctx, std::uint32_t space, std::uint64_t key,
                           std::uint64_t& value) = 0;
+  /// Longest-prefix-match read over a sparse space holding lpm_pack()ed
+  /// keys; always local (no redirect — prefix tables are config-like state).
+  /// nullopt when the space is dense, unknown, or nothing matches.
+  [[nodiscard]] virtual std::optional<std::uint64_t> read_lpm(std::uint32_t space,
+                                                              std::uint64_t key);
   /// Write of one or more ops (all in spaces of this engine). `release` runs
   /// on this switch when the write has committed per the engine's contract —
   /// immediately for eventually-consistent engines.
@@ -198,6 +235,11 @@ class ProtocolEngine {
   /// Donor side: appends this engine's replayable state to a snapshot.
   virtual void collect_snapshot(std::optional<std::uint32_t> space_filter,
                                 std::vector<SnapshotOp>& out) const;
+  /// Donor side, streaming: a source whose content is frozen at this call.
+  /// The default eagerly collects (exact for dense spaces); engines hosting
+  /// sparse spaces override to pin CoW snapshots instead.
+  [[nodiscard]] virtual std::unique_ptr<SnapshotSource> snapshot_source(
+      std::optional<std::uint32_t> space_filter);
   /// Target side: applies one replayed snapshot/live-tap op in stream order.
   virtual void apply_recovery_op(const pkt::WriteOp& op, SeqNum seq);
 

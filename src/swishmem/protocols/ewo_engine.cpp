@@ -152,6 +152,13 @@ ReadStatus EwoEngine::read(pisa::PacketContext* ctx, std::uint32_t space, std::u
   return ReadStatus::kOk;
 }
 
+std::optional<std::uint64_t> EwoEngine::read_lpm(std::uint32_t space, std::uint64_t key) {
+  auto it = spaces_.find(space);
+  if (it == spaces_.end()) return std::nullopt;
+  ++stats_.reads;
+  return it->second->read_lpm(key);
+}
+
 void EwoEngine::write(std::vector<pkt::WriteOp> ops, pkt::Packet output, WriteRelease release) {
   // EWO commits locally: apply, then release the output immediately.
   for (const auto& op : ops) local_write(op.space, op.key, op.value);
@@ -235,8 +242,14 @@ void EwoEngine::flush_mirror_buffer() {
 void EwoEngine::periodic_sync() {
   if (spaces_.empty()) return;
   ++stats_.sync_rounds;
+  // Sync spaces in ascending id order: sync packets (and therefore the whole
+  // simulation) must not depend on unordered_map iteration order.
+  std::vector<std::uint32_t> ids;
+  ids.reserve(spaces_.size());
+  for (const auto& [id, sp] : spaces_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
   std::vector<pkt::EwoEntry> all;
-  for (const auto& [id, sp] : spaces_) sp->collect_sync_entries(all);
+  for (const std::uint32_t id : ids) spaces_.at(id)->collect_sync_entries(all);
   if (all.empty()) return;
 
   std::vector<SwitchId> targets;

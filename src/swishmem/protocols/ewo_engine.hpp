@@ -42,6 +42,8 @@ class EwoEngine final : public ProtocolEngine {
 
   ReadStatus read(pisa::PacketContext* ctx, std::uint32_t space, std::uint64_t key,
                   std::uint64_t& value) override;
+  [[nodiscard]] std::optional<std::uint64_t> read_lpm(std::uint32_t space,
+                                                      std::uint64_t key) override;
   void write(std::vector<pkt::WriteOp> ops, pkt::Packet output, WriteRelease release) override;
   bool update(std::uint32_t space, std::uint64_t key, std::int64_t delta,
               UpdateDone done) override;

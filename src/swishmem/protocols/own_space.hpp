@@ -10,6 +10,12 @@
 //
 // Dirty-key tracking for the owner -> home backup flush is control-plane
 // metadata and lives in plain memory.
+//
+// SpaceKind::kSparse folds all four arrays into one ordered CoW index entry
+// per live key: value/version in the entry, the owned bit in flags, the
+// directory owner (+1) in aux. slot(key) == key there, and the scans
+// (live_slots / owned_slots / dir_slots_owned_outside) walk live entries in
+// key order instead of the full array.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +24,7 @@
 
 #include "pisa/switch.hpp"
 #include "swishmem/config.hpp"
+#include "swishmem/store/store_space.hpp"
 
 namespace swish::shm {
 
@@ -68,12 +75,20 @@ class OwnSpaceState {
 
   void reset();
 
+  [[nodiscard]] const store::StoreSpace* sparse_store() const noexcept { return store_; }
+
+  /// Sparse spaces: O(1) CoW pin (donor streaming); invalid for dense.
+  [[nodiscard]] store::OrderedIndex::Snapshot pin_snapshot() const {
+    return store_ != nullptr ? store_->pin_snapshot() : store::OrderedIndex::Snapshot{};
+  }
+
  private:
   SpaceConfig cfg_;
   pisa::RegisterArray* values_ = nullptr;
   pisa::RegisterArray* versions_ = nullptr;
   pisa::RegisterArray* owned_ = nullptr;
   pisa::RegisterArray* dir_ = nullptr;
+  store::StoreSpace* store_ = nullptr;  ///< sparse layout (ordered CoW index)
   // Ordered so the backup flush drains keys deterministically (the simulator
   // is bit-reproducible per seed).
   std::set<std::uint64_t> dirty_;

@@ -461,12 +461,49 @@ void OwnerEngine::on_own_update(const pkt::OwnUpdate& msg) {
 
 void OwnerEngine::collect_snapshot(std::optional<std::uint32_t> space_filter,
                                    std::vector<SnapshotOp>& out) const {
+  // Ascending space id, ascending slot/key: snapshot order must not depend
+  // on unordered_map iteration (determinism across runs and shard counts).
+  std::vector<std::uint32_t> ids;
   for (const auto& [id, sp] : spaces_) {
     if (space_filter && id != *space_filter) continue;
-    for (std::uint64_t slot : sp->live_slots()) {
-      out.push_back({pkt::WriteOp{id, slot, sp->value(slot)}, sp->version(slot)});
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (const std::uint32_t id : ids) {
+    const OwnSpaceState& sp = *spaces_.at(id);
+    for (std::uint64_t slot : sp.live_slots()) {
+      out.push_back({pkt::WriteOp{id, slot, sp.value(slot)}, sp.version(slot)});
     }
   }
+}
+
+std::unique_ptr<SnapshotSource> OwnerEngine::snapshot_source(
+    std::optional<std::uint32_t> space_filter) {
+  std::vector<std::uint32_t> ids;
+  for (const auto& [id, sp] : spaces_) {
+    if (space_filter && id != *space_filter) continue;
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  std::vector<std::unique_ptr<SnapshotSource>> parts;
+  for (const std::uint32_t id : ids) {
+    OwnSpaceState& sp = *spaces_.at(id);
+    if (sp.sparse_store() != nullptr) {
+      parts.push_back(make_pinned_source(
+          sp.pin_snapshot(), [id](const store::Entry& e, SnapshotOp& op) {
+            if (e.version == 0) return false;  // dir-only entry, nothing to replay
+            op = {pkt::WriteOp{id, e.key, e.value}, static_cast<SeqNum>(e.version)};
+            return true;
+          }));
+    } else {
+      std::vector<SnapshotOp> ops;
+      for (std::uint64_t slot : sp.live_slots()) {
+        ops.push_back({pkt::WriteOp{id, slot, sp.value(slot)}, sp.version(slot)});
+      }
+      parts.push_back(make_vector_source(std::move(ops)));
+    }
+  }
+  return make_chained_source(std::move(parts));
 }
 
 void OwnerEngine::apply_recovery_op(const pkt::WriteOp& op, SeqNum seq) {

@@ -62,6 +62,8 @@ class OwnerEngine final : public ProtocolEngine {
   [[nodiscard]] std::vector<pkt::MsgType> message_types() const override;
   bool handle_message(const pkt::SwishMessage& msg) override;
 
+  [[nodiscard]] std::unique_ptr<SnapshotSource> snapshot_source(
+      std::optional<std::uint32_t> space_filter) override;
   void collect_snapshot(std::optional<std::uint32_t> space_filter,
                         std::vector<SnapshotOp>& out) const override;
   void apply_recovery_op(const pkt::WriteOp& op, SeqNum seq) override;

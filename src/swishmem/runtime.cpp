@@ -362,6 +362,12 @@ ReadStatus ShmRuntime::read(pisa::PacketContext* ctx, std::uint32_t space, std::
   return engine->read(ctx, space, key, value);
 }
 
+std::optional<std::uint64_t> ShmRuntime::read_lpm(std::uint32_t space, std::uint64_t key) {
+  ProtocolEngine* engine = engine_for_space(space);
+  if (engine == nullptr) return std::nullopt;
+  return engine->read_lpm(space, key);
+}
+
 void ShmRuntime::write(std::vector<pkt::WriteOp> ops, pkt::Packet output,
                        std::function<void(pkt::Packet&&)> release) {
   ProtocolEngine* engine = ops.empty() ? nullptr : engine_for_space(ops.front().space);
@@ -471,41 +477,22 @@ void ShmRuntime::start_recovery_stream(SwitchId target, std::function<void()> do
   recovery_->target = target;
   recovery_->space_filter = space_filter;
   recovery_->done = std::move(done);
+  recovery_->snapshot_epoch =
+      (static_cast<std::uint32_t>(sw_.id()) << 16) | (++recovery_epoch_counter_ & 0xffffu);
+  // The freeze point and the tap enable are the same instant: sparse spaces
+  // pin an O(1) CoW snapshot, dense spaces collect eagerly inside
+  // snapshot_source(). Every write committed after this line reaches the
+  // target exactly once — through the live tap, never through the snapshot —
+  // so there is no window where a commit lands in neither.
+  for (const auto& e : engines_) {
+    recovery_->sources.push_back(e->snapshot_source(space_filter));
+  }
   recovery_tap_ = true;
-  // Snapshot is taken by the control plane (§6.3) and replayed through the
-  // normal data-plane protocol as seq-guarded writes.
+  // Streaming runs on the control plane (§6.3): chunks are pulled from the
+  // frozen sources one at a time and replayed through the normal data-plane
+  // protocol as seq-guarded writes.
   sw_.control_plane().submit([this]() {
     if (!recovery_) return;
-    std::vector<SnapshotOp> snapshot;
-    for (const auto& e : engines_) e->collect_snapshot(recovery_->space_filter, snapshot);
-    std::vector<pkt::WriteOp> ops;
-    std::vector<SeqNum> seqs;
-    auto flush = [&]() {
-      if (ops.empty()) return;
-      pkt::WriteRequest chunk;
-      chunk.epoch = kRecoveryEpoch;
-      chunk.writer = sw_.id();
-      chunk.snapshot_replay = true;
-      chunk.write_id = recovery_->next_stream_seq++;
-      chunk.ops = std::move(ops);
-      chunk.seqs = std::move(seqs);
-      recovery_->queue.push_back(std::move(chunk));
-      ops.clear();
-      seqs.clear();
-    };
-    for (const auto& entry : snapshot) {
-      ops.push_back(entry.op);
-      seqs.push_back(entry.seq);
-      if (ops.size() >= kRecoveryChunkOps) flush();
-    }
-    flush();
-    if (recovery_->queue.empty()) {
-      // Nothing to transfer; recovery completes immediately.
-      auto cb = std::move(recovery_->done);
-      recovery_->done = nullptr;
-      if (cb) cb();
-      return;
-    }
     recovery_send_next();
   });
 }
@@ -519,20 +506,79 @@ void ShmRuntime::recovery_tap(const std::vector<pkt::WriteOp>& ops,
       (ops.empty() || ops.front().space != *recovery_->space_filter)) {
     return;
   }
+  if (recovery_->draining) {
+    // The snapshot is still streaming; this commit post-dates the freeze
+    // point, so it must follow the last snapshot chunk. Buffer it raw —
+    // write_ids are assigned at enqueue time so stream order stays
+    // snapshot < backlog < live taps.
+    recovery_->tap_backlog.push_back({ops, seqs});
+    return;
+  }
+  recovery_enqueue(ops, seqs);
+  recovery_send_next();
+}
+
+void ShmRuntime::recovery_enqueue(std::vector<pkt::WriteOp> ops, std::vector<SeqNum> seqs) {
   pkt::WriteRequest chunk;
   chunk.epoch = kRecoveryEpoch;
   chunk.writer = sw_.id();
   chunk.snapshot_replay = true;
+  chunk.snapshot_epoch = recovery_->snapshot_epoch;
   chunk.write_id = recovery_->next_stream_seq++;
-  chunk.ops = ops;
-  chunk.seqs = seqs;
+  chunk.ops = std::move(ops);
+  chunk.seqs = std::move(seqs);
   recovery_->queue.push_back(std::move(chunk));
-  recovery_send_next();
+}
+
+bool ShmRuntime::recovery_refill() {
+  RecoveryStream& rs = *recovery_;
+  if (!rs.queue.empty()) return true;
+  if (!rs.draining) return false;
+  // Pull one chunk's worth of ops from the frozen sources. A source that
+  // reports exhaustion is destroyed immediately, releasing its CoW pin (and
+  // the nodes it kept alive) as early as possible.
+  std::vector<SnapshotOp> snap;
+  while (!rs.sources.empty() && snap.size() < kRecoveryChunkOps) {
+    if (!rs.sources.front()->next(kRecoveryChunkOps - snap.size(), snap)) {
+      rs.sources.erase(rs.sources.begin());
+    }
+  }
+  if (!snap.empty()) {
+    std::vector<pkt::WriteOp> ops;
+    std::vector<SeqNum> seqs;
+    ops.reserve(snap.size());
+    seqs.reserve(snap.size());
+    for (const auto& entry : snap) {
+      ops.push_back(entry.op);
+      seqs.push_back(entry.seq);
+    }
+    recovery_enqueue(std::move(ops), std::move(seqs));
+  }
+  if (rs.sources.empty()) {
+    rs.draining = false;
+    // Commits tapped during the drain go behind the snapshot, in tap order.
+    while (!rs.tap_backlog.empty()) {
+      recovery_enqueue(std::move(rs.tap_backlog.front().ops),
+                       std::move(rs.tap_backlog.front().seqs));
+      rs.tap_backlog.pop_front();
+    }
+  }
+  return !rs.queue.empty();
 }
 
 void ShmRuntime::recovery_send_next() {
   if (!recovery_ || recovery_->awaiting_ack != 0) return;
-  if (recovery_->queue.empty()) return;
+  if (!recovery_refill()) {
+    // Snapshot fully streamed and every chunk acknowledged: recovery is
+    // complete. The stream stays alive to tap subsequent commits until the
+    // controller retires it at the epoch switch.
+    if (recovery_->done) {
+      auto cb = std::move(recovery_->done);
+      recovery_->done = nullptr;
+      cb();
+    }
+    return;
+  }
   const pkt::WriteRequest& chunk = recovery_->queue.front();
   recovery_->awaiting_ack = chunk.write_id;
   recovery_->retries = 0;
@@ -576,19 +622,19 @@ void ShmRuntime::on_recovery_ack(std::uint64_t stream_seq) {
   recovery_->timer.cancel();
   recovery_->awaiting_ack = 0;
   recovery_->queue.pop_front();
-  if (recovery_->queue.empty()) {
-    // Snapshot (plus tapped live writes so far) fully acknowledged.
-    if (recovery_->done) {
-      auto cb = std::move(recovery_->done);
-      recovery_->done = nullptr;
-      cb();
-    }
-    return;  // stream stays alive for tapped commits until the epoch switch
-  }
+  // Refills lazily from the snapshot sources; fires `done` once everything
+  // is drained and acknowledged.
   recovery_send_next();
 }
 
 void ShmRuntime::on_recovery_chunk(const pkt::WriteRequest& msg) {
+  if (msg.snapshot_epoch != 0 && msg.snapshot_epoch != last_recovery_epoch_) {
+    // A different donor stream (restarted recovery, or a second migration
+    // from another donor): its write_ids start over from 1, so the cursor
+    // must restart with them or every chunk would look like a duplicate.
+    last_recovery_epoch_ = msg.snapshot_epoch;
+    last_recovery_applied_ = 0;
+  }
   if (msg.write_id == last_recovery_applied_ + 1) {
     if (active_trace_.sampled()) {
       spans_->record_instant(active_trace_, sw_.id(), "recovery_apply", 0, msg.write_id);
@@ -613,6 +659,7 @@ void ShmRuntime::on_recovery_chunk(const pkt::WriteRequest& msg) {
 void ShmRuntime::reset_state() {
   for (const auto& e : engines_) e->reset();
   last_recovery_applied_ = 0;
+  last_recovery_epoch_ = 0;
   recovery_.reset();
   recovery_tap_ = false;
   // A replacement switch also forgets its configuration; the controller's

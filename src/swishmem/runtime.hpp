@@ -135,6 +135,11 @@ class ShmRuntime final : public EngineHost {
   ReadStatus read(pisa::PacketContext* ctx, std::uint32_t space, std::uint64_t key,
                   std::uint64_t& value);
 
+  /// Longest-prefix-match read against a sparse space holding packed
+  /// prefixes (store::lpm_pack). Always local; nullopt when no prefix of the
+  /// key is present or the space does not support LPM.
+  [[nodiscard]] std::optional<std::uint64_t> read_lpm(std::uint32_t space, std::uint64_t key);
+
   /// Write of one or more ops (all in spaces of one engine). `release` runs
   /// on this switch when the write has committed per the space's consistency
   /// class. The output packet may be empty when the mutating packet produces
@@ -246,6 +251,20 @@ class ShmRuntime final : public EngineHost {
   struct RecoveryStream {
     SwitchId target = kInvalidNode;
     std::optional<std::uint32_t> space_filter;
+    std::uint32_t snapshot_epoch = 0;  ///< stamped on every chunk of this stream
+    /// Frozen at start_recovery_stream: one source per engine (sparse spaces
+    /// pin a CoW snapshot, dense ones collect eagerly). Drained lazily, one
+    /// chunk per ack, so a million-key snapshot is never materialized whole.
+    std::vector<std::unique_ptr<SnapshotSource>> sources;
+    bool draining = true;  ///< snapshot portion not yet exhausted
+    /// Writes committed (and tapped) while the snapshot is still draining.
+    /// They post-date the freeze point, so they are flushed behind the last
+    /// snapshot chunk — stream order is always snapshot, then live.
+    struct Tapped {
+      std::vector<pkt::WriteOp> ops;
+      std::vector<SeqNum> seqs;
+    };
+    std::deque<Tapped> tap_backlog;
     std::deque<pkt::WriteRequest> queue;  ///< chunks awaiting transmission
     std::uint64_t next_stream_seq = 1;
     std::uint64_t awaiting_ack = 0;  ///< 0 = idle
@@ -253,6 +272,10 @@ class ShmRuntime final : public EngineHost {
     std::function<void()> done;
     sim::TimerHandle timer;
   };
+  void recovery_enqueue(std::vector<pkt::WriteOp> ops, std::vector<SeqNum> seqs);
+  /// Tops the send queue up from the snapshot sources (then the tap backlog
+  /// once they drain); returns true when a chunk is ready to transmit.
+  bool recovery_refill();
   void recovery_send_next();
   void arm_recovery_timer(std::uint64_t expect);
   void on_recovery_ack(std::uint64_t stream_seq);
@@ -291,7 +314,12 @@ class ShmRuntime final : public EngineHost {
   // Donor-side recovery stream and target-side cursor.
   std::optional<RecoveryStream> recovery_;
   bool recovery_tap_ = false;  ///< tail forwards committed writes into the stream
+  std::uint32_t recovery_epoch_counter_ = 0;  ///< donor-local stream counter
   std::uint64_t last_recovery_applied_ = 0;
+  /// Stream epoch the cursor above belongs to; a chunk from a different
+  /// stream (donor restart, re-homed migration) resets the cursor so the new
+  /// stream's write_ids — which start from 1 again — are not dropped as dups.
+  std::uint32_t last_recovery_epoch_ = 0;
 
   // Runtime-level counters (everything not owned by an engine), registry-
   // backed under `shm.sw<id>.*`.

@@ -1,5 +1,6 @@
 #include "swishmem/spaces.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace swish::shm {
@@ -9,6 +10,14 @@ std::uint64_t mix64(std::uint64_t h) noexcept {
   h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
   h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
   return h ^ (h >> 31);
+}
+
+/// Registers a sparse space's ordered store on the switch (SRAM accounting)
+/// and roots its gauges at store.sw<id>.<space>.*.
+store::StoreSpace& make_store(pisa::Switch& sw, const SpaceConfig& cfg) {
+  return sw.add_object(std::make_unique<store::StoreSpace>(
+      cfg.name + ".store", &sw.simulator().metrics(),
+      "store.sw" + std::to_string(sw.id()) + "." + cfg.name + "."));
 }
 
 }  // namespace
@@ -41,9 +50,29 @@ const char* to_string(MergePolicy policy) noexcept {
   return "?";
 }
 
+const char* to_string(SpaceKind kind) noexcept {
+  switch (kind) {
+    case SpaceKind::kDense: return "dense";
+    case SpaceKind::kSparse: return "sparse";
+  }
+  return "?";
+}
+
+SpaceKind parse_space_kind(const std::string& s) {
+  if (s == "dense" || s == "DENSE") return SpaceKind::kDense;
+  if (s == "sparse" || s == "SPARSE") return SpaceKind::kSparse;
+  throw std::invalid_argument("unknown space kind: " + s);
+}
+
 SroSpaceState::SroSpaceState(pisa::Switch& sw, const SpaceConfig& config) : cfg_(config) {
   if (cfg_.cls == ConsistencyClass::kEWO) {
     throw std::invalid_argument("SroSpaceState: EWO space");
+  }
+  if (cfg_.sparse()) {
+    // Values, guard sequences, and pending bits all live in the entries of
+    // one ordered index — no side arrays, per-key guards for free.
+    store_ = &make_store(sw, cfg_);
+    return;
   }
   if (cfg_.table_backed) {
     table_ = &sw.add_exact_table(cfg_.name + ".table", cfg_.size, 64, cfg_.value_bits);
@@ -59,21 +88,52 @@ SroSpaceState::SroSpaceState(pisa::Switch& sw, const SpaceConfig& config) : cfg_
 }
 
 std::size_t SroSpaceState::slot(std::uint64_t key) const noexcept {
+  if (store_) return static_cast<std::size_t>(key);  // per-key guards
   return static_cast<std::size_t>(mix64(key) % cfg_.effective_guard_slots());
 }
 
 std::optional<std::uint64_t> SroSpaceState::read(std::uint64_t key) const {
+  if (store_) {
+    const store::Entry* e = store_->find(key);
+    if (e == nullptr || e->value == kTombstone) return std::nullopt;
+    return e->value;
+  }
   if (table_) return table_->lookup(key);
   if (key >= values_->size()) return std::nullopt;
   return values_->read(static_cast<RegisterIndex>(key));
 }
 
+std::optional<std::uint64_t> SroSpaceState::read_lpm(std::uint64_t key) const {
+  if (!store_) return std::nullopt;
+  const store::Entry* e = store_->lookup_lpm(key, cfg_.key_bits);
+  if (e == nullptr) return std::nullopt;
+  return e->value;
+}
+
+void SroSpaceState::read_range(
+    std::uint64_t lo, std::uint64_t hi,
+    const std::function<bool(std::uint64_t key, std::uint64_t value)>& fn) const {
+  if (!store_) return;
+  store_->range(lo, hi, [&fn](const store::Entry& e) {
+    if (e.value == kTombstone) return true;  // erased keys are not live
+    return fn(e.key, e.value);
+  });
+}
+
 void SroSpaceState::apply(std::uint64_t key, std::uint64_t value, pisa::CpToken token) {
+  if (store_) {
+    // Tombstones stay as entries: the guard sequence must survive erasure
+    // and snapshots must carry the deletion.
+    store_->upsert(key).value = value;
+    return;
+  }
   if (table_) {
     if (value == kTombstone) {
       table_->erase(token, key);
+      erased_.insert(key);
     } else {
       table_->insert(token, key, value);
+      erased_.erase(key);
     }
     return;
   }
@@ -82,35 +142,113 @@ void SroSpaceState::apply(std::uint64_t key, std::uint64_t value, pisa::CpToken 
 }
 
 SeqNum SroSpaceState::guard_seq(std::size_t slot) const {
+  if (store_) return key_guard_seq(static_cast<std::uint64_t>(slot));
   return guard_seq_->read(static_cast<RegisterIndex>(slot));
 }
 
 void SroSpaceState::set_guard_seq(std::size_t slot, SeqNum seq) {
+  if (store_) {
+    set_key_guard_seq(static_cast<std::uint64_t>(slot), seq);
+    return;
+  }
   guard_seq_->write(static_cast<RegisterIndex>(slot), seq);
 }
 
 bool SroSpaceState::pending(std::size_t slot) const {
+  if (store_) return key_pending(static_cast<std::uint64_t>(slot));
   if (!guard_pending_) return false;
   return guard_pending_->read(static_cast<RegisterIndex>(slot)) != 0;
 }
 
 void SroSpaceState::set_pending(std::size_t slot) {
+  if (store_) {
+    set_key_pending(static_cast<std::uint64_t>(slot));
+    return;
+  }
   if (guard_pending_) guard_pending_->write(static_cast<RegisterIndex>(slot), 1);
 }
 
 void SroSpaceState::clear_pending_up_to(std::size_t slot, SeqNum acked_seq) {
+  if (store_) {
+    clear_key_pending_up_to(static_cast<std::uint64_t>(slot), acked_seq);
+    return;
+  }
   if (!guard_pending_) return;
   if (guard_seq(slot) <= acked_seq) {
     guard_pending_->write(static_cast<RegisterIndex>(slot), 0);
   }
 }
 
+SeqNum SroSpaceState::key_guard_seq(std::uint64_t key) const {
+  if (store_) {
+    const store::Entry* e = store_->find(key);
+    return e != nullptr ? e->aux : 0;
+  }
+  return guard_seq_->read(static_cast<RegisterIndex>(slot(key)));
+}
+
+void SroSpaceState::set_key_guard_seq(std::uint64_t key, SeqNum seq) {
+  if (store_) {
+    // Guard registers are 32-bit in the dense layout too; keep parity.
+    store_->upsert(key).aux = static_cast<std::uint32_t>(seq);
+    return;
+  }
+  guard_seq_->write(static_cast<RegisterIndex>(slot(key)), seq);
+}
+
+bool SroSpaceState::key_pending(std::uint64_t key) const {
+  if (store_) {
+    const store::Entry* e = store_->find(key);
+    return e != nullptr && (e->flags & store::Entry::kFlagPending) != 0;
+  }
+  return pending(slot(key));
+}
+
+void SroSpaceState::set_key_pending(std::uint64_t key) {
+  if (store_) {
+    if (cfg_.cls == ConsistencyClass::kSRO) {  // ERO has no pending bits
+      store_->upsert(key).flags |= store::Entry::kFlagPending;
+    }
+    return;
+  }
+  set_pending(slot(key));
+}
+
+void SroSpaceState::clear_key_pending_up_to(std::uint64_t key, SeqNum acked_seq) {
+  if (store_) {
+    if (cfg_.cls != ConsistencyClass::kSRO) return;
+    const store::Entry* e = store_->find(key);
+    if (e != nullptr && (e->flags & store::Entry::kFlagPending) != 0 && e->aux <= acked_seq) {
+      store_->upsert(key).flags &= static_cast<std::uint8_t>(~store::Entry::kFlagPending);
+    }
+    return;
+  }
+  clear_pending_up_to(slot(key), acked_seq);
+}
+
 std::vector<SroSpaceState::SnapshotEntry> SroSpaceState::snapshot() const {
   std::vector<SnapshotEntry> out;
+  if (store_) {
+    out.reserve(store_->live_keys());
+    store_->for_each([&](const store::Entry& e) {
+      out.push_back({pkt::WriteOp{cfg_.id, e.key, e.value}, static_cast<SeqNum>(e.aux)});
+      return true;
+    });
+    return out;  // already key-ordered: the index iterates in key order
+  }
   if (table_) {
-    out.reserve(table_->entry_count());
+    out.reserve(table_->entry_count() + erased_.size());
     for (const auto& [key, value] : table_->entries()) {
       out.push_back({pkt::WriteOp{cfg_.id, key, value}, guard_seq(slot(key))});
+    }
+    // entries() iterates in hash order; sort so snapshots (and therefore
+    // recovery streams) are deterministic across runs and shard counts.
+    std::sort(out.begin(), out.end(),
+              [](const SnapshotEntry& a, const SnapshotEntry& b) { return a.op.key < b.op.key; });
+    // Erased keys left no table entry; emit tombstones so a recovered
+    // replica that held stale state does not resurrect closed connections.
+    for (const std::uint64_t key : erased_) {
+      out.push_back({pkt::WriteOp{cfg_.id, key, kTombstone}, guard_seq(slot(key))});
     }
   } else {
     for (std::size_t i = 0; i < values_->size(); ++i) {
@@ -122,11 +260,18 @@ std::vector<SroSpaceState::SnapshotEntry> SroSpaceState::snapshot() const {
   return out;
 }
 
+store::OrderedIndex::Snapshot SroSpaceState::pin_snapshot() const {
+  if (store_) return store_->pin_snapshot();
+  return {};
+}
+
 void SroSpaceState::reset(pisa::CpToken token) {
+  if (store_) store_->clear();
   if (table_) table_->clear(token);
   if (values_) values_->fill(0);
-  guard_seq_->fill(0);
+  if (guard_seq_) guard_seq_->fill(0);
   if (guard_pending_) guard_pending_->fill(0);
+  erased_.clear();
 }
 
 EwoSpaceState::EwoSpaceState(pisa::Switch& sw, const SpaceConfig& config,
@@ -138,6 +283,16 @@ EwoSpaceState::EwoSpaceState(pisa::Switch& sw, const SpaceConfig& config,
   self_index_ = member_slot(self_);
   if (self_index_ == replicas_.size()) {
     throw std::invalid_argument("EwoSpaceState: self not in replica list");
+  }
+
+  if (cfg_.sparse()) {
+    if (cfg_.merge != MergePolicy::kLww && cfg_.merge != MergePolicy::kGSet) {
+      // Counter merges need a dense per-replica vector per key; the single
+      // {value, version} entry of the ordered store cannot express one.
+      throw std::invalid_argument("sparse EWO spaces support LWW and G-set merges only");
+    }
+    store_ = &make_store(sw, cfg_);
+    return;
   }
 
   if (cfg_.merge == MergePolicy::kLww) {
@@ -173,6 +328,10 @@ std::size_t EwoSpaceState::member_slot(SwitchId sw) const noexcept {
 }
 
 std::uint64_t EwoSpaceState::read(std::uint64_t key) const {
+  if (store_) {
+    const store::Entry* e = store_->find(key);
+    return e != nullptr ? e->value : 0;
+  }
   const auto i = static_cast<RegisterIndex>(key);
   if (cfg_.merge == MergePolicy::kLww || cfg_.merge == MergePolicy::kGSet) {
     return values_->read(i);
@@ -183,9 +342,29 @@ std::uint64_t EwoSpaceState::read(std::uint64_t key) const {
   return sum;
 }
 
+std::optional<std::uint64_t> EwoSpaceState::read_lpm(std::uint64_t key) const {
+  if (!store_) return std::nullopt;
+  const store::Entry* e = store_->lookup_lpm(key, cfg_.key_bits);
+  if (e == nullptr) return std::nullopt;
+  return e->value;
+}
+
+void EwoSpaceState::read_range(
+    std::uint64_t lo, std::uint64_t hi,
+    const std::function<bool(std::uint64_t key, std::uint64_t value)>& fn) const {
+  if (!store_) return;
+  store_->range(lo, hi, [&fn](const store::Entry& e) { return fn(e.key, e.value); });
+}
+
 void EwoSpaceState::write_local(std::uint64_t key, std::uint64_t value, RawVersion version) {
   if (cfg_.merge != MergePolicy::kLww) {
     throw std::logic_error("write_local on CRDT space; use add_local");
+  }
+  if (store_) {
+    store::Entry& e = store_->upsert(key);
+    e.value = value;
+    e.version = version;
+    return;
   }
   const auto i = static_cast<RegisterIndex>(key);
   // Atomic (value, version) update: single-event packet processing (§2).
@@ -214,10 +393,32 @@ std::uint64_t EwoSpaceState::set_add_local(std::uint64_t key, std::uint64_t bits
   if (cfg_.merge != MergePolicy::kGSet) {
     throw std::logic_error("set_add_local requires a kGSet space");
   }
+  if (store_) {
+    store::Entry& e = store_->upsert(key);
+    e.value |= bits;
+    return e.value;
+  }
   return values_->merge_or(static_cast<RegisterIndex>(key), bits);
 }
 
 bool EwoSpaceState::merge(const pkt::EwoEntry& entry) {
+  if (store_) {
+    if (cfg_.merge == MergePolicy::kGSet) {
+      const store::Entry* e = store_->find(entry.key);
+      const std::uint64_t before = e != nullptr ? e->value : 0;
+      if ((before | entry.value) == before) return false;
+      store_->upsert(entry.key).value = before | entry.value;
+      return true;
+    }
+    // LWW: probe first so a losing entry does not materialize a key.
+    const store::Entry* e = store_->find(entry.key);
+    if (e != nullptr && entry.version <= e->version) return false;
+    if (e == nullptr && entry.version == 0) return false;  // never-written echo
+    store::Entry& w = store_->upsert(entry.key);
+    w.value = entry.value;
+    w.version = entry.version;
+    return true;
+  }
   const auto i = static_cast<RegisterIndex>(entry.key);
   if (cfg_.merge == MergePolicy::kGSet) {
     if (i >= values_->size()) return false;
@@ -244,6 +445,17 @@ bool EwoSpaceState::merge(const pkt::EwoEntry& entry) {
 
 void EwoSpaceState::collect_own_entries(std::uint64_t key,
                                         std::vector<pkt::EwoEntry>& out) const {
+  if (store_) {
+    const store::Entry* e = store_->find(key);
+    if (cfg_.merge == MergePolicy::kLww) {
+      // Absent keys mirror as {version 0, value 0}, matching what a dense
+      // space reads from never-written registers.
+      out.push_back({cfg_.id, key, e != nullptr ? e->version : 0, e != nullptr ? e->value : 0});
+    } else {
+      out.push_back({cfg_.id, key, 0, e != nullptr ? e->value : 0});
+    }
+    return;
+  }
   const auto i = static_cast<RegisterIndex>(key);
   if (cfg_.merge == MergePolicy::kLww) {
     out.push_back({cfg_.id, key, versions_->read(i), values_->read(i)});
@@ -261,6 +473,18 @@ void EwoSpaceState::collect_own_entries(std::uint64_t key,
 }
 
 void EwoSpaceState::collect_sync_entries(std::vector<pkt::EwoEntry>& out) const {
+  if (store_) {
+    // Ordered index walk: sync streams are key-ordered and deterministic.
+    store_->for_each([&](const store::Entry& e) {
+      if (cfg_.merge == MergePolicy::kLww) {
+        if (e.version != 0) out.push_back({cfg_.id, e.key, e.version, e.value});
+      } else {
+        if (e.value != 0) out.push_back({cfg_.id, e.key, 0, e.value});
+      }
+      return true;
+    });
+    return;
+  }
   if (cfg_.merge == MergePolicy::kGSet) {
     for (std::size_t k = 0; k < cfg_.size; ++k) {
       const auto i = static_cast<RegisterIndex>(k);
@@ -292,6 +516,7 @@ void EwoSpaceState::collect_sync_entries(std::vector<pkt::EwoEntry>& out) const 
 }
 
 void EwoSpaceState::reset() {
+  if (store_) store_->clear();
   if (values_) values_->fill(0);
   if (versions_) versions_->fill(0);
   for (auto* arr : pos_slots_) arr->fill(0);

@@ -7,15 +7,24 @@
 //
 // EWO: last-writer-wins spaces hold {value, version} pairs; CRDT counter
 // spaces hold one register array per replica (the vector), merged by max.
+//
+// Every class also supports SpaceKind::kSparse (ROADMAP item 5): the flat
+// arrays are replaced by one ordered CoW B+-tree (swishmem/store/) whose
+// entries carry {value, version, guard_seq, flags} per live key. Sparse
+// spaces address millions of keys with memory proportional to live keys,
+// iterate in key order (deterministic snapshots), answer range/LPM reads,
+// and pin O(1) consistent snapshots for stop-the-world-free recovery.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "packet/swish_wire.hpp"
 #include "pisa/switch.hpp"
 #include "swishmem/config.hpp"
+#include "swishmem/store/store_space.hpp"
 
 namespace swish::shm {
 
@@ -29,16 +38,27 @@ class SroSpaceState {
 
   [[nodiscard]] const SpaceConfig& config() const noexcept { return cfg_; }
 
-  /// Guard slot of a key (hash-shared when guard_slots < size, §7).
+  /// Guard slot of a key (hash-shared when guard_slots < size, §7). Sparse
+  /// spaces keep per-key guards in the entry itself; slot(key) == key there.
   [[nodiscard]] std::size_t slot(std::uint64_t key) const noexcept;
 
   [[nodiscard]] std::optional<std::uint64_t> read(std::uint64_t key) const;
 
+  /// Longest-prefix match over store::lpm_pack()ed keys; sparse spaces only
+  /// (dense spaces return nullopt — they cannot express prefixes).
+  [[nodiscard]] std::optional<std::uint64_t> read_lpm(std::uint64_t key) const;
+
+  /// In-order scan of live keys in [lo, hi); sparse spaces only.
+  void read_range(std::uint64_t lo, std::uint64_t hi,
+                  const std::function<bool(std::uint64_t key, std::uint64_t value)>& fn) const;
+
   /// Applies a committed value. Table-backed spaces require the CP token
   /// (chain hops route table updates through their control planes, §6.1).
+  /// kTombstone erases: dense tables drop the entry (and record the key so
+  /// snapshots carry the deletion); sparse spaces keep a tombstone entry.
   void apply(std::uint64_t key, std::uint64_t value, pisa::CpToken token);
 
-  // -- Guard table -----------------------------------------------------------
+  // -- Guard table (slot-addressed; dense layout) -----------------------------
 
   [[nodiscard]] SeqNum guard_seq(std::size_t slot) const;
   void set_guard_seq(std::size_t slot, SeqNum seq);
@@ -50,25 +70,51 @@ class SroSpaceState {
   /// applied locally (a later in-flight write keeps the register pending).
   void clear_pending_up_to(std::size_t slot, SeqNum acked_seq);
 
+  // -- Guard table (key-addressed; what the chain engine uses) -----------------
+  // Dense spaces delegate to the hashed slot above (bit-identical to the old
+  // behavior); sparse spaces keep the guard in the key's own entry, so there
+  // is no false sharing — and no false-pending redirects.
+
+  [[nodiscard]] SeqNum key_guard_seq(std::uint64_t key) const;
+  void set_key_guard_seq(std::uint64_t key, SeqNum seq);
+  [[nodiscard]] bool key_pending(std::uint64_t key) const;
+  void set_key_pending(std::uint64_t key);
+  void clear_key_pending_up_to(std::uint64_t key, SeqNum acked_seq);
+
   // -- Recovery ----------------------------------------------------------------
 
   /// Snapshot of all live values with the guard seq at snapshot time, used by
   /// the donor's control plane to rebuild a recovering replica (§6.3).
+  /// Deterministically key-ordered. Includes tombstones (op.value ==
+  /// kTombstone) for erased keys so a recovered replica that kept stale
+  /// state does not resurrect closed connections.
   struct SnapshotEntry {
     pkt::WriteOp op;
     SeqNum seq;
   };
   [[nodiscard]] std::vector<SnapshotEntry> snapshot() const;
 
+  /// Sparse spaces: O(1) CoW pin of the current state — the donor streams
+  /// from the frozen view while writes continue. Dense spaces cannot pin;
+  /// callers fall back to snapshot(). Returns an invalid Snapshot for dense.
+  [[nodiscard]] store::OrderedIndex::Snapshot pin_snapshot() const;
+
+  [[nodiscard]] const store::StoreSpace* sparse_store() const noexcept { return store_; }
+
   /// Wipes values and guards (a replacement switch boots empty).
   void reset(pisa::CpToken token);
 
  private:
   SpaceConfig cfg_;
-  pisa::RegisterArray* values_ = nullptr;     // register-backed
-  pisa::ExactTable* table_ = nullptr;         // table-backed
-  pisa::RegisterArray* guard_seq_ = nullptr;
-  pisa::RegisterArray* guard_pending_ = nullptr;  // null for ERO
+  pisa::RegisterArray* values_ = nullptr;     // dense, register-backed
+  pisa::ExactTable* table_ = nullptr;         // dense, table-backed
+  store::StoreSpace* store_ = nullptr;        // sparse (ordered CoW index)
+  pisa::RegisterArray* guard_seq_ = nullptr;      // dense only
+  pisa::RegisterArray* guard_pending_ = nullptr;  // dense SRO only
+  /// Dense table-backed spaces: keys erased since the last reset, with no
+  /// surviving table entry to carry the deletion into snapshot(). Ordered so
+  /// snapshots stay deterministic. CP DRAM metadata (8 B per erased key).
+  std::set<std::uint64_t> erased_;
 };
 
 class EwoSpaceState {
@@ -82,6 +128,16 @@ class EwoSpaceState {
 
   /// Local read: LWW value, or the vector sum for counters (§6.2).
   [[nodiscard]] std::uint64_t read(std::uint64_t key) const;
+
+  /// Longest-prefix match over store::lpm_pack()ed keys; sparse LWW/G-set
+  /// spaces only (nullopt elsewhere, or when no prefix matches).
+  [[nodiscard]] std::optional<std::uint64_t> read_lpm(std::uint64_t key) const;
+
+  /// In-order scan of live keys in [lo, hi); sparse spaces only.
+  void read_range(std::uint64_t lo, std::uint64_t hi,
+                  const std::function<bool(std::uint64_t key, std::uint64_t value)>& fn) const;
+
+  [[nodiscard]] const store::StoreSpace* sparse_store() const noexcept { return store_; }
 
   /// LWW local write; records the version for mirroring. Invalid for CRDTs.
   void write_local(std::uint64_t key, std::uint64_t value, RawVersion version);
@@ -127,13 +183,17 @@ class EwoSpaceState {
   std::vector<SwitchId> replicas_;
   std::size_t self_index_ = 0;  ///< this switch's slot in replicas_
 
-  // LWW storage.
+  // Dense LWW storage.
   pisa::RegisterArray* values_ = nullptr;
   pisa::RegisterArray* versions_ = nullptr;
 
-  // CRDT storage: one array per replica (plus negatives for PN counters).
+  // Dense CRDT storage: one array per replica (plus negatives for PN).
   std::vector<pisa::RegisterArray*> pos_slots_;
   std::vector<pisa::RegisterArray*> neg_slots_;
+
+  // Sparse storage (LWW: {value, version} per entry; G-set: value bitmap).
+  // Counter merges need a per-replica vector per key and stay dense-only.
+  store::StoreSpace* store_ = nullptr;
 };
 
 }  // namespace swish::shm

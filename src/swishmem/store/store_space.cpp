@@ -1,0 +1,52 @@
+#include "swishmem/store/store_space.hpp"
+
+namespace swish::shm::store {
+
+StoreSpace::StoreSpace(std::string name, telemetry::MetricsRegistry* reg,
+                       std::string metric_prefix)
+    : pisa::StatefulObject(std::move(name)) {
+  if (reg != nullptr) {
+    metered_ = true;
+    live_keys_g_ = reg->gauge(metric_prefix + "live_keys");
+    snapshot_pins_g_ = reg->gauge(metric_prefix + "snapshot_pins");
+    cow_copies_g_ = reg->gauge(metric_prefix + "cow_page_copies");
+    memory_g_ = reg->gauge(metric_prefix + "memory_bytes");
+    // Pins are released wherever the Snapshot object dies (the recovery
+    // stream, typically) — the observer keeps the gauge honest from there.
+    index_.set_observer([this]() noexcept { refresh_gauges(); });
+  }
+}
+
+StoreSpace::~StoreSpace() {
+  // Snapshots may outlive this object; they share the index counters but
+  // must not call back into freed gauges.
+  index_.set_observer(nullptr);
+}
+
+Entry& StoreSpace::upsert(std::uint64_t key) {
+  Entry& e = index_.upsert(key);
+  refresh_gauges();
+  return e;
+}
+
+void StoreSpace::clear() {
+  index_.clear();
+  refresh_gauges();
+}
+
+OrderedIndex::Snapshot StoreSpace::pin_snapshot() {
+  OrderedIndex::Snapshot snap = index_.snapshot();
+  refresh_gauges();
+  return snap;
+}
+
+void StoreSpace::refresh_gauges() noexcept {
+  if (!metered_) return;
+  const OrderedIndex::Counters& c = index_.counters();
+  live_keys_g_ = static_cast<double>(c.entries);
+  snapshot_pins_g_ = static_cast<double>(c.pins);
+  cow_copies_g_ = static_cast<double>(c.cow_copies);
+  memory_g_ = static_cast<double>(index_.memory_bytes());
+}
+
+}  // namespace swish::shm::store

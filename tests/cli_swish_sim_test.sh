@@ -45,6 +45,9 @@ expect_usage --attack 100:200
 expect_usage --space nospace
 expect_usage --space =sro
 expect_usage --space name=bogus
+# Bad space kind (valid class, bogus kind; and empty kind).
+expect_usage --space name=sro:dense-ish
+expect_usage --space name=ewo:
 expect_usage --topology ring
 expect_usage --nf quantum
 expect_usage --trace-mask not-a-category
@@ -112,6 +115,32 @@ if ! "$BIN" --nf nat --switches 3 --duration-ms 40 --seed 11 --quiet \
 fi
 if ! cmp -s "$TMP/stdout.json" "$TMP/m1.json"; then
   echo "FAIL: --metrics-json - stdout differs from file export"
+  fail=1
+fi
+
+# Space-kind overrides: forcing a space sparse is accepted, runs clean, and
+# stays deterministic across repeat runs.
+sparse_args=(--nf nat --switches 3 --duration-ms 40 --seed 11 --quiet
+             --space nat.translation=sro:sparse)
+for i in 1 2; do
+  if ! "$BIN" "${sparse_args[@]}" --metrics-json "$TMP/sp$i.json" >/dev/null 2>&1; then
+    echo "FAIL: --space nat.translation=sro:sparse run $i exited nonzero"
+    fail=1
+  fi
+done
+if ! cmp -s "$TMP/sp1.json" "$TMP/sp2.json"; then
+  echo "FAIL: same-seed sparse-override runs produced different metrics"
+  fail=1
+fi
+grep -q '"store"' "$TMP/sp1.json" || {
+  echo "FAIL: sparse-override metrics missing store gauges"
+  fail=1
+}
+# An explicit dense kind is accepted too (and is the default: same output
+# as spelling only the class).
+if ! "$BIN" --nf nat --switches 3 --duration-ms 40 --seed 11 --quiet \
+     --space nat.translation=sro:dense >/dev/null 2>&1; then
+  echo "FAIL: --space nat.translation=sro:dense run exited nonzero"
   fail=1
 fi
 

@@ -18,20 +18,23 @@ constexpr std::uint32_t kPart = 55;
 struct Rig {
   Fabric fabric;
 
-  explicit Rig(std::vector<SwitchId> replicas, std::size_t switches = 4)
-      : fabric(make_cfg(switches)) {
+  explicit Rig(std::vector<SwitchId> replicas, std::size_t switches = 4,
+               std::size_t shards = 1, SpaceKind kind = SpaceKind::kDense)
+      : fabric(make_cfg(switches, shards)) {
     SpaceConfig sp;
     sp.id = kPart;
     sp.name = "mig";
     sp.cls = ConsistencyClass::kSRO;
-    sp.size = 64;
+    sp.kind = kind;
+    sp.size = 256;
     fabric.add_space(sp, std::move(replicas));
     fabric.install(nullptr);
     fabric.start();
   }
-  static FabricConfig make_cfg(std::size_t n) {
+  static FabricConfig make_cfg(std::size_t n, std::size_t shards = 1) {
     FabricConfig c;
     c.num_switches = n;
+    c.shards = shards;
     return c;
   }
 
@@ -96,6 +99,70 @@ TEST(ControllerMigrate, MultiJoinerMigrationStreamsSequentiallyAndReleases) {
   for (std::size_t i : {1u, 2u, 3u}) {
     ASSERT_NE(rig.fabric.runtime(i).sro_space(kPart), nullptr) << i;
     EXPECT_EQ(rig.fabric.runtime(i).sro_space(kPart)->read(3).value(), 503u) << i;
+  }
+}
+
+// -- Concurrent-migration consistency ------------------------------------------
+//
+// Writes that land while the donor streams its snapshot must reach the
+// joiners exactly once — through the live tap, behind the frozen image —
+// and the final state must match a run where no migration happened at all.
+// Run at 1/2/4 shards: the parallel core must not reorder the boundary.
+
+using StateVec = std::vector<std::array<std::uint64_t, 4>>;
+
+StateVec collect(ShmRuntime& rt) {
+  std::vector<SnapshotOp> snap;
+  rt.engine_for_space(kPart)->collect_snapshot(kPart, snap);
+  StateVec v;
+  v.reserve(snap.size());
+  for (const auto& s : snap) v.push_back({s.op.space, s.op.key, s.op.value, s.seq});
+  return v;
+}
+
+StateVec run_scenario(std::size_t shards, bool migrate, SpaceKind kind) {
+  Rig rig({1, 2}, /*switches=*/6, shards, kind);
+  for (std::uint64_t k = 0; k < 200; ++k) rig.write(0, k, 100 + k);
+  rig.fabric.run_for(300 * kMs);
+
+  int fires = 0;
+  if (migrate) {
+    rig.fabric.controller().migrate_space(kPart, {3, 4}, [&fires](TimeNs) { ++fires; });
+  }
+  // Keep writing while the snapshot stream drains (and after it finishes —
+  // the spread covers both sides of the freeze boundary).
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    rig.write(0, 200 + i, 900 + i);
+    rig.fabric.run_for(2 * kMs);
+  }
+  rig.fabric.run_for(2 * kSec);
+
+  if (migrate) {
+    EXPECT_EQ(fires, 1);
+    // Both joiners converged on identical state.
+    const StateVec a = collect(rig.fabric.runtime(2));  // switch id 3
+    const StateVec b = collect(rig.fabric.runtime(3));  // switch id 4
+    EXPECT_EQ(a, b);
+    return a;
+  }
+  return collect(rig.fabric.runtime(0));  // switch id 1, the untouched replica
+}
+
+TEST(ControllerMigrate, ConcurrentWritesSurviveSparseMigrationIdentically) {
+  const StateVec reference = run_scenario(1, /*migrate=*/false, SpaceKind::kSparse);
+  EXPECT_EQ(reference.size(), 240u);
+  for (std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    EXPECT_EQ(run_scenario(shards, /*migrate=*/true, SpaceKind::kSparse), reference)
+        << "shards=" << shards;
+  }
+}
+
+TEST(ControllerMigrate, ConcurrentWritesSurviveDenseMigrationIdentically) {
+  const StateVec reference = run_scenario(1, /*migrate=*/false, SpaceKind::kDense);
+  EXPECT_EQ(reference.size(), 240u);
+  for (std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    EXPECT_EQ(run_scenario(shards, /*migrate=*/true, SpaceKind::kDense), reference)
+        << "shards=" << shards;
   }
 }
 

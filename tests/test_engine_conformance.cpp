@@ -65,17 +65,25 @@ pkt::Packet udp(std::uint16_t src_port, std::uint16_t dst_port) {
   return pkt::build_packet(spec);
 }
 
+/// One conformance variant: a consistency class over either storage layout.
+/// Sparse runs the same contract drills on the ordered CoW index.
+struct Variant {
+  ConsistencyClass cls;
+  SpaceKind kind = SpaceKind::kDense;
+};
+
 struct Rig {
   shm::Fabric fabric;
   std::vector<Driver*> drivers;
   std::uint64_t delivered = 0;
 
-  explicit Rig(FabricConfig cfg, ConsistencyClass cls,
-               MergePolicy merge = MergePolicy::kLww) : fabric(cfg) {
+  explicit Rig(FabricConfig cfg, Variant v, MergePolicy merge = MergePolicy::kLww)
+      : fabric(cfg) {
     SpaceConfig sp;
     sp.id = kSpace;
     sp.name = "drv";
-    sp.cls = cls;
+    sp.cls = v.cls;
+    sp.kind = v.kind;
     sp.size = 256;
     sp.merge = merge;
     fabric.add_space(sp);
@@ -147,21 +155,21 @@ FabricConfig cfg4() {
   return c;
 }
 
-class EngineConformance : public ::testing::TestWithParam<ConsistencyClass> {};
+class EngineConformance : public ::testing::TestWithParam<Variant> {};
 
 TEST_P(EngineConformance, WriteReleasesOutputAndAppliesLocally) {
   Rig rig(cfg4(), GetParam());
   rig.fabric.sw(1).inject(udp(111, 1005));
   rig.fabric.run_for(50 * kMs);
   EXPECT_EQ(rig.delivered, 1u);
-  EXPECT_EQ(stored(rig.fabric.runtime(1), GetParam(), 5).value_or(~0ull), 111u);
+  EXPECT_EQ(stored(rig.fabric.runtime(1), GetParam().cls, 5).value_or(~0ull), 111u);
 }
 
 TEST_P(EngineConformance, ReplicationMatchesClassContract) {
   Rig rig(cfg4(), GetParam());
   rig.fabric.sw(1).inject(udp(222, 1007));
   rig.fabric.run_for(50 * kMs);  // covers chain commit, EWO mirror, OWN backup flush
-  expect_replicated(rig, GetParam(), /*writer=*/1, /*key=*/7, /*value=*/222);
+  expect_replicated(rig, GetParam().cls, /*writer=*/1, /*key=*/7, /*value=*/222);
 }
 
 TEST_P(EngineConformance, ReadOnWriterIsFresh) {
@@ -177,8 +185,14 @@ TEST_P(EngineConformance, ReadOnWriterIsFresh) {
 TEST_P(EngineConformance, UpdateSupportMatchesClassContract) {
   // Atomic fetch-add is an EWO/OWN capability; the chain classes reject it
   // (multi-op chain writes are the SRO/ERO mutation primitive).
-  const bool expect_supported = GetParam() == ConsistencyClass::kEWO ||
-                                GetParam() == ConsistencyClass::kOWN;
+  const bool expect_supported = GetParam().cls == ConsistencyClass::kEWO ||
+                                GetParam().cls == ConsistencyClass::kOWN;
+  if (GetParam().kind == SpaceKind::kSparse && GetParam().cls == ConsistencyClass::kEWO) {
+    // Counter CRDTs keep per-replica vectors in dense registers; the sparse
+    // layout supports LWW and G-set merges only, and says so loudly.
+    EXPECT_THROW(Rig(cfg4(), GetParam(), MergePolicy::kPNCounter), std::invalid_argument);
+    return;
+  }
   // EWO counters require a counter merge policy (kLww spaces reject add).
   Rig rig(cfg4(), GetParam(), MergePolicy::kPNCounter);
   for (int n = 0; n < 3; ++n) rig.fabric.sw(0).inject(udp(0, 3009));
@@ -186,7 +200,7 @@ TEST_P(EngineConformance, UpdateSupportMatchesClassContract) {
   EXPECT_EQ(rig.drivers[0]->update_accepted, expect_supported);
   if (expect_supported) {
     EXPECT_EQ(rig.drivers[0]->update_results, (std::vector<std::uint64_t>{1, 2, 3}));
-    EXPECT_EQ(stored(rig.fabric.runtime(0), GetParam(), 9).value_or(~0ull), 3u);
+    EXPECT_EQ(stored(rig.fabric.runtime(0), GetParam().cls, 9).value_or(~0ull), 3u);
   }
 }
 
@@ -198,7 +212,7 @@ TEST_P(EngineConformance, WritesStillCommitAfterReplicaFailure) {
   rig.fabric.sw(1).inject(udp(42, 1012));
   rig.fabric.run_for(100 * kMs);
   EXPECT_EQ(rig.delivered, 1u);
-  expect_replicated(rig, GetParam(), /*writer=*/1, /*key=*/12, /*value=*/42, /*dead=*/{3});
+  expect_replicated(rig, GetParam().cls, /*writer=*/1, /*key=*/12, /*value=*/42, /*dead=*/{3});
 }
 
 TEST_P(EngineConformance, RevivedSwitchServesNewWrites) {
@@ -211,15 +225,20 @@ TEST_P(EngineConformance, RevivedSwitchServesNewWrites) {
   rig.fabric.sw(0).inject(udp(55, 1014));
   rig.fabric.run_for(100 * kMs);
   EXPECT_EQ(rig.delivered, 1u);
-  expect_replicated(rig, GetParam(), /*writer=*/0, /*key=*/14, /*value=*/55);
+  expect_replicated(rig, GetParam().cls, /*writer=*/0, /*key=*/14, /*value=*/55);
 }
 
-INSTANTIATE_TEST_SUITE_P(AllClasses, EngineConformance,
-                         ::testing::Values(ConsistencyClass::kSRO, ConsistencyClass::kERO,
-                                           ConsistencyClass::kEWO, ConsistencyClass::kOWN),
-                         [](const ::testing::TestParamInfo<ConsistencyClass>& info) {
-                           return to_string(info.param);
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    AllClasses, EngineConformance,
+    ::testing::Values(Variant{ConsistencyClass::kSRO}, Variant{ConsistencyClass::kERO},
+                      Variant{ConsistencyClass::kEWO}, Variant{ConsistencyClass::kOWN},
+                      Variant{ConsistencyClass::kSRO, SpaceKind::kSparse},
+                      Variant{ConsistencyClass::kERO, SpaceKind::kSparse},
+                      Variant{ConsistencyClass::kEWO, SpaceKind::kSparse},
+                      Variant{ConsistencyClass::kOWN, SpaceKind::kSparse}),
+    [](const ::testing::TestParamInfo<Variant>& info) {
+      return std::string(to_string(info.param.cls)) + "_" + to_string(info.param.kind);
+    });
 
 // -- Bandwidth reconciliation (per-message-class accounting) -------------------
 
@@ -229,9 +248,9 @@ TEST(BandwidthAccounting, PerClassBytesSumToTotal) {
   // per-class counter.
   FabricConfig cfg = cfg4();
   cfg.link.loss_probability = 0.05;
-  Rig sro(cfg, ConsistencyClass::kSRO);
-  Rig ewo(cfg, ConsistencyClass::kEWO);
-  Rig own(cfg, ConsistencyClass::kOWN);
+  Rig sro(cfg, {ConsistencyClass::kSRO});
+  Rig ewo(cfg, {ConsistencyClass::kEWO});
+  Rig own(cfg, {ConsistencyClass::kOWN});
   for (Rig* rig : {&sro, &ewo, &own}) {
     for (int k = 0; k < 10; ++k) {
       rig->fabric.sw(k % 4).inject(udp(static_cast<std::uint16_t>(100 + k),

@@ -265,6 +265,62 @@ TEST(Recovery, EwoReplacementRefilledByPeriodicSync) {
   EXPECT_EQ(rig.fabric.runtime(0).ewo_read(kCtr, 5), 9u);
 }
 
+TEST(Recovery, ErasedConnectionsStayErasedThroughSnapshotStream) {
+  // Table-backed connection state: closing a connection erases its entry.
+  // Tombstones must ride the snapshot stream (frozen image for pre-stream
+  // erases, live tap for erases during the drain) so the replacement never
+  // resurrects a closed connection its survivors already dropped.
+  FabricConfig cfg = cfg4();
+  cfg.controller.mgmt_latency = 2 * kMs;
+  Fabric fabric(cfg);
+  SpaceConfig sp;
+  sp.id = kSpace;
+  sp.name = "conn";
+  sp.cls = ConsistencyClass::kSRO;
+  sp.size = 256;
+  sp.table_backed = true;
+  fabric.add_space(sp);
+  fabric.install(nullptr);
+  fabric.start();
+  auto write = [&](std::uint64_t key, std::uint64_t value) {
+    fabric.runtime(0).sro_write({{kSpace, key, value}}, pkt::Packet{}, nullptr);
+  };
+
+  fabric.run_for(50 * kMs);
+  // Enough connections for several stop-and-wait snapshot chunks.
+  for (std::uint64_t k = 0; k < 40; ++k) write(0x1000 + k, 7000 + k);
+  fabric.run_for(100 * kMs);
+  // One connection closes while everyone is healthy: its tombstone can only
+  // reach the replacement inside the frozen snapshot image.
+  write(0x1000 + 39, kTombstone);
+  fabric.run_for(50 * kMs);
+
+  fabric.kill_switch(2);
+  fabric.run_for(100 * kMs);
+  fabric.revive_switch(2);
+  fabric.run_for(4 * kMs);
+  // Connections closing while the stream drains: the snapshot carries the
+  // live entries, the tap must carry the tombstones behind them.
+  for (std::uint64_t k : {3u, 17u, 31u}) write(0x1000 + k, kTombstone);
+  fabric.run_for(1 * kSec);
+
+  for (std::size_t i = 0; i < 4; ++i) {
+    auto* space = fabric.runtime(i).sro_space(kSpace);
+    ASSERT_NE(space, nullptr) << "switch " << i;
+    for (std::uint64_t k = 0; k < 40; ++k) {
+      const bool closed = (k == 3 || k == 17 || k == 31 || k == 39);
+      if (closed) {
+        EXPECT_FALSE(space->read(0x1000 + k).has_value())
+            << "switch " << i << " resurrected connection " << k;
+      } else {
+        ASSERT_TRUE(space->read(0x1000 + k).has_value())
+            << "switch " << i << " lost connection " << k;
+        EXPECT_EQ(space->read(0x1000 + k).value(), 7000 + k) << "switch " << i;
+      }
+    }
+  }
+}
+
 TEST(Recovery, RecoveredSwitchServesStrongReadsOnlyAfterJoin) {
   Rig rig(cfg4());
   rig.fabric.run_for(50 * kMs);

@@ -58,6 +58,44 @@ TEST(SroSpace, TableBackedInsertEraseTombstone) {
   EXPECT_FALSE(sp.read(0xABCDEF).has_value());
 }
 
+TEST(SroSpace, TableBackedSnapshotCarriesEraseTombstones) {
+  // An erased connection leaves no table entry behind; the snapshot must
+  // still carry the deletion so a replica with stale state drops it instead
+  // of resurrecting the connection on recovery (§6.3).
+  Rig rig;
+  SroSpaceState sp(rig.sw, sro_cfg(/*table_backed=*/true));
+  sp.apply(10, 100, rig.token());
+  sp.apply(20, 200, rig.token());
+  sp.apply(30, 300, rig.token());
+  sp.apply(20, kTombstone, rig.token());
+
+  // Deterministic layout: live entries key-ordered, then tombstones
+  // key-ordered behind them.
+  const auto snap = sp.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].op.key, 10u);
+  EXPECT_EQ(snap[0].op.value, 100u);
+  EXPECT_EQ(snap[1].op.key, 30u);
+  EXPECT_EQ(snap[1].op.value, 300u);
+  EXPECT_EQ(snap[2].op.key, 20u);
+  EXPECT_EQ(snap[2].op.value, kTombstone);
+
+  // Replaying the tombstone onto a replica that still holds the key erases it.
+  SroSpaceState stale(rig.sw, sro_cfg(/*table_backed=*/true));
+  stale.apply(20, 200, rig.token());
+  stale.apply(snap[2].op.key, snap[2].op.value, rig.token());
+  EXPECT_FALSE(stale.read(20).has_value());
+
+  // Re-inserting the key clears the erased-key record: the next snapshot
+  // carries the live value and no stale deletion.
+  sp.apply(20, 222, rig.token());
+  const auto snap2 = sp.snapshot();
+  ASSERT_EQ(snap2.size(), 3u);
+  for (const auto& e : snap2) EXPECT_NE(e.op.value, kTombstone) << "key " << e.op.key;
+  EXPECT_EQ(snap2[1].op.key, 20u);
+  EXPECT_EQ(snap2[1].op.value, 222u);
+}
+
 TEST(SroSpace, GuardSeqAndPending) {
   Rig rig;
   SroSpaceState sp(rig.sw, sro_cfg());

@@ -32,6 +32,7 @@ TEST(Wire, WriteRequestRoundTripSequenced) {
   m.writer = 2;
   m.write_id = 5;
   m.snapshot_replay = true;
+  m.snapshot_epoch = (4u << 16) | 2u;  // recovery stream id: donor 4, stream 2
   m.ops = {{1, 9, 10}};
   m.seqs = {77};
   EXPECT_EQ(roundtrip(m), m);
@@ -252,7 +253,7 @@ TEST(WireTrace, EveryMessageTypeCarriesContext) {
     EXPECT_EQ(decoded->index(), msg.index());
     EXPECT_EQ(out, ctx);
   };
-  check(WriteRequest{1, 2, 3, false, {{1, 2, 3}}, {}});
+  check(WriteRequest{1, 2, 3, false, 0, {{1, 2, 3}}, {}});
   check(WriteAck{1, 2, 3, {{1, 2, 3}}, {4}});
   check(EwoUpdate{1, false, {{1, 2, 3, 4}}});
   check(Heartbeat{1, 2});

@@ -33,9 +33,10 @@ ASAN_OPTIONS=halt_on_error=1 \
 UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
   ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
 
-# TSan pass over the multi-shard suites: the sharded-sim determinism tests
-# and the consistency-conformance suite (the heaviest cross-switch protocol
-# traffic). TSan and ASan cannot share a build, hence the second tree.
+# TSan pass over the multi-shard suites: the sharded-sim determinism tests,
+# the consistency-conformance suite (the heaviest cross-switch protocol
+# traffic), and the CoW store suites (snapshot pins shared across the
+# recovery path). TSan and ASan cannot share a build, hence the second tree.
 TSAN_BUILD="$ROOT/build-check-tsan"
 cmake -B "$TSAN_BUILD" -S "$ROOT" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -46,7 +47,7 @@ cmake --build "$TSAN_BUILD" -j "$JOBS"
 TSAN_OPTIONS=halt_on_error=1 \
 SWISH_SHARD_FORCE_THREADS=1 \
   ctest --test-dir "$TSAN_BUILD" --output-on-failure -j "$JOBS" \
-    -R 'ShardedSim|Conformance'
+    -R 'ShardedSim|Conformance|Store'
 
 echo
 echo "check.sh: clean (Werror + ASan/UBSan + TSan sharded suites)"

@@ -57,7 +57,12 @@ struct Options {
   std::vector<std::pair<std::size_t, TimeNs>> kills;
   std::vector<std::pair<std::size_t, TimeNs>> revives;
   std::optional<std::array<std::uint64_t, 3>> attack;  // pps, start_ms, dur_ms
-  std::vector<std::pair<std::string, shm::ConsistencyClass>> space_overrides;
+  struct SpaceOverride {
+    std::string name;
+    shm::ConsistencyClass cls;
+    std::optional<shm::SpaceKind> kind;  ///< unset = keep the NF's default
+  };
+  std::vector<SpaceOverride> space_overrides;
   std::string pcap;
   std::string metrics_json;
   std::string trace;
@@ -90,8 +95,9 @@ struct Options {
       << "  --kill IDX:MS           fail switch IDX at MS (repeatable)\n"
       << "  --revive IDX:MS         revive switch IDX at MS (repeatable)\n"
       << "  --attack PPS:START:DUR  UDP flood (times in ms)\n"
-      << "  --space NAME=CLS        override a space's consistency class\n"
-      << "                          (CLS: sro|ero|ewo|own; repeatable)\n"
+      << "  --space NAME=CLS[:KIND] override a space's consistency class and\n"
+      << "                          optionally its storage kind (CLS: sro|ero|\n"
+      << "                          ewo|own; KIND: dense|sparse; repeatable)\n"
       << "  --pcap FILE             capture all fabric traffic\n"
       << "  --metrics-json FILE     write the full metrics registry as JSON\n"
       << "                          (FILE of - writes to stdout)\n"
@@ -192,12 +198,19 @@ Options parse(int argc, char** argv) {
       const std::string s = need(i);
       const auto eq = s.find('=');
       if (eq == std::string::npos || eq == 0) usage(argv[0]);
+      Options::SpaceOverride ov;
+      ov.name = s.substr(0, eq);
+      std::string cls = s.substr(eq + 1);
       try {
-        opt.space_overrides.emplace_back(s.substr(0, eq),
-                                         shm::parse_consistency_class(s.substr(eq + 1)));
+        if (const auto colon = cls.find(':'); colon != std::string::npos) {
+          ov.kind = shm::parse_space_kind(cls.substr(colon + 1));
+          cls.resize(colon);
+        }
+        ov.cls = shm::parse_consistency_class(cls);
       } catch (const std::invalid_argument&) {
         usage(argv[0]);
       }
+      opt.space_overrides.push_back(std::move(ov));
     } else if (a == "--pcap") opt.pcap = need(i);
     else if (a == "--metrics-json") opt.metrics_json = need(i);
     else if (a == "--trace") opt.trace = need(i);
@@ -356,8 +369,15 @@ int main(int argc, char** argv) {
   // Declare the NF's spaces (applying any --space class overrides) and factory.
   std::vector<std::string> declared_spaces;
   auto add_space = [&](shm::SpaceConfig space) {
-    for (const auto& [name, cls] : opt.space_overrides) {
-      if (space.name == name) space.cls = cls;
+    for (const auto& ov : opt.space_overrides) {
+      if (space.name != ov.name) continue;
+      space.cls = ov.cls;
+      if (ov.kind) {
+        space.kind = *ov.kind;
+        // Sparse spaces are keyed directly by the ordered index; the dense
+        // hashed-table layout flag no longer applies.
+        if (*ov.kind == shm::SpaceKind::kSparse) space.table_backed = false;
+      }
     }
     declared_spaces.push_back(space.name);
     fabric.add_space(space);
@@ -374,6 +394,7 @@ int main(int argc, char** argv) {
     };
   } else if (opt.nf == "firewall") {
     add_space(nf::FirewallApp::space());
+    add_space(nf::FirewallApp::prefix_space());  // sparse LPM blocklist
     factory = [&] {
       auto a = std::make_unique<nf::FirewallApp>(nf::FirewallApp::Config{});
       apps.push_back(a.get());
@@ -405,6 +426,7 @@ int main(int argc, char** argv) {
     };
   } else if (opt.nf == "ratelimiter") {
     add_space(nf::RateLimiterApp::space());
+    add_space(nf::RateLimiterApp::subnet_space());  // sparse LPM budgets
     factory = [&] {
       auto a = std::make_unique<nf::RateLimiterApp>(nf::RateLimiterApp::Config{});
       apps.push_back(a.get());
@@ -414,13 +436,20 @@ int main(int argc, char** argv) {
     usage(argv[0]);
   }
   for (const auto& ov : opt.space_overrides) {
-    if (std::find(declared_spaces.begin(), declared_spaces.end(), ov.first) ==
+    if (std::find(declared_spaces.begin(), declared_spaces.end(), ov.name) ==
         declared_spaces.end()) {
-      std::cerr << "warning: --space " << ov.first << " matches no declared space\n";
+      std::cerr << "warning: --space " << ov.name << " matches no declared space\n";
     }
   }
-  fabric.install(factory);
-  fabric.start();
+  try {
+    fabric.install(factory);
+    fabric.start();
+  } catch (const std::invalid_argument& e) {
+    // An unsupported space configuration (e.g. a sparse G-counter space) is
+    // a usage error, not a crash.
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
 
   std::unique_ptr<pkt::PcapWriter> pcap;
   if (!opt.pcap.empty()) {
