@@ -3,6 +3,7 @@
 // regenerates plus the expectation from the paper it is checked against.
 #pragma once
 
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -108,6 +109,67 @@ struct DriverRig {
     fabric.set_delivery_sink([this](const pkt::Packet&) { ++delivered; });
   }
 };
+
+/// Minimal JSON emitter for bench artifacts: `{"bench": ..., "rows": [...]}`
+/// with flat rows of numeric / plain-string fields. No escaping — callers
+/// pass identifiers and numbers only.
+class JsonArtifact {
+ public:
+  explicit JsonArtifact(std::string bench) : bench_(std::move(bench)) {}
+
+  class Row {
+   public:
+    Row& str(const std::string& key, const std::string& value) {
+      return raw(key, "\"" + value + "\"");
+    }
+    Row& num(const std::string& key, double value, int decimals = 3) {
+      return raw(key, format_double(value, decimals));
+    }
+    Row& num(const std::string& key, std::uint64_t value) {
+      return raw(key, std::to_string(value));
+    }
+    Row& raw(const std::string& key, const std::string& json_value) {
+      if (!body_.empty()) body_ += ", ";
+      body_ += "\"" + key + "\": " + json_value;
+      return *this;
+    }
+
+   private:
+    friend class JsonArtifact;
+    std::string body_;
+  };
+
+  Row& row() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  void write(std::ostream& out) const {
+    out << "{\n  \"schema\": 1,\n  \"bench\": \"" << bench_ << "\",\n  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      out << "    {" << rows_[i].body_ << "}" << (i + 1 < rows_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+  }
+
+  /// Writes to `path` and reports the artifact on stdout; exits non-zero on
+  /// an unwritable path so run_benches.sh fails loudly.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::string bench_;
+  std::vector<Row> rows_;
+};
+
+inline void JsonArtifact::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "error: cannot open " << path << " for writing\n";
+    std::exit(1);
+  }
+  write(out);
+  std::cout << "wrote " << rows_.size() << " rows to " << path << "\n";
+}
 
 inline pkt::Packet op_packet(std::uint16_t src_port, std::uint16_t dst_port) {
   pkt::PacketSpec spec;

@@ -162,6 +162,18 @@ std::size_t Network::port_count(NodeId node) const {
 
 NodeId Network::peer(NodeId node, PortId port) const { return half(node, port).to; }
 
+void Network::set_link_loss(NodeId a, NodeId b, double loss_probability) {
+  auto retune = [this, loss_probability](NodeId from, NodeId to) {
+    auto it = ports_.find(from);
+    if (it == ports_.end()) return;
+    for (HalfLink& h : it->second) {
+      if (h.to == to) h.params.loss_probability = loss_probability;
+    }
+  };
+  retune(a, b);
+  retune(b, a);
+}
+
 Node* Network::node(NodeId id) const {
   auto it = nodes_.find(id);
   return it == nodes_.end() ? nullptr : it->second;

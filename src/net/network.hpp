@@ -120,6 +120,13 @@ class Network {
   /// Peer node reached through (node, port); kInvalidNode if unconnected.
   [[nodiscard]] NodeId peer(NodeId node, PortId port) const;
 
+  /// Rewrites the loss probability of the a<->b link, both directions (link
+  /// degradation / partition / flapping experiments). No-op when the nodes
+  /// are not directly connected. Mutates sender-shard-owned state, so in a
+  /// sharded fabric call it only from the owning shards' events (or use one
+  /// shard for link-fault scenarios, as the membership tests do).
+  void set_link_loss(NodeId a, NodeId b, double loss_probability);
+
   [[nodiscard]] Node* node(NodeId id) const;
 
   /// Aggregate stats over all link directions.

@@ -108,6 +108,54 @@ void encode_body(ByteWriter& w, const OwnUpdate& m) {
   }
 }
 
+void encode_gossip(ByteWriter& w, const std::vector<MemberInfo>& gossip) {
+  w.u16(static_cast<std::uint16_t>(gossip.size()));
+  for (const auto& g : gossip) {
+    w.u32(g.member);
+    w.u8(g.state);
+    w.u32(g.incarnation);
+    w.u64(g.evidence_ns);
+  }
+}
+
+void decode_gossip(ByteReader& r, std::vector<MemberInfo>& gossip) {
+  const std::uint16_t n = r.u16();
+  gossip.resize(n);
+  for (auto& g : gossip) {
+    g.member = r.u32();
+    g.state = r.u8();
+    g.incarnation = r.u32();
+    g.evidence_ns = r.u64();
+  }
+}
+
+void encode_body(ByteWriter& w, const SwimPing& m) {
+  w.u32(m.sender);
+  w.u32(m.origin);
+  w.u64(m.seq);
+  w.u32(m.incarnation);
+  encode_gossip(w, m.gossip);
+}
+
+void encode_body(ByteWriter& w, const SwimAck& m) {
+  w.u32(m.subject);
+  w.u64(m.seq);
+  w.u32(m.incarnation);
+  encode_gossip(w, m.gossip);
+}
+
+void encode_body(ByteWriter& w, const SwimPingReq& m) {
+  w.u32(m.sender);
+  w.u32(m.target);
+  w.u64(m.seq);
+  encode_gossip(w, m.gossip);
+}
+
+void encode_body(ByteWriter& w, const MembershipUpdate& m) {
+  w.u32(m.sender);
+  encode_gossip(w, m.entries);
+}
+
 constexpr MsgType type_of(const SwishMessage& msg) noexcept {
   return static_cast<MsgType>(msg.index() + 1);
 }
@@ -255,6 +303,37 @@ std::optional<SwishMessage> decode_body(ByteReader& r, MsgType type) {
           e.version = r.u64();
           e.value = r.u64();
         }
+        return m;
+      }
+      case MsgType::kSwimPing: {
+        SwimPing m;
+        m.sender = r.u32();
+        m.origin = r.u32();
+        m.seq = r.u64();
+        m.incarnation = r.u32();
+        decode_gossip(r, m.gossip);
+        return m;
+      }
+      case MsgType::kSwimAck: {
+        SwimAck m;
+        m.subject = r.u32();
+        m.seq = r.u64();
+        m.incarnation = r.u32();
+        decode_gossip(r, m.gossip);
+        return m;
+      }
+      case MsgType::kSwimPingReq: {
+        SwimPingReq m;
+        m.sender = r.u32();
+        m.target = r.u32();
+        m.seq = r.u64();
+        decode_gossip(r, m.gossip);
+        return m;
+      }
+      case MsgType::kMembershipUpdate: {
+        MembershipUpdate m;
+        m.sender = r.u32();
+        decode_gossip(r, m.entries);
         return m;
       }
     }

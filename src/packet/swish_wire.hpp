@@ -40,10 +40,14 @@ enum class MsgType : std::uint8_t {
   kOwnRequest = 8,
   kOwnGrant = 9,
   kOwnUpdate = 10,
+  kSwimPing = 11,
+  kSwimAck = 12,
+  kSwimPingReq = 13,
+  kMembershipUpdate = 14,
 };
 
 /// Number of distinct protocol message types (registry sizing).
-inline constexpr std::size_t kNumMsgTypes = 10;
+inline constexpr std::size_t kNumMsgTypes = 14;
 
 /// One register mutation inside a write request.
 struct WriteOp {
@@ -181,8 +185,71 @@ struct OwnUpdate {
   friend bool operator==(const OwnUpdate&, const OwnUpdate&) = default;
 };
 
+/// One gossiped membership assertion, piggybacked on SWIM protocol traffic
+/// (anti-entropy dissemination) and carried by MembershipUpdate verdicts.
+/// `state` is shm::MemberState (0 alive, 1 suspect, 2 faulty); assertions
+/// about the same member are ordered by incarnation, then by state severity.
+struct MemberInfo {
+  SwitchId member = kInvalidNode;
+  std::uint8_t state = 0;
+  std::uint32_t incarnation = 0;
+  /// Observer-side silence when the assertion was made: ns since the asserting
+  /// switch last had proof of life (0 for alive assertions). Preserved by
+  /// gossip relays so detection latency survives dissemination.
+  std::uint64_t evidence_ns = 0;
+
+  friend bool operator==(const MemberInfo&, const MemberInfo&) = default;
+};
+
+/// SWIM direct or proxied probe. `origin` is the probe initiator the ack must
+/// return to; it equals `sender` for direct pings and names the requesting
+/// switch when the ping was relayed by a ping-req proxy.
+struct SwimPing {
+  SwitchId sender = kInvalidNode;
+  SwitchId origin = kInvalidNode;
+  std::uint64_t seq = 0;             ///< origin-local probe sequence number
+  std::uint32_t incarnation = 0;     ///< sender's own incarnation
+  std::vector<MemberInfo> gossip;
+
+  friend bool operator==(const SwimPing&, const SwimPing&) = default;
+};
+
+/// SWIM probe answer, sent by the probed member straight to the probe origin.
+struct SwimAck {
+  SwitchId subject = kInvalidNode;   ///< the member that answered
+  std::uint64_t seq = 0;
+  std::uint32_t incarnation = 0;     ///< subject's own incarnation
+  std::vector<MemberInfo> gossip;
+
+  friend bool operator==(const SwimAck&, const SwimAck&) = default;
+};
+
+/// SWIM indirection: after a direct-probe timeout the origin asks k proxies
+/// to ping the target on its behalf (distinguishes a dead member from a bad
+/// origin<->target path).
+struct SwimPingReq {
+  SwitchId sender = kInvalidNode;    ///< probe origin
+  SwitchId target = kInvalidNode;    ///< member to ping on the origin's behalf
+  std::uint64_t seq = 0;
+  std::vector<MemberInfo> gossip;
+
+  friend bool operator==(const SwimPingReq&, const SwimPingReq&) = default;
+};
+
+/// Switch -> controller membership verdict feed: a switch that locally
+/// committed a member to faulty reports it so the central repair machinery
+/// (chain/group reconfiguration, recovery) can run. Detection itself is
+/// switch-to-switch; the controller only consumes finished verdicts.
+struct MembershipUpdate {
+  SwitchId sender = kInvalidNode;
+  std::vector<MemberInfo> entries;
+
+  friend bool operator==(const MembershipUpdate&, const MembershipUpdate&) = default;
+};
+
 using SwishMessage = std::variant<WriteRequest, WriteAck, EwoUpdate, Heartbeat, ChainConfig,
-                                  GroupConfig, ReadRedirect, OwnRequest, OwnGrant, OwnUpdate>;
+                                  GroupConfig, ReadRedirect, OwnRequest, OwnGrant, OwnUpdate,
+                                  SwimPing, SwimAck, SwimPingReq, MembershipUpdate>;
 
 /// Serializes a protocol message (type byte + body) into a UDP payload.
 std::vector<std::uint8_t> encode_message(const SwishMessage& msg);

@@ -32,4 +32,11 @@ sim::TimerHandle ControlPlane::schedule_after(TimeNs delay, std::function<void()
   });
 }
 
+sim::TimerHandle ControlPlane::schedule_periodic(TimeNs period, std::function<void()> fn) {
+  return sim_.schedule_periodic(period, [this, fn = std::move(fn)]() {
+    if (gate_ && !gate_()) return;
+    submit(fn);
+  });
+}
+
 }  // namespace swish::pisa

@@ -55,6 +55,11 @@ class ControlPlane {
   /// Arms a timer; when it fires the callback is charged as a CPU job.
   sim::TimerHandle schedule_after(TimeNs delay, std::function<void()> fn);
 
+  /// Arms a repeating timer; every firing is gated and charged as a CPU job,
+  /// so a failed switch's periodic work (e.g. its SWIM probe tick) stops
+  /// dead and resumes after recover() without rearming.
+  sim::TimerHandle schedule_periodic(TimeNs period, std::function<void()> fn);
+
   /// Gate run before any job; set by the owning switch to its liveness check
   /// so a failed switch's queued jobs and timers become no-ops.
   void set_gate(std::function<bool()> gate) { gate_ = std::move(gate); }

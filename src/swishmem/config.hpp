@@ -35,6 +35,21 @@ enum class SpaceKind : std::uint8_t {
 
 SpaceKind parse_space_kind(const std::string& s);  // throws on unknown
 
+/// Failure-detection protocol run by the fabric (ROADMAP item 2).
+enum class MembershipProtocol : std::uint8_t {
+  /// The original §6.3 design: every switch beacons the central controller,
+  /// which scans for heartbeat silence. Simple, but the controller is both a
+  /// single point of failure and an O(switches) bottleneck.
+  kHeartbeat,
+  /// SWIM-style gossip between switch control planes: randomized ping,
+  /// ping-req indirection, suspicion timeouts with incarnation-numbered
+  /// refutation, and piggybacked membership dissemination. The controller
+  /// only consumes finished verdicts — it is not in the detection loop.
+  kSwim,
+};
+
+MembershipProtocol parse_membership_protocol(const std::string& s);  // throws on unknown
+
 /// How an EWO replica merges remote updates (§6.2).
 enum class MergePolicy : std::uint8_t {
   kLww,        ///< last-writer-wins by (timestamp, switch-id) version
@@ -56,6 +71,7 @@ enum class SyncFanout : std::uint8_t {
 const char* to_string(ConsistencyClass cls) noexcept;
 const char* to_string(MergePolicy policy) noexcept;
 const char* to_string(SpaceKind kind) noexcept;
+const char* to_string(MembershipProtocol protocol) noexcept;
 
 /// Static description of one shared register space (a named register array or
 /// control-plane table replicated across the deployment).
@@ -125,7 +141,19 @@ struct RuntimeConfig {
   TimeNs clock_offset = 0;
 
   // Liveness ---------------------------------------------------------------
+  /// Failure-detection protocol this switch participates in. The fabric
+  /// mirrors the controller's configured protocol here so every switch starts
+  /// the matching participant (heartbeat generator, or a SWIM agent).
+  MembershipProtocol membership = MembershipProtocol::kHeartbeat;
   TimeNs heartbeat_period = 10 * kMs;
+
+  // SWIM (membership == kSwim only) -----------------------------------------
+  TimeNs swim_period = 10 * kMs;             ///< protocol period (one probe per tick)
+  TimeNs swim_ping_timeout = 2 * kMs;        ///< direct-ack wait before indirection
+  TimeNs swim_suspicion_timeout = 40 * kMs;  ///< suspect -> faulty grace (refutation window)
+  std::size_t swim_indirect_k = 2;           ///< ping-req proxies per failed direct probe
+  std::size_t swim_gossip_fanout = 3;        ///< piggybacked entries per protocol message
+  unsigned swim_gossip_transmissions = 8;    ///< dissemination GC: sends per gossip entry
 };
 
 }  // namespace swish::shm

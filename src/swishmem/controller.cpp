@@ -1,15 +1,59 @@
 #include "swishmem/controller.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "common/log.hpp"
 #include "net/routing.hpp"
 #include "packet/swish_wire.hpp"
+#include "swishmem/membership/heartbeat_membership.hpp"
+#include "swishmem/membership/swim_membership.hpp"
 
 namespace swish::shm {
+namespace {
+
+/// A detector whose scan can never observe its own timeout is a configuration
+/// bug, not a runtime condition — reject it at construction.
+void validate(const Controller::Config& config) {
+  if (config.check_period <= 0) {
+    throw std::invalid_argument("controller check_period must be positive");
+  }
+  if (config.heartbeat_timeout <= 0) {
+    throw std::invalid_argument("controller heartbeat_timeout must be positive");
+  }
+  if (config.heartbeat_timeout <= config.check_period) {
+    throw std::invalid_argument(
+        "controller heartbeat_timeout must exceed check_period (the scan would "
+        "fire a false positive on its first pass)");
+  }
+}
+
+std::unique_ptr<MembershipService> make_membership(sim::Simulator& sim,
+                                                   const Controller::Config& config) {
+  switch (config.membership) {
+    case MembershipProtocol::kSwim:
+      return std::make_unique<SwimMembership>(sim);
+    case MembershipProtocol::kHeartbeat:
+      break;
+  }
+  return std::make_unique<HeartbeatMembership>(
+      sim, HeartbeatMembership::Config{config.heartbeat_timeout, config.check_period});
+}
+
+}  // namespace
 
 Controller::Controller(sim::Simulator& simulator, net::Network& network, NodeId id, Config config)
-    : net::Node(id), sim_(simulator), network_(network), config_(config) {}
+    : net::Node(id), sim_(simulator), network_(network), config_(config) {
+  validate(config_);
+  membership_ = make_membership(sim_, config_);
+  membership_->on_membership_change = [this](SwitchId sw, MemberState state,
+                                             TimeNs detection_ns) {
+    if (state == MemberState::kFaulty) handle_failure(sw, detection_ns);
+  };
+  failures_detected_ = sim_.metrics().counter("membership.failures_detected");
+  detection_ns_ = sim_.metrics().histogram("failover.detection_ns");
+  repair_ns_ = sim_.metrics().histogram("failover.repair_ns");
+}
 
 void Controller::post_to_node(NodeId node, TimeNs delay, sim::EventFn fn) {
   if (sharded()) {
@@ -30,7 +74,8 @@ std::function<void()> Controller::to_controller(std::function<void()> fn) {
 }
 
 void Controller::register_switch(pisa::Switch& sw, ShmRuntime& runtime) {
-  members_[sw.id()] = Member{&sw, &runtime, 0, true};
+  members_[sw.id()] = Member{&sw, &runtime};
+  membership_->add_member(sw.id());
 }
 
 void Controller::bootstrap() {
@@ -60,11 +105,10 @@ void Controller::push_space_chains(bool immediate) {
     pkt::ChainConfig chain;
     chain.epoch = chain_.epoch;  // space chains ride the global epoch counter
     for (SwitchId id : entry.replicas) {
-      auto it = members_.find(id);
-      if (it != members_.end() && it->second.alive) chain.chain.push_back(id);
+      if (members_.find(id) != members_.end() && usable(id)) chain.chain.push_back(id);
     }
     for (auto& [id, m] : members_) {
-      if (!m.alive) continue;
+      if (!usable(id)) continue;
       ShmRuntime* rt = m.runtime;
       auto apply = [rt, space = space, chain]() { rt->set_space_chain(space, chain); };
       if (immediate) {
@@ -101,8 +145,7 @@ void Controller::migrate_space(std::uint32_t space, std::vector<SwitchId> new_re
   // failed members).
   SwitchId donor_id = kInvalidNode;
   for (auto rit = entry.replicas.rbegin(); rit != entry.replicas.rend(); ++rit) {
-    auto mit = members_.find(*rit);
-    if (mit != members_.end() && mit->second.alive) {
+    if (members_.find(*rit) != members_.end() && usable(*rit)) {
       donor_id = *rit;
       break;
     }
@@ -158,10 +201,7 @@ void Controller::migrate_space(std::uint32_t space, std::vector<SwitchId> new_re
   sim_.post_after(2 * config_.mgmt_latency, [stream_next]() { (*stream_next)(); });
 }
 
-void Controller::start() {
-  for (auto& [id, m] : members_) m.last_heartbeat = sim_.now();
-  sim_.schedule_periodic(config_.check_period, [this]() { check_liveness(); });
-}
+void Controller::start() { membership_->start(); }
 
 void Controller::handle_packet(pkt::Packet packet, net::PortId) {
   auto parsed = packet.parse();
@@ -169,29 +209,19 @@ void Controller::handle_packet(pkt::Packet packet, net::PortId) {
   auto msg = pkt::decode_message(packet.l4_payload(*parsed));
   if (!msg) return;
   if (const auto* hb = std::get_if<pkt::Heartbeat>(&*msg)) {
-    auto it = members_.find(hb->sender);
-    if (it != members_.end()) it->second.last_heartbeat = sim_.now();
+    membership_->on_heartbeat(*hb);
+  } else if (const auto* mu = std::get_if<pkt::MembershipUpdate>(&*msg)) {
+    membership_->on_update(*mu);
   }
 }
 
-void Controller::check_liveness() {
-  const TimeNs now = sim_.now();
-  for (auto& [id, m] : members_) {
-    if (m.alive && now - m.last_heartbeat > config_.heartbeat_timeout) {
-      handle_failure(id);
-    }
-  }
-}
+void Controller::declare_failed(SwitchId id) { membership_->force_fail(id); }
 
-void Controller::declare_failed(SwitchId id) {
-  auto it = members_.find(id);
-  if (it != members_.end() && it->second.alive) handle_failure(id);
-}
-
-void Controller::handle_failure(SwitchId failed) {
+void Controller::handle_failure(SwitchId failed, TimeNs detection_ns) {
   SWISH_LOG_INFO("controller: switch ", failed, " declared failed at ", sim_.now());
   sim_.tracer().record(telemetry::kTraceFailover, id(), "switch_failed", failed);
-  members_.at(failed).alive = false;
+  ++failures_detected_;
+  detection_ns_.add(static_cast<std::uint64_t>(detection_ns));
   if (on_failure_detected) on_failure_detected(failed, sim_.now());
 
   std::erase(chain_.chain, failed);
@@ -202,20 +232,19 @@ void Controller::handle_failure(SwitchId failed) {
   push_configs(/*immediate=*/false);
   push_space_chains(/*immediate=*/false);  // directory chains route around it too
 
-  if (on_failover_complete) {
-    sim_.post_after(config_.mgmt_latency, [this, failed]() {
-      sim_.tracer().record(telemetry::kTraceFailover, id(), "failover_complete", failed);
-      on_failover_complete(failed, sim_.now());
-    });
-  }
+  const TimeNs detected_at = sim_.now();
+  sim_.post_after(config_.mgmt_latency, [this, failed, detected_at]() {
+    sim_.tracer().record(telemetry::kTraceFailover, id(), "failover_complete", failed);
+    repair_ns_.add(static_cast<std::uint64_t>(sim_.now() - detected_at));
+    if (on_failover_complete) on_failover_complete(failed, sim_.now());
+  });
 }
 
 void Controller::readmit_switch(SwitchId id) {
-  auto it = members_.find(id);
-  if (it == members_.end() || it->second.alive) return;
+  const MemberStatus* status = membership_->view().find(id);
+  if (status == nullptr || status->state != MemberState::kFaulty) return;
   sim_.tracer().record(telemetry::kTraceFailover, this->id(), "readmit_switch", id);
-  it->second.alive = true;
-  it->second.last_heartbeat = sim_.now();
+  membership_->readmit(id);
 
   // EWO: membership change only; periodic synchronization restores state.
   const bool had_chain = !chain_.chain.empty();
@@ -263,8 +292,8 @@ void Controller::readmit_switch(SwitchId id) {
 
 std::vector<NodeId> Controller::failed_nodes() const {
   std::vector<NodeId> failed;
-  for (const auto& [id, m] : members_) {
-    if (!m.alive) failed.push_back(id);
+  for (const auto& [id, status] : membership_->view().members) {
+    if (status.state == MemberState::kFaulty) failed.push_back(id);
   }
   return failed;
 }
@@ -272,7 +301,7 @@ std::vector<NodeId> Controller::failed_nodes() const {
 void Controller::push_configs(bool immediate) {
   auto tables = net::compute_routes(network_, failed_nodes(), /*no_transit=*/{id()});
   for (auto& [id, m] : members_) {
-    if (!m.alive) continue;
+    if (!usable(id)) continue;
     Member* member = &m;
     auto apply = [member, chain = chain_, group = group_,
                   routing = std::move(tables[id])]() mutable {

@@ -10,8 +10,10 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 
 #include "net/network.hpp"
+#include "swishmem/membership/membership.hpp"
 #include "swishmem/runtime.hpp"
 
 namespace swish::shm {
@@ -25,8 +27,15 @@ class Controller : public net::Node {
     TimeNs heartbeat_timeout = 60 * kMs;
     TimeNs check_period = 10 * kMs;   ///< failure-detector scan interval
     TimeNs mgmt_latency = 500 * kUs;  ///< management RPC one-way latency
+    /// Failure-detection strategy: the central heartbeat scan above, or
+    /// decentralized SWIM gossip between the switches (the controller then
+    /// only consumes finished verdicts; the timing knobs live per switch in
+    /// RuntimeConfig).
+    MembershipProtocol membership = MembershipProtocol::kHeartbeat;
   };
 
+  /// Throws std::invalid_argument when the timing configuration is impossible
+  /// (non-positive periods, or a timeout the scan could never observe).
   Controller(sim::Simulator& simulator, net::Network& network, NodeId id, Config config);
 
   /// Binds the sharded simulation core (set by Fabric). With more than one
@@ -77,14 +86,18 @@ class Controller : public net::Node {
   [[nodiscard]] const pkt::ChainConfig& chain() const noexcept { return chain_; }
   [[nodiscard]] const pkt::GroupConfig& group() const noexcept { return group_; }
 
+  /// The failure-detection service feeding the repair machinery.
+  [[nodiscard]] const MembershipService& membership() const noexcept { return *membership_; }
+
   // Experiment hooks.
   std::function<void(SwitchId, TimeNs)> on_failure_detected;
   std::function<void(SwitchId, TimeNs)> on_failover_complete;
   std::function<void(SwitchId, TimeNs)> on_recovery_complete;
 
  private:
-  void check_liveness();
-  void handle_failure(SwitchId failed);
+  /// Repair path, driven by the membership service's faulty verdicts:
+  /// `detection_ns` is the service-reported silence when the verdict landed.
+  void handle_failure(SwitchId failed, TimeNs detection_ns);
 
   [[nodiscard]] bool sharded() const noexcept {
     return shards_ != nullptr && shards_->count() > 1;
@@ -118,15 +131,24 @@ class Controller : public net::Node {
   struct Member {
     pisa::Switch* sw = nullptr;
     ShmRuntime* runtime = nullptr;
-    TimeNs last_heartbeat = 0;
-    bool alive = true;
   };
+
+  /// Usable for chains/groups/routing per the membership service.
+  [[nodiscard]] bool usable(SwitchId id) const noexcept {
+    return membership_->view().usable(id);
+  }
 
   sim::Simulator& sim_;
   net::Network& network_;
   sim::ShardSet* shards_ = nullptr;
   Config config_;
+  std::unique_ptr<MembershipService> membership_;
   std::map<SwitchId, Member> members_;  // ordered => deterministic chain order
+  // Failure observability: detection (silence at verdict) and repair (verdict
+  // to reconfiguration-applied) latencies, split per ROADMAP item 2.
+  telemetry::Counter failures_detected_;
+  telemetry::Histo detection_ns_;
+  telemetry::Histo repair_ns_;
   pkt::ChainConfig chain_;
   pkt::GroupConfig group_;
   std::map<std::uint32_t, SpaceEntry> directory_;  ///< partitioned spaces (§9)

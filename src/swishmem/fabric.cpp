@@ -126,8 +126,13 @@ void Fabric::install(const std::function<std::unique_ptr<NfApp>()>& nf_factory) 
       rc.clock_offset = static_cast<TimeNs>(
           (static_cast<std::uint64_t>(config_.clock_skew_bound) * (i + 1)) / switches_.size());
     }
+    // The fabric-wide membership knob lives in the controller config; the
+    // runtimes mirror it so switches know whether to beacon heartbeats or
+    // run SWIM agents.
+    rc.membership = config_.controller.membership;
     runtimes_.push_back(std::make_unique<ShmRuntime>(sw, rc, kControllerId));
     ShmRuntime& rt = *runtimes_.back();
+    rt.set_membership_peers(ids_);
     for (const auto& [space, replicas] : spaces_) {
       if (replicas.empty() ||
           std::find(replicas.begin(), replicas.end(), sw.id()) != replicas.end()) {

@@ -1,0 +1,28 @@
+#include "swishmem/membership/heartbeat_membership.hpp"
+
+namespace swish::shm {
+
+void HeartbeatMembership::start() {
+  for (auto& [id, m] : view_.members) m.last_proof = sim_.now();
+  sim_.schedule_periodic(config_.check_period, [this]() { check_liveness(); });
+}
+
+void HeartbeatMembership::on_heartbeat(const pkt::Heartbeat& hb) {
+  auto it = view_.members.find(hb.sender);
+  if (it != view_.members.end()) it->second.last_proof = sim_.now();
+}
+
+void HeartbeatMembership::check_liveness() {
+  const TimeNs now = sim_.now();
+  for (auto& [id, m] : view_.members) {
+    if (m.state != MemberState::kFaulty && now - m.last_proof > config_.heartbeat_timeout) {
+      transition(id, MemberState::kFaulty, now - m.last_proof);
+    }
+  }
+}
+
+void HeartbeatMembership::force_fail(SwitchId id) {
+  transition(id, MemberState::kFaulty, 0);
+}
+
+}  // namespace swish::shm

@@ -1,0 +1,36 @@
+// Centralized heartbeat failure detector (§6.3), extracted verbatim from the
+// controller. Every switch beacons pkt::Heartbeat at the controller over the
+// lossy data network; a periodic scan on the controller's simulator declares
+// any member faulty after `heartbeat_timeout` of silence. No suspect state,
+// no incarnations — silence is the only evidence.
+#pragma once
+
+#include "swishmem/membership/membership.hpp"
+
+namespace swish::shm {
+
+class HeartbeatMembership final : public MembershipService {
+ public:
+  struct Config {
+    TimeNs heartbeat_timeout = 60 * kMs;
+    TimeNs check_period = 10 * kMs;
+  };
+
+  HeartbeatMembership(sim::Simulator& sim, Config config)
+      : MembershipService(sim), config_(config) {}
+
+  void start() override;
+  void on_heartbeat(const pkt::Heartbeat& hb) override;
+  void force_fail(SwitchId id) override;
+
+  [[nodiscard]] MembershipProtocol protocol() const noexcept override {
+    return MembershipProtocol::kHeartbeat;
+  }
+
+ private:
+  void check_liveness();
+
+  Config config_;
+};
+
+}  // namespace swish::shm

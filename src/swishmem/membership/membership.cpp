@@ -1,0 +1,28 @@
+#include "swishmem/membership/membership.hpp"
+
+namespace swish::shm {
+
+const char* to_string(MemberState state) noexcept {
+  switch (state) {
+    case MemberState::kAlive: return "alive";
+    case MemberState::kSuspect: return "suspect";
+    case MemberState::kFaulty: return "faulty";
+  }
+  return "?";
+}
+
+void MembershipService::transition(SwitchId id, MemberState next, TimeNs detection_ns) {
+  auto it = view_.members.find(id);
+  if (it == view_.members.end() || it->second.state == next) return;
+  it->second.state = next;
+  if (on_membership_change) on_membership_change(id, next, detection_ns);
+}
+
+void MembershipService::readmit(SwitchId id) {
+  auto it = view_.members.find(id);
+  if (it == view_.members.end()) return;
+  it->second.state = MemberState::kAlive;
+  it->second.last_proof = sim_.now();
+}
+
+}  // namespace swish::shm

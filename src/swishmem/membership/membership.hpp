@@ -1,0 +1,112 @@
+// Pluggable membership / failure-detection layer (ROADMAP item 2).
+//
+// The controller's §6.3 repair machinery (chain reconfiguration, EWO
+// regrouping, snapshot-stream recovery) is driven by failure *verdicts*, not
+// by how they were reached. This seam separates the two: a MembershipService
+// owns the per-switch liveness state machine (alive / suspect / faulty, with
+// incarnation numbers) and feeds committed transitions to the controller
+// through on_membership_change; the controller keeps only the repair side.
+//
+// Two strategies implement the interface:
+//  - HeartbeatMembership: the original centralized heartbeat-silence scan,
+//    extracted verbatim (the default — byte-identical event sequence).
+//  - SwimMembership: decentralized SWIM gossip between switch control planes
+//    (swim_membership.hpp); the controller-side service is a passive verdict
+//    aggregator and never participates in detection.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "common/types.hpp"
+#include "packet/swish_wire.hpp"
+#include "sim/simulator.hpp"
+#include "swishmem/config.hpp"
+
+namespace swish::shm {
+
+/// Liveness verdict for one switch. kSuspect exists only for protocols with a
+/// refutation window (SWIM); the heartbeat scan goes straight to kFaulty.
+enum class MemberState : std::uint8_t {
+  kAlive = 0,
+  kSuspect = 1,
+  kFaulty = 2,
+};
+
+const char* to_string(MemberState state) noexcept;
+
+/// One observer's belief about one member.
+struct MemberStatus {
+  MemberState state = MemberState::kAlive;
+  /// SWIM incarnation: bumped only by the member itself (refutation); orders
+  /// conflicting assertions about the same member. Always 0 under heartbeat.
+  std::uint32_t incarnation = 0;
+  /// Last evidence of life this observer saw (heartbeat receipt, SWIM
+  /// ack/contact, or readmission).
+  TimeNs last_proof = 0;
+};
+
+/// The controller's view of every registered switch, keyed in id order (the
+/// same ordering that defines the bootstrap chain).
+struct MembershipView {
+  std::map<SwitchId, MemberStatus> members;
+
+  /// Usable for chains/groups/routing: anything not committed to faulty.
+  /// (Suspicion is a grace period, not an eviction.)
+  [[nodiscard]] bool usable(SwitchId id) const noexcept {
+    auto it = members.find(id);
+    return it != members.end() && it->second.state != MemberState::kFaulty;
+  }
+
+  [[nodiscard]] const MemberStatus* find(SwitchId id) const noexcept {
+    auto it = members.find(id);
+    return it == members.end() ? nullptr : &it->second;
+  }
+};
+
+/// Failure-detection strategy behind the controller. Lifecycle: add_member()
+/// for every registered switch, then start() once (after bootstrap); wire
+/// ingress is forwarded through on_heartbeat()/on_update().
+class MembershipService {
+ public:
+  explicit MembershipService(sim::Simulator& sim) : sim_(sim) {}
+  virtual ~MembershipService() = default;
+  MembershipService(const MembershipService&) = delete;
+  MembershipService& operator=(const MembershipService&) = delete;
+
+  virtual void add_member(SwitchId id) { view_.members.emplace(id, MemberStatus{}); }
+
+  /// Arms the detector (timers, baseline proof-of-life stamps).
+  virtual void start() = 0;
+
+  /// Heartbeat received at the controller (heartbeat protocol; others ignore).
+  virtual void on_heartbeat(const pkt::Heartbeat& hb) { (void)hb; }
+
+  /// Switch-originated verdict feed received at the controller (SWIM).
+  virtual void on_update(const pkt::MembershipUpdate& update) { (void)update; }
+
+  /// Immediate failure declaration (experiment hook; bypasses detection).
+  virtual void force_fail(SwitchId id) = 0;
+
+  /// Controller re-admitted the member: alive again as of now.
+  virtual void readmit(SwitchId id);
+
+  [[nodiscard]] const MembershipView& view() const noexcept { return view_; }
+  [[nodiscard]] virtual MembershipProtocol protocol() const noexcept = 0;
+
+  /// Fires on every state transition this service commits, synchronously at
+  /// the point of decision. `detection_ns` is the protocol's own measure of
+  /// how stale the last proof of life was when the verdict was reached
+  /// (0 for forced failures and readmissions).
+  std::function<void(SwitchId id, MemberState state, TimeNs detection_ns)> on_membership_change;
+
+ protected:
+  /// Commits a state change and fires the feed. No-op when already in `next`.
+  void transition(SwitchId id, MemberState next, TimeNs detection_ns);
+
+  sim::Simulator& sim_;
+  MembershipView view_;
+};
+
+}  // namespace swish::shm

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "net/topology.hpp"
+#include "swishmem/membership/swim_membership.hpp"
 #include "swishmem/protocols/chain_engine.hpp"
 #include "swishmem/protocols/ewo_engine.hpp"
 #include "swishmem/protocols/own_space.hpp"
@@ -29,6 +30,11 @@ telemetry::TraceCategory msg_trace_category(const pkt::SwishMessage& msg) noexce
     case pkt::MsgType::kOwnGrant:
     case pkt::MsgType::kOwnUpdate:
       return telemetry::kTraceProtoOwn;
+    case pkt::MsgType::kSwimPing:
+    case pkt::MsgType::kSwimAck:
+    case pkt::MsgType::kSwimPingReq:
+    case pkt::MsgType::kMembershipUpdate:
+      return telemetry::kTraceMembership;
     default:
       return telemetry::kTraceProtoControl;
   }
@@ -56,6 +62,14 @@ const char* msg_trace_name(const pkt::SwishMessage& msg) noexcept {
       return "OwnGrant";
     case pkt::MsgType::kOwnUpdate:
       return "OwnUpdate";
+    case pkt::MsgType::kSwimPing:
+      return "SwimPing";
+    case pkt::MsgType::kSwimAck:
+      return "SwimAck";
+    case pkt::MsgType::kSwimPingReq:
+      return "SwimPingReq";
+    case pkt::MsgType::kMembershipUpdate:
+      return "MembershipUpdate";
   }
   return "?";
 }
@@ -107,6 +121,8 @@ ShmRuntime::ShmRuntime(pisa::Switch& sw, RuntimeConfig config, NodeId controller
   spans_ = &sw.simulator().spans();
   observatory_ = &sw.simulator().observatory();
 }
+
+ShmRuntime::~ShmRuntime() = default;
 
 // ---------------------------------------------------------------------------
 // Engines
@@ -165,7 +181,14 @@ bool ShmRuntime::hosts_space(std::uint32_t space) const noexcept {
 }
 
 void ShmRuntime::start() {
-  if (controller_ != kInvalidNode) {
+  if (config_.membership == MembershipProtocol::kSwim) {
+    // Decentralized detection: no heartbeats at all; the agent probes peers
+    // from this switch's own control plane (ROADMAP item 2).
+    if (!membership_peers_.empty()) {
+      swim_ = std::make_unique<SwimAgent>(*this, membership_peers_);
+      swim_->start();
+    }
+  } else if (controller_ != kInvalidNode) {
     background_.push_back(sw_.start_packet_generator(config_.heartbeat_period, [this]() {
       control_bytes_ += send(
           controller_, pkt::Heartbeat{sw_.id(), static_cast<std::uint64_t>(sw_.simulator().now())});
@@ -295,6 +318,12 @@ std::size_t ShmRuntime::send(SwitchId dst, const pkt::SwishMessage& msg) {
   return n;
 }
 
+std::size_t ShmRuntime::send_control(SwitchId dst, const pkt::SwishMessage& msg) {
+  const std::size_t n = send(dst, msg);
+  control_bytes_ += n;
+  return n;
+}
+
 void ShmRuntime::every(TimeNs period, std::function<void()> tick) {
   background_.push_back(sw_.start_packet_generator(period, std::move(tick)));
 }
@@ -340,6 +369,18 @@ bool ShmRuntime::handle_protocol_packet(pisa::PacketContext& ctx) {
     return true;
   } else if (std::holds_alternative<pkt::Heartbeat>(*msg)) {
     return true;  // heartbeats are consumed by the controller node, not switches
+  } else if (const auto* ping = std::get_if<pkt::SwimPing>(&*msg)) {
+    if (swim_) swim_->on_ping(*ping);
+    return true;
+  } else if (const auto* ack = std::get_if<pkt::SwimAck>(&*msg)) {
+    if (swim_) swim_->on_ack(*ack);
+    return true;
+  } else if (const auto* req = std::get_if<pkt::SwimPingReq>(&*msg)) {
+    if (swim_) swim_->on_ping_req(*req);
+    return true;
+  } else if (const auto* update = std::get_if<pkt::MembershipUpdate>(&*msg)) {
+    if (swim_) swim_->on_update(*update);
+    return true;
   }
 
   // Everything else goes through the message-type registry. Multiple engines
@@ -658,6 +699,7 @@ void ShmRuntime::on_recovery_chunk(const pkt::WriteRequest& msg) {
 
 void ShmRuntime::reset_state() {
   for (const auto& e : engines_) e->reset();
+  if (swim_) swim_->reset();
   last_recovery_applied_ = 0;
   last_recovery_epoch_ = 0;
   recovery_.reset();

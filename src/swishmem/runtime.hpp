@@ -35,6 +35,7 @@
 namespace swish::shm {
 
 class OwnSpaceState;
+class SwimAgent;
 
 class ShmRuntime final : public EngineHost {
  public:
@@ -86,6 +87,7 @@ class ShmRuntime final : public EngineHost {
   };
 
   ShmRuntime(pisa::Switch& sw, RuntimeConfig config, NodeId controller);
+  ~ShmRuntime();  // out-of-line: SwimAgent is only forward-declared here
 
   ShmRuntime(const ShmRuntime&) = delete;
   ShmRuntime& operator=(const ShmRuntime&) = delete;
@@ -107,8 +109,17 @@ class ShmRuntime final : public EngineHost {
   /// True when this switch hosts storage for the space.
   [[nodiscard]] bool hosts_space(std::uint32_t space) const noexcept;
 
-  /// Starts heartbeats and the engines' periodic work (EWO sync/mirror flush,
-  /// OWN backup flush). Call after all spaces exist.
+  /// The switch ids this runtime's failure detector watches (the full
+  /// deployment; self is filtered out). Only consulted under --membership
+  /// swim; call before start().
+  void set_membership_peers(std::vector<SwitchId> peers) {
+    membership_peers_ = std::move(peers);
+  }
+
+  /// Starts liveness reporting — heartbeats to the controller, or the SWIM
+  /// agent's probe tick, per config().membership — and the engines' periodic
+  /// work (EWO sync/mirror flush, OWN backup flush). Call after all spaces
+  /// exist.
   void start();
 
   /// Installed by ShmProgram: how to re-run the NF logic on a redirected
@@ -196,6 +207,10 @@ class ShmRuntime final : public EngineHost {
     return deployment_;
   }
   std::size_t send(SwitchId dst, const pkt::SwishMessage& msg) override;
+  /// send() plus control-class byte accounting (heartbeats, SWIM traffic);
+  /// keeps the per-class counters summing to bytes_total.
+  std::size_t send_control(SwitchId dst, const pkt::SwishMessage& msg);
+  [[nodiscard]] NodeId controller() const noexcept { return controller_; }
   void every(TimeNs period, std::function<void()> tick) override;
   [[nodiscard]] bool authoritative() const noexcept override { return authoritative_; }
   void recovery_tap(const std::vector<pkt::WriteOp>& ops,
@@ -231,6 +246,9 @@ class ShmRuntime final : public EngineHost {
   [[nodiscard]] const SroSpaceState* sro_space(std::uint32_t id) const;
   [[nodiscard]] const EwoSpaceState* ewo_space(std::uint32_t id) const;
   [[nodiscard]] const OwnSpaceState* own_space(std::uint32_t id) const;
+
+  /// The SWIM detector (nullptr unless started under --membership swim).
+  [[nodiscard]] SwimAgent* swim() noexcept { return swim_.get(); }
 
   /// Engine serving a space (nullptr when the space is unknown here).
   [[nodiscard]] ProtocolEngine* engine_for_space(std::uint32_t space) const noexcept;
@@ -298,6 +316,10 @@ class ShmRuntime final : public EngineHost {
   pisa::Switch& sw_;
   RuntimeConfig config_;
   NodeId controller_;
+
+  // Decentralized failure detection (config_.membership == kSwim only).
+  std::unique_ptr<SwimAgent> swim_;
+  std::vector<SwitchId> membership_peers_;
 
   // Engines (creation order) and dispatch state.
   std::vector<std::unique_ptr<ProtocolEngine>> engines_;

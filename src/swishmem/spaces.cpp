@@ -58,6 +58,21 @@ const char* to_string(SpaceKind kind) noexcept {
   return "?";
 }
 
+const char* to_string(MembershipProtocol protocol) noexcept {
+  switch (protocol) {
+    case MembershipProtocol::kHeartbeat: return "heartbeat";
+    case MembershipProtocol::kSwim: return "swim";
+  }
+  return "?";
+}
+
+MembershipProtocol parse_membership_protocol(const std::string& s) {
+  if (s == "heartbeat") return MembershipProtocol::kHeartbeat;
+  if (s == "swim") return MembershipProtocol::kSwim;
+  throw std::invalid_argument("unknown membership protocol: " + s +
+                              " (valid: heartbeat, swim)");
+}
+
 SpaceKind parse_space_kind(const std::string& s) {
   if (s == "dense" || s == "DENSE") return SpaceKind::kDense;
   if (s == "sparse" || s == "SPARSE") return SpaceKind::kSparse;

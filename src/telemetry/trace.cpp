@@ -8,7 +8,7 @@ namespace swish::telemetry {
 
 namespace {
 
-constexpr std::array<std::pair<std::string_view, std::uint32_t>, 10> kCategoryNames = {{
+constexpr std::array<std::pair<std::string_view, std::uint32_t>, 11> kCategoryNames = {{
     {"packet", kTracePacket},
     {"drop", kTraceDrop},
     {"recirc", kTraceRecirc},
@@ -18,6 +18,7 @@ constexpr std::array<std::pair<std::string_view, std::uint32_t>, 10> kCategoryNa
     {"proto-control", kTraceProtoControl},
     {"migration", kTraceMigration},
     {"failover", kTraceFailover},
+    {"membership", kTraceMembership},
     {"all", kTraceAll},
 }};
 

@@ -29,6 +29,7 @@ enum TraceCategory : std::uint32_t {
   kTraceProtoControl = 1u << 6,  ///< heartbeats, redirects, recovery chunks
   kTraceMigration = 1u << 7,     ///< per-key ownership migration (grant installed, revoke)
   kTraceFailover = 1u << 8,      ///< failure declared / failover complete / readmission
+  kTraceMembership = 1u << 9,    ///< SWIM suspicion / refutation / faulty verdicts + wire msgs
   kTraceAll = 0xffffffffu,
 };
 

@@ -202,6 +202,46 @@ if ! cmp -s "$TMP/ps1.json" "$TMP/ps2.json"; then
   fail=1
 fi
 
+# Membership contract. Bad protocol names, impossible protocol/fabric
+# combinations, and invalid detection timing exit 2 with a diagnostic.
+expect_error2 "unknown membership protocol" --membership raft
+expect_error2 "at least 2 switches"         --switches 1 --membership swim
+expect_error2 "must exceed check_period"    --hb-timeout-ms 5 --check-period-ms 10
+expect_error2 "must be positive"            --check-period-ms 0
+
+# --membership heartbeat is the default spelled out: byte-identical to the
+# flagless export (m1.json above).
+if ! "$BIN" "${run_args[@]}" --membership heartbeat \
+     --metrics-json "$TMP/m_hb.json" >/dev/null 2>&1; then
+  echo "FAIL: --membership heartbeat run exited nonzero"
+  fail=1
+fi
+if ! cmp -s "$TMP/m_hb.json" "$TMP/m1.json"; then
+  echo "FAIL: --membership heartbeat differs from the flagless run"
+  diff "$TMP/m_hb.json" "$TMP/m1.json" | head -20
+  fail=1
+fi
+
+# SWIM under sharding: same seed + same shard count, byte-identical metrics
+# across repeat runs (the gossip protocol must be shard-deterministic).
+swim_args=(--nf nat --switches 4 --shards 3 --membership swim
+           --duration-ms 60 --seed 11 --quiet)
+for i in 1 2; do
+  if ! "$BIN" "${swim_args[@]}" --metrics-json "$TMP/sw$i.json" >/dev/null 2>&1; then
+    echo "FAIL: swim sharded run $i exited nonzero"
+    fail=1
+  fi
+done
+if ! cmp -s "$TMP/sw1.json" "$TMP/sw2.json"; then
+  echo "FAIL: same-seed --membership swim --shards 3 runs differ"
+  diff "$TMP/sw1.json" "$TMP/sw2.json" | head -20
+  fail=1
+fi
+grep -q '"membership"' "$TMP/sw1.json" || {
+  echo "FAIL: swim metrics JSON missing membership subtree"
+  fail=1
+}
+
 # A bad --trace-mask names the valid categories in its error.
 "$BIN" --trace-mask not-a-category >/dev/null 2>"$TMP/err" || true
 grep -q "valid names:.*proto-chain" "$TMP/err" || {

@@ -105,12 +105,69 @@ TEST(Wire, OwnUpdateRoundTrip) {
   EXPECT_EQ(roundtrip(m), m);
 }
 
+TEST(Wire, SwimPingRoundTrip) {
+  SwimPing m;
+  m.sender = 3;
+  m.origin = 1;
+  m.seq = 0x1122334455ULL;
+  m.incarnation = 7;
+  m.gossip = {{2, 1, 4, 123456}, {5, 2, 0, 999}};
+  EXPECT_EQ(roundtrip(m), m);
+}
+
+TEST(Wire, SwimAckRoundTrip) {
+  SwimAck m;
+  m.subject = 9;
+  m.seq = 0xFFFFFFFFFFFFFFFFULL;
+  m.incarnation = 0xFFFFFFFFu;
+  m.gossip = {{1, 0, 0, 0}};
+  EXPECT_EQ(roundtrip(m), m);
+}
+
+TEST(Wire, SwimPingReqRoundTrip) {
+  SwimPingReq m;
+  m.sender = 2;
+  m.target = 6;
+  m.seq = 42;
+  m.gossip = {{4, 2, 11, 50000000}};
+  EXPECT_EQ(roundtrip(m), m);
+}
+
+TEST(Wire, MembershipUpdateRoundTrip) {
+  MembershipUpdate m;
+  m.sender = 5;
+  m.entries = {{3, 2, 1, 44000000}, {7, 0, 9, 0}};
+  EXPECT_EQ(roundtrip(m), m);
+}
+
+TEST(Wire, SwimGossipTruncationRejected) {
+  SwimPing m;
+  m.sender = 1;
+  m.origin = 1;
+  m.seq = 9;
+  m.incarnation = 3;
+  m.gossip = {{2, 1, 4, 123456}, {5, 2, 0, 999}};
+  const auto bytes = encode_message(m);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    auto cut = decode_message(std::span(bytes.data(), len));
+    if (cut) {
+      const auto* p = std::get_if<SwimPing>(&*cut);
+      EXPECT_TRUE(p == nullptr || !(*p == m));
+    }
+  }
+  EXPECT_TRUE(decode_message(bytes).has_value());
+}
+
 TEST(Wire, EmptyCollectionsRoundTrip) {
   EXPECT_EQ(roundtrip(WriteRequest{}), WriteRequest{});
   EXPECT_EQ(roundtrip(EwoUpdate{}), EwoUpdate{});
   EXPECT_EQ(roundtrip(ChainConfig{}), ChainConfig{});
   EXPECT_EQ(roundtrip(ReadRedirect{}), ReadRedirect{});
   EXPECT_EQ(roundtrip(OwnUpdate{}), OwnUpdate{});
+  EXPECT_EQ(roundtrip(SwimPing{}), SwimPing{});
+  EXPECT_EQ(roundtrip(SwimAck{}), SwimAck{});
+  EXPECT_EQ(roundtrip(SwimPingReq{}), SwimPingReq{});
+  EXPECT_EQ(roundtrip(MembershipUpdate{}), MembershipUpdate{});
 }
 
 TEST(Wire, UnknownTypeRejected) {
@@ -261,6 +318,10 @@ TEST(WireTrace, EveryMessageTypeCarriesContext) {
   check(GroupConfig{1, {3}});
   check(ReadRedirect{1, {2}});
   check(OwnRequest{1, 2, 3, 4, false});
+  check(SwimPing{1, 2, 3, 4, {{5, 1, 6, 7}}});
+  check(SwimAck{1, 2, 3, {{4, 2, 5, 6}}});
+  check(SwimPingReq{1, 2, 3, {{4, 0, 5, 6}}});
+  check(MembershipUpdate{1, {{2, 2, 3, 4}}});
 }
 
 }  // namespace

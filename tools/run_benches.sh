@@ -56,6 +56,17 @@ echo
   --benchmark_out_format=json \
   --benchmark_out="$ROOT/BENCH_micro_primitives.json"
 
+# Failover timelines with detection and repair reported separately, and the
+# C13 membership-protocol comparison (heartbeat vs SWIM).
+cmake --build "$BUILD" -j "$(nproc)" \
+  --target bench_c7_failover bench_c8_ewo_failover bench_c13_membership >/dev/null
+echo
+"$BUILD/bench/bench_c7_failover" --out "$ROOT/BENCH_failover_sro.json"
+echo
+"$BUILD/bench/bench_c8_ewo_failover" --out "$ROOT/BENCH_failover_ewo.json"
+echo
+"$BUILD/bench/bench_c13_membership" --out "$ROOT/BENCH_membership.json"
+
 echo
 echo "artifacts:"
 ls -l "$ROOT"/BENCH_*.json

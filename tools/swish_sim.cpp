@@ -44,6 +44,9 @@ struct Options {
   std::string nf = "nat";
   std::size_t switches = 4;
   std::string shards = "1";  ///< "auto" or a count; resolved after parsing
+  std::string membership = "heartbeat";
+  TimeNs hb_timeout = 30 * kMs;
+  TimeNs check_period = 5 * kMs;
   std::string topology = "mesh";
   std::size_t spines = 2;
   double loss = 0.0;
@@ -83,6 +86,12 @@ struct Options {
       << "  --shards N|auto         parallel simulation shards (default 1; auto =\n"
       << "                          min(switches, hardware threads); 1 reproduces\n"
       << "                          the single-threaded core byte-for-byte)\n"
+      << "  --membership heartbeat|swim  failure-detection protocol (default\n"
+      << "                          heartbeat: controller timeout scan; swim:\n"
+      << "                          decentralized gossip, needs >= 2 switches)\n"
+      << "  --hb-timeout-ms N       heartbeat silence before a switch is declared\n"
+      << "                          failed (default 30; must exceed check period)\n"
+      << "  --check-period-ms N     controller liveness scan period (default 5)\n"
       << "  --topology mesh|chain|leafspine\n"
       << "  --spines N              spine count for leafspine (default 2)\n"
       << "  --loss P                per-link loss probability (default 0)\n"
@@ -174,6 +183,9 @@ Options parse(int argc, char** argv) {
     if (a == "--nf") opt.nf = need(i);
     else if (a == "--switches") opt.switches = parse_u64(need(i), argv[0]);
     else if (a == "--shards") opt.shards = need(i);
+    else if (a == "--membership") opt.membership = need(i);
+    else if (a == "--hb-timeout-ms") opt.hb_timeout = parse_time(need(i), argv[0], kMs);
+    else if (a == "--check-period-ms") opt.check_period = parse_time(need(i), argv[0], kMs);
     else if (a == "--topology") opt.topology = need(i);
     else if (a == "--spines") opt.spines = parse_u64(need(i), argv[0]);
     else if (a == "--loss") opt.loss = parse_prob_or_rate(need(i), argv[0]);
@@ -341,6 +353,19 @@ int main(int argc, char** argv) {
 
   const std::size_t num_shards = resolve_shards(opt);
 
+  shm::MembershipProtocol membership;
+  try {
+    membership = shm::parse_membership_protocol(opt.membership);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  if (membership == shm::MembershipProtocol::kSwim && opt.switches < 2) {
+    std::cerr << "error: --membership swim needs at least 2 switches to gossip (got "
+              << opt.switches << "); use --membership heartbeat for a single switch\n";
+    return 2;
+  }
+
   shm::FabricConfig cfg;
   cfg.num_switches = opt.switches;
   cfg.shards = num_shards;
@@ -349,14 +374,25 @@ int main(int argc, char** argv) {
   cfg.link.propagation_delay = opt.link_delay;
   cfg.runtime.sync_period = opt.sync_period;
   cfg.runtime.heartbeat_period = 5 * kMs;
-  cfg.controller.heartbeat_timeout = 30 * kMs;
-  cfg.controller.check_period = 5 * kMs;
+  cfg.controller.membership = membership;
+  cfg.controller.heartbeat_timeout = opt.hb_timeout;
+  cfg.controller.check_period = opt.check_period;
   if (opt.topology == "chain") cfg.topology = shm::FabricConfig::Topology::kChain;
   else if (opt.topology == "leafspine") cfg.topology = shm::FabricConfig::Topology::kLeafSpine;
   else if (opt.topology != "mesh") usage(argv[0]);
   cfg.spine_count = opt.spines;
 
-  shm::Fabric fabric(cfg);
+  // Construction validates the controller timing (heartbeat_timeout must
+  // exceed check_period, both positive); a bad combination is a usage error
+  // with exit code 2, the same contract as every other impossible flag combo.
+  std::optional<shm::Fabric> fabric_storage;
+  try {
+    fabric_storage.emplace(cfg);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  shm::Fabric& fabric = *fabric_storage;
   if (!opt.trace.empty()) fabric.simulator().tracer().enable(opt.trace_mask);
   // Causal tracing + consistency-lag observatory. The observatory also runs
   // for --timeseries so the CSV picks up the lag.* series. Both helpers hit
@@ -583,6 +619,49 @@ int main(int argc, char** argv) {
     rep << "shards: " << shard_set.count() << ", lookahead " << shard_set.lookahead()
         << " ns, " << shard_set.windows() << " sync windows, " << shard_set.cross_events()
         << " cross-shard events\n";
+  }
+
+  // Per-protocol membership summary: the controller's detection/repair
+  // histograms plus the protocol's own traffic counters, all read from the
+  // same snapshot the JSON export uses.
+  {
+    std::uint64_t failures = 0;
+    Histogram detection;
+    Histogram repair;
+    std::map<std::string, std::uint64_t> swim;  // membership.sw<N>.<metric>, summed over N
+    std::uint64_t control_bytes = 0;
+    const std::string ctl_suffix = ".bytes_control";
+    for (const auto& [name, value] : snap.values) {
+      if (name == "membership.failures_detected") {
+        failures = value.count;
+      } else if (name == "failover.detection_ns") {
+        detection = value.hist;
+      } else if (name == "failover.repair_ns") {
+        repair = value.hist;
+      } else if (name.rfind("membership.sw", 0) == 0) {
+        const auto dot = name.find('.', std::strlen("membership.sw"));
+        if (dot != std::string::npos) swim[name.substr(dot + 1)] += value.count;
+      } else if (name.rfind("shm.sw", 0) == 0 && name.size() > ctl_suffix.size() &&
+                 name.compare(name.size() - ctl_suffix.size(), ctl_suffix.size(), ctl_suffix) ==
+                     0) {
+        control_bytes += value.count;
+      }
+    }
+    rep << "membership: protocol=" << shm::to_string(membership) << ", failures detected "
+        << failures;
+    if (failures > 0) {
+      rep << ", detection p50/p99 " << format_double(detection.p50() / 1e6, 2) << "/"
+          << format_double(detection.p99() / 1e6, 2) << " ms, repair p50/p99 "
+          << format_double(repair.p50() / 1e6, 2) << "/"
+          << format_double(repair.p99() / 1e6, 2) << " ms";
+    }
+    rep << ", control bytes " << control_bytes << "\n";
+    if (membership == shm::MembershipProtocol::kSwim) {
+      rep << "swim: pings " << swim["pings_sent"] << ", acks " << swim["acks_sent"]
+          << ", ping-reqs " << swim["ping_reqs_sent"] << ", suspicions " << swim["suspicions"]
+          << ", refutations " << swim["refutations"] << ", faults declared "
+          << swim["faults_declared"] << ", updates " << swim["updates_sent"] << "\n";
+    }
   }
   rep << "\n";
 
