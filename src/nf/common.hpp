@@ -21,6 +21,7 @@ inline constexpr std::uint32_t kIpsBlocklistSpace = 8;
 inline constexpr std::uint32_t kNatPortPoolSpace = 9;
 inline constexpr std::uint32_t kFirewallPrefixSpace = 10;
 inline constexpr std::uint32_t kRateLimiterPrefixSpace = 11;
+inline constexpr std::uint32_t kLbRefcountSpace = 12;
 
 /// Packs an (IPv4, L4 port) endpoint into one 64-bit register value.
 constexpr std::uint64_t pack_endpoint(pkt::Ipv4Addr ip, std::uint16_t port) noexcept {

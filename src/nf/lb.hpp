@@ -24,6 +24,7 @@ class LoadBalancerApp : public shm::NfApp {
     std::uint64_t new_connections = 0;
     std::uint64_t pcc_violations = 0;  ///< non-SYN packet with no mapping
     std::uint64_t redirected = 0;
+    std::uint64_t txn_installs = 0;  ///< installs that carried the DIP refcount
   };
 
   explicit LoadBalancerApp(Config config) : config_(std::move(config)) {}
@@ -35,6 +36,20 @@ class LoadBalancerApp : public shm::NfApp {
     s.cls = shm::ConsistencyClass::kSRO;
     s.size = table_size;
     s.table_backed = true;
+    return s;
+  }
+
+  /// Per-backend live-connection counters, keyed by backend index. When this
+  /// space shares an engine with conn_to_dip (same consistency class), the
+  /// SYN install moves the connection entry and the DIP refcount in one
+  /// multi-key transaction (ShmRuntime::write_txn) — under kCON the pair
+  /// occupies one consensus log slot and is applied all-or-nothing.
+  static shm::SpaceConfig refcount_space(std::size_t backends = 64) {
+    shm::SpaceConfig s;
+    s.id = kLbRefcountSpace;
+    s.name = "lb.dip_refcount";
+    s.cls = shm::ConsistencyClass::kSRO;
+    s.size = backends < 64 ? 64 : backends;
     return s;
   }
 

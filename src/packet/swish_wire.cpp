@@ -156,6 +156,62 @@ void encode_body(ByteWriter& w, const MembershipUpdate& m) {
   encode_gossip(w, m.entries);
 }
 
+void encode_body(ByteWriter& w, const ConForward& m) {
+  w.u32(m.epoch);
+  w.u32(m.writer);
+  w.u64(m.req_id);
+  encode_ops(w, m.ops, {});
+}
+
+void encode_body(ByteWriter& w, const ConPrepare& m) {
+  w.u32(m.epoch);
+  w.u64(m.ballot);
+  w.u32(m.coordinator);
+}
+
+void encode_body(ByteWriter& w, const ConPromise& m) {
+  w.u32(m.epoch);
+  w.u64(m.ballot);
+  w.u32(m.acceptor);
+  w.u64(m.applied_upto);
+  w.u16(static_cast<std::uint16_t>(m.entries.size()));
+  for (const auto& e : m.entries) {
+    w.u64(e.slot);
+    w.u64(e.ballot);
+    w.u32(e.writer);
+    w.u64(e.req_id);
+    encode_ops(w, e.ops, {});
+  }
+}
+
+void encode_body(ByteWriter& w, const ConAccept& m) {
+  w.u32(m.epoch);
+  w.u64(m.ballot);
+  w.u64(m.slot);
+  w.u64(m.commit_upto);
+  w.u32(m.writer);
+  w.u64(m.req_id);
+  encode_ops(w, m.ops, {});
+}
+
+void encode_body(ByteWriter& w, const ConAccepted& m) {
+  w.u32(m.epoch);
+  w.u64(m.ballot);
+  w.u64(m.slot);
+  w.u32(m.acceptor);
+  w.u64(m.applied_upto);
+}
+
+void encode_body(ByteWriter& w, const ConLearn& m) {
+  w.u32(m.epoch);
+  w.u64(m.ballot);
+  w.u64(m.slot);
+  w.u64(m.commit_upto);
+  w.u32(m.writer);
+  w.u64(m.req_id);
+  encode_ops(w, m.ops, {});
+}
+
 constexpr MsgType type_of(const SwishMessage& msg) noexcept {
   return static_cast<MsgType>(msg.index() + 1);
 }
@@ -334,6 +390,73 @@ std::optional<SwishMessage> decode_body(ByteReader& r, MsgType type) {
         MembershipUpdate m;
         m.sender = r.u32();
         decode_gossip(r, m.entries);
+        return m;
+      }
+      case MsgType::kConForward: {
+        ConForward m;
+        m.epoch = r.u32();
+        m.writer = r.u32();
+        m.req_id = r.u64();
+        std::vector<SeqNum> ignored;
+        decode_ops(r, m.ops, ignored);
+        return m;
+      }
+      case MsgType::kConPrepare: {
+        ConPrepare m;
+        m.epoch = r.u32();
+        m.ballot = r.u64();
+        m.coordinator = r.u32();
+        return m;
+      }
+      case MsgType::kConPromise: {
+        ConPromise m;
+        m.epoch = r.u32();
+        m.ballot = r.u64();
+        m.acceptor = r.u32();
+        m.applied_upto = r.u64();
+        const std::uint16_t n = r.u16();
+        m.entries.resize(n);
+        std::vector<SeqNum> ignored;
+        for (auto& e : m.entries) {
+          e.slot = r.u64();
+          e.ballot = r.u64();
+          e.writer = r.u32();
+          e.req_id = r.u64();
+          decode_ops(r, e.ops, ignored);
+        }
+        return m;
+      }
+      case MsgType::kConAccept: {
+        ConAccept m;
+        m.epoch = r.u32();
+        m.ballot = r.u64();
+        m.slot = r.u64();
+        m.commit_upto = r.u64();
+        m.writer = r.u32();
+        m.req_id = r.u64();
+        std::vector<SeqNum> ignored;
+        decode_ops(r, m.ops, ignored);
+        return m;
+      }
+      case MsgType::kConAccepted: {
+        ConAccepted m;
+        m.epoch = r.u32();
+        m.ballot = r.u64();
+        m.slot = r.u64();
+        m.acceptor = r.u32();
+        m.applied_upto = r.u64();
+        return m;
+      }
+      case MsgType::kConLearn: {
+        ConLearn m;
+        m.epoch = r.u32();
+        m.ballot = r.u64();
+        m.slot = r.u64();
+        m.commit_upto = r.u64();
+        m.writer = r.u32();
+        m.req_id = r.u64();
+        std::vector<SeqNum> ignored;
+        decode_ops(r, m.ops, ignored);
         return m;
       }
     }

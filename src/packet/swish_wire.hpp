@@ -44,10 +44,16 @@ enum class MsgType : std::uint8_t {
   kSwimAck = 12,
   kSwimPingReq = 13,
   kMembershipUpdate = 14,
+  kConForward = 15,
+  kConPrepare = 16,
+  kConPromise = 17,
+  kConAccept = 18,
+  kConAccepted = 19,
+  kConLearn = 20,
 };
 
 /// Number of distinct protocol message types (registry sizing).
-inline constexpr std::size_t kNumMsgTypes = 14;
+inline constexpr std::size_t kNumMsgTypes = 20;
 
 /// One register mutation inside a write request.
 struct WriteOp {
@@ -247,9 +253,102 @@ struct MembershipUpdate {
   friend bool operator==(const MembershipUpdate&, const MembershipUpdate&) = default;
 };
 
+/// kCON write submission: a non-coordinator replica forwards a — possibly
+/// multi-key, multi-space — op batch to the elected coordinator, which
+/// sequences it as one consensus slot (the whole batch commits and applies
+/// atomically: the "packet transaction" primitive). `req_id` is
+/// writer-unique so retransmitted forwards are idempotent.
+struct ConForward {
+  std::uint32_t epoch = 0;
+  SwitchId writer = kInvalidNode;
+  std::uint64_t req_id = 0;
+  std::vector<WriteOp> ops;
+
+  friend bool operator==(const ConForward&, const ConForward&) = default;
+};
+
+/// kCON phase-1a: a newly elected coordinator asks every replica to promise
+/// its ballot and report accepted-but-unapplied slots.
+struct ConPrepare {
+  std::uint32_t epoch = 0;
+  std::uint64_t ballot = 0;
+  SwitchId coordinator = kInvalidNode;
+
+  friend bool operator==(const ConPrepare&, const ConPrepare&) = default;
+};
+
+/// One accepted log entry reported back in a phase-1b promise.
+struct ConEntry {
+  std::uint64_t slot = 0;
+  std::uint64_t ballot = 0;       ///< ballot the entry was accepted under
+  SwitchId writer = kInvalidNode;
+  std::uint64_t req_id = 0;
+  std::vector<WriteOp> ops;
+
+  friend bool operator==(const ConEntry&, const ConEntry&) = default;
+};
+
+/// kCON phase-1b: an acceptor promises `ballot` and reports every slot it
+/// has accepted above its applied prefix, so the new coordinator can
+/// re-propose in-flight transactions before opening for new writes.
+struct ConPromise {
+  std::uint32_t epoch = 0;
+  std::uint64_t ballot = 0;
+  SwitchId acceptor = kInvalidNode;
+  std::uint64_t applied_upto = 0;  ///< highest contiguously applied slot
+  std::vector<ConEntry> entries;
+
+  friend bool operator==(const ConPromise&, const ConPromise&) = default;
+};
+
+/// kCON phase-2a: the coordinator proposes the transaction `ops` at `slot`
+/// under `ballot`. `commit_upto` piggybacks the highest contiguously
+/// committed slot so acceptors apply without a separate learn round trip.
+struct ConAccept {
+  std::uint32_t epoch = 0;
+  std::uint64_t ballot = 0;
+  std::uint64_t slot = 0;
+  std::uint64_t commit_upto = 0;
+  SwitchId writer = kInvalidNode;
+  std::uint64_t req_id = 0;
+  std::vector<WriteOp> ops;
+
+  friend bool operator==(const ConAccept&, const ConAccept&) = default;
+};
+
+/// kCON phase-2b, doubling as the learn acknowledgement: `applied_upto`
+/// tells the coordinator how far this acceptor's applied prefix reaches, so
+/// lost learns (and freshly revived, empty replicas) are repaired by
+/// re-sending the missing slots.
+struct ConAccepted {
+  std::uint32_t epoch = 0;
+  std::uint64_t ballot = 0;
+  std::uint64_t slot = 0;
+  SwitchId acceptor = kInvalidNode;
+  std::uint64_t applied_upto = 0;
+
+  friend bool operator==(const ConAccepted&, const ConAccepted&) = default;
+};
+
+/// kCON commit notification. Carries the full op batch so it is also the
+/// repair carrier for replicas that missed the accept, and its receipt from
+/// the current-ballot coordinator refreshes the receiver's read lease.
+struct ConLearn {
+  std::uint32_t epoch = 0;
+  std::uint64_t ballot = 0;
+  std::uint64_t slot = 0;
+  std::uint64_t commit_upto = 0;
+  SwitchId writer = kInvalidNode;
+  std::uint64_t req_id = 0;
+  std::vector<WriteOp> ops;
+
+  friend bool operator==(const ConLearn&, const ConLearn&) = default;
+};
+
 using SwishMessage = std::variant<WriteRequest, WriteAck, EwoUpdate, Heartbeat, ChainConfig,
                                   GroupConfig, ReadRedirect, OwnRequest, OwnGrant, OwnUpdate,
-                                  SwimPing, SwimAck, SwimPingReq, MembershipUpdate>;
+                                  SwimPing, SwimAck, SwimPingReq, MembershipUpdate, ConForward,
+                                  ConPrepare, ConPromise, ConAccept, ConAccepted, ConLearn>;
 
 /// Serializes a protocol message (type byte + body) into a UDP payload.
 std::vector<std::uint8_t> encode_message(const SwishMessage& msg);

@@ -17,6 +17,12 @@ enum class ConsistencyClass : std::uint8_t {
   kERO,  ///< Eventual Read Optimized: SRO writes, always-local reads
   kEWO,  ///< Eventual Write Optimized: local writes, async replication
   kOWN,  ///< Owned: per-key single writer, ownership migrates to the writer
+  /// Consensus: majority-quorum linearizable writes through an elected
+  /// coordinator (Paxos mapped onto switch pipelines, ROADMAP item 3).
+  /// Survives replica failure without a chain head; supports atomic
+  /// multi-key transactions (one consensus slot carries all ops) and
+  /// lease-protected local reads.
+  kCON,
 };
 
 ConsistencyClass parse_consistency_class(const std::string& s);  // throws on unknown
@@ -134,6 +140,20 @@ struct RuntimeConfig {
   /// Operations buffered per key while an ownership migration is in flight;
   /// excess operations are rejected (their callbacks never fire).
   std::size_t own_queue_limit = 1024;
+
+  // CON ------------------------------------------------------------------
+  /// Coordinator retransmit interval for unaccepted consensus slots, and the
+  /// follower-side forward retry interval.
+  TimeNs con_retry_timeout = 5 * kMs;
+  unsigned con_max_retries = 20;          ///< per-slot retransmit budget
+  /// Read-lease duration granted by the coordinator with each learn. While a
+  /// replica holds a fresh lease it may answer reads locally (quorum-safe:
+  /// the coordinator never commits without the lease holders' majority);
+  /// after expiry reads forward to the coordinator. 0 disables leases.
+  TimeNs con_lease = 10 * kMs;
+  /// Operations buffered at a follower while the coordinator is unknown or a
+  /// forward is in flight; excess writes are rejected.
+  std::size_t con_queue_limit = 1024;
 
   // Clocks -----------------------------------------------------------------
   /// Fixed offset of this switch's clock from simulated true time; the paper

@@ -12,22 +12,6 @@
 namespace swish::shm {
 namespace {
 
-/// A detector whose scan can never observe its own timeout is a configuration
-/// bug, not a runtime condition — reject it at construction.
-void validate(const Controller::Config& config) {
-  if (config.check_period <= 0) {
-    throw std::invalid_argument("controller check_period must be positive");
-  }
-  if (config.heartbeat_timeout <= 0) {
-    throw std::invalid_argument("controller heartbeat_timeout must be positive");
-  }
-  if (config.heartbeat_timeout <= config.check_period) {
-    throw std::invalid_argument(
-        "controller heartbeat_timeout must exceed check_period (the scan would "
-        "fire a false positive on its first pass)");
-  }
-}
-
 std::unique_ptr<MembershipService> make_membership(sim::Simulator& sim,
                                                    const Controller::Config& config) {
   switch (config.membership) {
@@ -42,9 +26,25 @@ std::unique_ptr<MembershipService> make_membership(sim::Simulator& sim,
 
 }  // namespace
 
+// A detector whose scan can never observe its own timeout is a configuration
+// bug, not a runtime condition — reject it before anything is constructed.
+void Controller::Config::validate() const {
+  if (check_period <= 0) {
+    throw std::invalid_argument("controller check_period must be positive");
+  }
+  if (heartbeat_timeout <= 0) {
+    throw std::invalid_argument("controller heartbeat_timeout must be positive");
+  }
+  if (heartbeat_timeout <= check_period) {
+    throw std::invalid_argument(
+        "controller heartbeat_timeout must exceed check_period (the scan would "
+        "fire a false positive on its first pass)");
+  }
+}
+
 Controller::Controller(sim::Simulator& simulator, net::Network& network, NodeId id, Config config)
     : net::Node(id), sim_(simulator), network_(network), config_(config) {
-  validate(config_);
+  config_.validate();
   membership_ = make_membership(sim_, config_);
   membership_->on_membership_change = [this](SwitchId sw, MemberState state,
                                              TimeNs detection_ns) {

@@ -32,6 +32,13 @@ class Controller : public net::Node {
     /// only consumes finished verdicts; the timing knobs live per switch in
     /// RuntimeConfig).
     MembershipProtocol membership = MembershipProtocol::kHeartbeat;
+
+    /// Throws std::invalid_argument when the timing configuration is
+    /// impossible (non-positive periods, or a timeout the scan could never
+    /// observe). Public so front-ends (swish_sim) can validate flag
+    /// combinations up front and exit cleanly instead of crashing on the
+    /// constructor's throw.
+    void validate() const;
   };
 
   /// Throws std::invalid_argument when the timing configuration is impossible

@@ -100,7 +100,10 @@ void ChainEngine::write(std::vector<pkt::WriteOp> ops, pkt::Packet output, Write
     ++stats_.writes_rejected;
     return;
   }
-  const std::uint64_t id = (static_cast<std::uint64_t>(host_.self()) << 40) | ++next_write_id_;
+  // 40-bit mask: the counter must never wrap into the switch-id bits (same
+  // id-minting scheme as OwnerEngine req_ids).
+  const std::uint64_t id = (static_cast<std::uint64_t>(host_.self()) << 40) |
+                           (++next_write_id_ & ((1ULL << 40) - 1));
   PendingWrite pw;
   pw.ops = std::move(ops);
   pw.output = std::move(output);

@@ -39,7 +39,13 @@ void OwnerEngine::reset() {
   for (auto& [id, sp] : spaces_) sp->reset();
   for (auto& [key, pa] : pending_acquires_) pa.retry_timer.cancel();
   pending_acquires_.clear();
+  // Home-side pending grants carry no timers (the requester's retry re-drives
+  // a lost migration), so clearing the map is the whole cleanup.
   pending_grants_.clear();
+  // A replacement switch boots empty: the req_id counter restarts too. Stale
+  // grants addressed to the pre-failure incarnation are rejected by the
+  // req_id guard on the (freshly emptied) pending_acquires_ map.
+  next_req_id_ = 0;
 }
 
 void OwnerEngine::on_config_update() {
@@ -234,8 +240,11 @@ void OwnerEngine::apply_or_acquire(std::uint32_t space, std::uint64_t key, Queue
 
 void OwnerEngine::begin_acquire(std::uint32_t space, std::uint64_t slot) {
   ++stats_.acquisitions_started;
-  const std::uint64_t req_id =
-      (static_cast<std::uint64_t>(host_.self()) << 40) | ++next_req_id_;
+  // Mask the counter to its 40-bit field so a (pathologically) long-lived
+  // switch can never wrap the counter into the switch-id bits and mint
+  // req_ids that collide with another switch's.
+  const std::uint64_t req_id = (static_cast<std::uint64_t>(host_.self()) << 40) |
+                               (++next_req_id_ & ((1ULL << 40) - 1));
   const telemetry::SpanContext tr = trace_origin("own_acquire", space, slot);
   PendingAcquire pa;
   pa.req_id = req_id;

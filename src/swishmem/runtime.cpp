@@ -5,6 +5,7 @@
 #include "net/topology.hpp"
 #include "swishmem/membership/swim_membership.hpp"
 #include "swishmem/protocols/chain_engine.hpp"
+#include "swishmem/protocols/consensus_engine.hpp"
 #include "swishmem/protocols/ewo_engine.hpp"
 #include "swishmem/protocols/own_space.hpp"
 #include "swishmem/protocols/owner_engine.hpp"
@@ -35,6 +36,13 @@ telemetry::TraceCategory msg_trace_category(const pkt::SwishMessage& msg) noexce
     case pkt::MsgType::kSwimPingReq:
     case pkt::MsgType::kMembershipUpdate:
       return telemetry::kTraceMembership;
+    case pkt::MsgType::kConForward:
+    case pkt::MsgType::kConPrepare:
+    case pkt::MsgType::kConPromise:
+    case pkt::MsgType::kConAccept:
+    case pkt::MsgType::kConAccepted:
+    case pkt::MsgType::kConLearn:
+      return telemetry::kTraceProtoCon;
     default:
       return telemetry::kTraceProtoControl;
   }
@@ -70,6 +78,18 @@ const char* msg_trace_name(const pkt::SwishMessage& msg) noexcept {
       return "SwimPingReq";
     case pkt::MsgType::kMembershipUpdate:
       return "MembershipUpdate";
+    case pkt::MsgType::kConForward:
+      return "ConForward";
+    case pkt::MsgType::kConPrepare:
+      return "ConPrepare";
+    case pkt::MsgType::kConPromise:
+      return "ConPromise";
+    case pkt::MsgType::kConAccept:
+      return "ConAccept";
+    case pkt::MsgType::kConAccepted:
+      return "ConAccepted";
+    case pkt::MsgType::kConLearn:
+      return "ConLearn";
   }
   return "?";
 }
@@ -102,6 +122,22 @@ std::optional<std::tuple<std::uint8_t, std::uint64_t, std::uint64_t>> send_ident
   if (const auto* grant = std::get_if<pkt::OwnGrant>(&msg)) {
     return std::tuple{std::uint8_t{4}, grant->req_id,
                       (static_cast<std::uint64_t>(grant->new_owner) << 32) | d};
+  }
+  // kCON retransmissions (forward retries, accept/learn repair resends) reuse
+  // the first transmission's span — the content is idempotent per identity.
+  if (const auto* fwd = std::get_if<pkt::ConForward>(&msg)) {
+    return std::tuple{std::uint8_t{5}, fwd->req_id,
+                      (static_cast<std::uint64_t>(fwd->writer) << 32) | d};
+  }
+  if (const auto* prep = std::get_if<pkt::ConPrepare>(&msg)) {
+    return std::tuple{std::uint8_t{6}, prep->ballot,
+                      (static_cast<std::uint64_t>(prep->coordinator) << 32) | d};
+  }
+  if (const auto* acc = std::get_if<pkt::ConAccept>(&msg)) {
+    return std::tuple{std::uint8_t{7}, acc->slot, (acc->ballot << 16) | d};
+  }
+  if (const auto* learn = std::get_if<pkt::ConLearn>(&msg)) {
+    return std::tuple{std::uint8_t{8}, learn->slot, (learn->ballot << 16) | d};
   }
   return std::nullopt;
 }
@@ -424,6 +460,20 @@ bool ShmRuntime::update(std::uint32_t space, std::uint64_t key, std::int64_t del
   return engine != nullptr && engine->update(space, key, delta, std::move(done));
 }
 
+bool ShmRuntime::write_txn(std::vector<pkt::WriteOp> ops, pkt::Packet output,
+                           std::function<void(pkt::Packet&&)> release) {
+  if (ops.empty()) return false;
+  ProtocolEngine* engine = engine_for_space(ops.front().space);
+  if (engine == nullptr) return false;
+  // One engine sequences the whole batch or the transaction is refused — a
+  // cross-engine batch has no single point of atomicity.
+  for (const auto& op : ops) {
+    if (engine_for_space(op.space) != engine) return false;
+  }
+  engine->write(std::move(ops), std::move(output), std::move(release));
+  return true;
+}
+
 ReadStatus ShmRuntime::sro_read(pisa::PacketContext& ctx, std::uint32_t space, std::uint64_t key,
                                 std::uint64_t& value) {
   return read(&ctx, space, key, value);
@@ -743,6 +793,12 @@ const OwnSpaceState* ShmRuntime::own_space(std::uint32_t id) const {
   return engine == nullptr ? nullptr : engine->space_state(id);
 }
 
+const SroSpaceState* ShmRuntime::con_space(std::uint32_t id) const {
+  const auto* engine =
+      dynamic_cast<const ConsensusEngine*>(find_engine(ConsistencyClass::kCON));
+  return engine == nullptr ? nullptr : engine->space_state(id);
+}
+
 ShmRuntime::Stats ShmRuntime::stats() const {
   Stats s;
   for (const auto& e : engines_) {
@@ -777,6 +833,19 @@ ShmRuntime::Stats ShmRuntime::stats() const {
       s.own_acquisitions += o.acquisitions_completed;
       s.own_revokes += o.revokes_served;
       s.bytes_own += o.bytes;
+    } else if (const auto* con = dynamic_cast<const ConsensusEngine*>(e.get())) {
+      const ConsensusEngine::Stats& c = con->con_stats();
+      s.writes_submitted += c.writes_submitted;
+      s.writes_committed += c.writes_committed;
+      s.write_retries += c.forward_retries;
+      s.writes_failed += c.writes_failed;
+      s.writes_rejected += c.writes_rejected;
+      s.reads_local += c.reads_local;
+      s.reads_redirected += c.reads_redirected;
+      s.con_slots_applied += c.slots_applied;
+      s.con_elections += c.elections_completed;
+      s.bytes_con += c.bytes;
+      s.write_latency.merge(c.commit_latency);
     }
   }
   s.redirects_processed = redirects_processed_;

@@ -69,6 +69,9 @@ class ShmRuntime final : public EngineHost {
     std::uint64_t own_local_writes = 0;
     std::uint64_t own_acquisitions = 0;     ///< ownership migrations completed
     std::uint64_t own_revokes = 0;          ///< ownership relinquished
+    // CON (the writer-side counters fold into writes_submitted/committed).
+    std::uint64_t con_slots_applied = 0;    ///< consensus log entries applied here
+    std::uint64_t con_elections = 0;        ///< coordinator elections completed here
     // Recovery.
     std::uint64_t recovery_chunks_sent = 0;
     std::uint64_t recovery_chunks_applied = 0;
@@ -80,6 +83,7 @@ class ShmRuntime final : public EngineHost {
     std::uint64_t bytes_ewo = 0;         ///< EwoUpdate (mirror + sync)
     std::uint64_t bytes_redirect = 0;    ///< ReadRedirect
     std::uint64_t bytes_own = 0;         ///< OwnRequest + OwnGrant + OwnUpdate
+    std::uint64_t bytes_con = 0;         ///< Con* consensus traffic (incl. its redirects)
     std::uint64_t bytes_control = 0;     ///< Heartbeat (+ config pushes, if any)
     std::uint64_t bytes_total = 0;       ///< every protocol byte this switch sent
     // Writer-observed commit latency (submit -> ack), ns.
@@ -164,6 +168,16 @@ class ShmRuntime final : public EngineHost {
   /// after an OWN ownership migration.
   bool update(std::uint32_t space, std::uint64_t key, std::int64_t delta, UpdateDone done);
 
+  /// Multi-key packet transaction: submits `ops` — which may span several
+  /// spaces — as ONE atomic write. All ops must be served by the same engine;
+  /// returns false (performing nothing) when they span engines or name an
+  /// unknown space. Under kCON the batch occupies one consensus log slot and
+  /// is applied all-or-nothing on every replica, surviving coordinator
+  /// failure; chain classes apply the batch as one write request (atomic per
+  /// hop). `release` runs once the transaction has committed.
+  bool write_txn(std::vector<pkt::WriteOp> ops, pkt::Packet output,
+                 std::function<void(pkt::Packet&&)> release);
+
   // Legacy class-named wrappers (kept for existing NFs/tests; they dispatch
   // through the same engines as the uniform calls above).
 
@@ -246,6 +260,7 @@ class ShmRuntime final : public EngineHost {
   [[nodiscard]] const SroSpaceState* sro_space(std::uint32_t id) const;
   [[nodiscard]] const EwoSpaceState* ewo_space(std::uint32_t id) const;
   [[nodiscard]] const OwnSpaceState* own_space(std::uint32_t id) const;
+  [[nodiscard]] const SroSpaceState* con_space(std::uint32_t id) const;
 
   /// The SWIM detector (nullptr unless started under --membership swim).
   [[nodiscard]] SwimAgent* swim() noexcept { return swim_.get(); }

@@ -28,6 +28,7 @@ const char* to_string(ConsistencyClass cls) noexcept {
     case ConsistencyClass::kERO: return "ERO";
     case ConsistencyClass::kEWO: return "EWO";
     case ConsistencyClass::kOWN: return "OWN";
+    case ConsistencyClass::kCON: return "CON";
   }
   return "?";
 }
@@ -37,6 +38,7 @@ ConsistencyClass parse_consistency_class(const std::string& s) {
   if (s == "ero" || s == "ERO") return ConsistencyClass::kERO;
   if (s == "ewo" || s == "EWO") return ConsistencyClass::kEWO;
   if (s == "own" || s == "OWN") return ConsistencyClass::kOWN;
+  if (s == "con" || s == "CON") return ConsistencyClass::kCON;
   throw std::invalid_argument("unknown consistency class: " + s);
 }
 

@@ -8,7 +8,7 @@ namespace swish::telemetry {
 
 namespace {
 
-constexpr std::array<std::pair<std::string_view, std::uint32_t>, 11> kCategoryNames = {{
+constexpr std::array<std::pair<std::string_view, std::uint32_t>, 12> kCategoryNames = {{
     {"packet", kTracePacket},
     {"drop", kTraceDrop},
     {"recirc", kTraceRecirc},
@@ -19,6 +19,7 @@ constexpr std::array<std::pair<std::string_view, std::uint32_t>, 11> kCategoryNa
     {"migration", kTraceMigration},
     {"failover", kTraceFailover},
     {"membership", kTraceMembership},
+    {"proto-con", kTraceProtoCon},
     {"all", kTraceAll},
 }};
 

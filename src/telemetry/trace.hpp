@@ -30,6 +30,7 @@ enum TraceCategory : std::uint32_t {
   kTraceMigration = 1u << 7,     ///< per-key ownership migration (grant installed, revoke)
   kTraceFailover = 1u << 8,      ///< failure declared / failover complete / readmission
   kTraceMembership = 1u << 9,    ///< SWIM suspicion / refutation / faulty verdicts + wire msgs
+  kTraceProtoCon = 1u << 10,     ///< CON consensus messages (forward/prepare/accept/learn)
   kTraceAll = 0xffffffffu,
 };
 

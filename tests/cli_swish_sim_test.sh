@@ -242,6 +242,43 @@ grep -q '"membership"' "$TMP/sw1.json" || {
   fail=1
 }
 
+# Consensus class: --space NAME=con runs clean and deterministically; both
+# lb.* spaces on kCON exercises the transactional install path.
+con_args=(--nf lb --switches 3 --duration-ms 40 --seed 11 --quiet
+          --space lb.conn_to_dip=con --space lb.dip_refcount=con)
+for i in 1 2; do
+  if ! "$BIN" "${con_args[@]}" --metrics-json "$TMP/con$i.json" >/dev/null 2>&1; then
+    echo "FAIL: --space ...=con run $i exited nonzero"
+    fail=1
+  fi
+done
+if ! cmp -s "$TMP/con1.json" "$TMP/con2.json"; then
+  echo "FAIL: same-seed kCON runs produced different metrics"
+  diff "$TMP/con1.json" "$TMP/con2.json" | head -20
+  fail=1
+fi
+grep -q '"con"' "$TMP/con1.json" || {
+  echo "FAIL: kCON metrics JSON missing con counters"
+  fail=1
+}
+# Sparse storage under consensus is accepted too.
+if ! "$BIN" --nf lb --switches 3 --duration-ms 40 --seed 11 --quiet \
+     --space lb.conn_to_dip=con:sparse >/dev/null 2>&1; then
+  echo "FAIL: --space lb.conn_to_dip=con:sparse run exited nonzero"
+  fail=1
+fi
+# A kill schedule that permanently drops the deployment below a majority
+# quorum can never commit a consensus write: refused up front with exit 2.
+expect_error2 "majority quorum" --nf lb --switches 3 --duration-ms 60 \
+  --space lb.conn_to_dip=con --kill 1:10 --kill 2:10
+# ...but the same schedule with a revive keeps the quorum reachable.
+if ! "$BIN" --nf lb --switches 3 --duration-ms 60 --seed 11 --quiet \
+     --space lb.conn_to_dip=con --kill 1:10 --kill 2:10 --revive 2:30 \
+     >/dev/null 2>&1; then
+  echo "FAIL: quorum-preserving kill/revive schedule exited nonzero"
+  fail=1
+fi
+
 # A bad --trace-mask names the valid categories in its error.
 "$BIN" --trace-mask not-a-category >/dev/null 2>"$TMP/err" || true
 grep -q "valid names:.*proto-chain" "$TMP/err" || {

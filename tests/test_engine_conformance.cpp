@@ -116,6 +116,10 @@ std::optional<std::uint64_t> stored(ShmRuntime& rt, ConsistencyClass cls, std::u
       if (!st) return std::nullopt;
       return st->value(key);
     }
+    case ConsistencyClass::kCON: {
+      const auto* st = rt.con_space(kSpace);
+      return st ? st->read(key) : std::nullopt;
+    }
   }
   return std::nullopt;
 }
@@ -232,10 +236,12 @@ INSTANTIATE_TEST_SUITE_P(
     AllClasses, EngineConformance,
     ::testing::Values(Variant{ConsistencyClass::kSRO}, Variant{ConsistencyClass::kERO},
                       Variant{ConsistencyClass::kEWO}, Variant{ConsistencyClass::kOWN},
+                      Variant{ConsistencyClass::kCON},
                       Variant{ConsistencyClass::kSRO, SpaceKind::kSparse},
                       Variant{ConsistencyClass::kERO, SpaceKind::kSparse},
                       Variant{ConsistencyClass::kEWO, SpaceKind::kSparse},
-                      Variant{ConsistencyClass::kOWN, SpaceKind::kSparse}),
+                      Variant{ConsistencyClass::kOWN, SpaceKind::kSparse},
+                      Variant{ConsistencyClass::kCON, SpaceKind::kSparse}),
     [](const ::testing::TestParamInfo<Variant>& info) {
       return std::string(to_string(info.param.cls)) + "_" + to_string(info.param.kind);
     });
@@ -251,7 +257,8 @@ TEST(BandwidthAccounting, PerClassBytesSumToTotal) {
   Rig sro(cfg, {ConsistencyClass::kSRO});
   Rig ewo(cfg, {ConsistencyClass::kEWO});
   Rig own(cfg, {ConsistencyClass::kOWN});
-  for (Rig* rig : {&sro, &ewo, &own}) {
+  Rig con(cfg, {ConsistencyClass::kCON});
+  for (Rig* rig : {&sro, &ewo, &own, &con}) {
     for (int k = 0; k < 10; ++k) {
       rig->fabric.sw(k % 4).inject(udp(static_cast<std::uint16_t>(100 + k),
                                        static_cast<std::uint16_t>(1000 + k)));
@@ -264,7 +271,7 @@ TEST(BandwidthAccounting, PerClassBytesSumToTotal) {
     for (std::size_t i = 0; i < rig->fabric.size(); ++i) {
       const auto st = rig->fabric.runtime(i).stats();
       EXPECT_EQ(st.bytes_write_path + st.bytes_ewo + st.bytes_redirect + st.bytes_own +
-                    st.bytes_control,
+                    st.bytes_con + st.bytes_control,
                 st.bytes_total)
           << "switch " << i;
       EXPECT_GT(st.bytes_total, 0u) << "switch " << i;

@@ -308,6 +308,57 @@ TEST(Switch, RecirculationCapConfigurable) {
   EXPECT_EQ(sw.stats().dropped_recirc, 1u);
 }
 
+/// Recirculates until the packet has been around `laps` times, then delivers
+/// — the success-side pin of the cap boundary.
+class RecircLapsProgram : public PipelineProgram {
+ public:
+  explicit RecircLapsProgram(unsigned laps) : laps_(laps) {}
+  void process(PacketContext& ctx) override {
+    if (ctx.recirc_count < laps_) {
+      ctx.sw.send_to_node(ctx.sw.id(), std::move(ctx.packet), 0, ctx.recirc_count);
+    } else {
+      ctx.sw.deliver(std::move(ctx.packet));
+    }
+  }
+
+ private:
+  unsigned laps_;
+};
+
+TEST(Switch, RecirculationCapIsInclusiveAtTheBoundary) {
+  // `recirc_count` counts recirculations already performed, so a cap of N
+  // must permit a packet that needs exactly N trips around the pipeline —
+  // an off-by-one here (> vs >=) would drop it one lap early.
+  sim::Simulator sim;
+  net::Network net{sim, 5};
+  Switch::Config cfg;
+  cfg.max_recirculations = 3;
+  Switch sw{sim, net, 1, cfg};
+  net.attach(sw);
+  sw.install_program(std::make_unique<RecircLapsProgram>(3));
+  sw.inject(some_packet());
+  sim.run();
+  EXPECT_EQ(sw.stats().recirculated, 3u);
+  EXPECT_EQ(sw.stats().dropped_recirc, 0u);
+  EXPECT_EQ(sw.stats().delivered, 1u);
+}
+
+TEST(Switch, RecirculationOnePastCapDrops) {
+  // ...and the very next lap is the one the cap refuses.
+  sim::Simulator sim;
+  net::Network net{sim, 5};
+  Switch::Config cfg;
+  cfg.max_recirculations = 3;
+  Switch sw{sim, net, 1, cfg};
+  net.attach(sw);
+  sw.install_program(std::make_unique<RecircLapsProgram>(4));
+  sw.inject(some_packet());
+  sim.run();
+  EXPECT_EQ(sw.stats().recirculated, 3u);
+  EXPECT_EQ(sw.stats().dropped_recirc, 1u);
+  EXPECT_EQ(sw.stats().delivered, 0u);
+}
+
 TEST(Switch, ZeroRecirculationCapDisablesRecirculation) {
   sim::Simulator sim;
   net::Network net{sim, 5};

@@ -158,6 +158,86 @@ TEST(Wire, SwimGossipTruncationRejected) {
   EXPECT_TRUE(decode_message(bytes).has_value());
 }
 
+TEST(Wire, ConForwardRoundTrip) {
+  ConForward m;
+  m.epoch = 4;
+  m.writer = 2;
+  m.req_id = (std::uint64_t{2} << 40) | 17;
+  m.ops = {{1, 42, 100}, {12, 3, 1}};
+  EXPECT_EQ(roundtrip(m), m);
+}
+
+TEST(Wire, ConPrepareRoundTrip) {
+  ConPrepare m;
+  m.epoch = 6;
+  m.ballot = (std::uint64_t{6} << 32) | 1;
+  m.coordinator = 0;
+  EXPECT_EQ(roundtrip(m), m);
+}
+
+TEST(Wire, ConPromiseRoundTrip) {
+  ConPromise m;
+  m.epoch = 6;
+  m.ballot = (std::uint64_t{6} << 32) | 1;
+  m.acceptor = 3;
+  m.applied_upto = 12;
+  m.entries = {{13, (std::uint64_t{5} << 32) | 2, 1, 99, {{1, 7, 8}, {2, 9, 10}}},
+               {14, (std::uint64_t{6} << 32) | 1, 2, 100, {}}};
+  EXPECT_EQ(roundtrip(m), m);
+}
+
+TEST(Wire, ConAcceptRoundTrip) {
+  ConAccept m;
+  m.epoch = 6;
+  m.ballot = (std::uint64_t{6} << 32) | 1;
+  m.slot = 15;
+  m.commit_upto = 14;
+  m.writer = 2;
+  m.req_id = 31;
+  m.ops = {{4, 0xFFFFFFFFFFULL, 7}};
+  EXPECT_EQ(roundtrip(m), m);
+}
+
+TEST(Wire, ConAcceptedRoundTrip) {
+  ConAccepted m;
+  m.epoch = 6;
+  m.ballot = (std::uint64_t{6} << 32) | 1;
+  m.slot = 15;
+  m.acceptor = 1;
+  m.applied_upto = 14;
+  EXPECT_EQ(roundtrip(m), m);
+}
+
+TEST(Wire, ConLearnRoundTrip) {
+  ConLearn m;
+  m.epoch = 6;
+  m.ballot = (std::uint64_t{6} << 32) | 1;
+  m.slot = 15;
+  m.commit_upto = 15;
+  m.writer = 2;
+  m.req_id = 31;
+  m.ops = {{4, 11, 7}, {4, 12, 8}};
+  EXPECT_EQ(roundtrip(m), m);
+}
+
+TEST(Wire, ConTruncationRejectedEverywhere) {
+  ConPromise m;
+  m.epoch = 2;
+  m.ballot = (std::uint64_t{2} << 32) | 3;
+  m.acceptor = 2;
+  m.applied_upto = 5;
+  m.entries = {{6, (std::uint64_t{1} << 32) | 1, 0, 12, {{1, 2, 3}}}};
+  const auto bytes = encode_message(m);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    auto cut = decode_message(std::span(bytes.data(), len));
+    if (cut) {
+      const auto* p = std::get_if<ConPromise>(&*cut);
+      EXPECT_TRUE(p == nullptr || !(*p == m));
+    }
+  }
+  EXPECT_TRUE(decode_message(bytes).has_value());
+}
+
 TEST(Wire, EmptyCollectionsRoundTrip) {
   EXPECT_EQ(roundtrip(WriteRequest{}), WriteRequest{});
   EXPECT_EQ(roundtrip(EwoUpdate{}), EwoUpdate{});
@@ -168,6 +248,10 @@ TEST(Wire, EmptyCollectionsRoundTrip) {
   EXPECT_EQ(roundtrip(SwimAck{}), SwimAck{});
   EXPECT_EQ(roundtrip(SwimPingReq{}), SwimPingReq{});
   EXPECT_EQ(roundtrip(MembershipUpdate{}), MembershipUpdate{});
+  EXPECT_EQ(roundtrip(ConForward{}), ConForward{});
+  EXPECT_EQ(roundtrip(ConPromise{}), ConPromise{});
+  EXPECT_EQ(roundtrip(ConAccept{}), ConAccept{});
+  EXPECT_EQ(roundtrip(ConLearn{}), ConLearn{});
 }
 
 TEST(Wire, UnknownTypeRejected) {

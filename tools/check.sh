@@ -47,7 +47,7 @@ cmake --build "$TSAN_BUILD" -j "$JOBS"
 TSAN_OPTIONS=halt_on_error=1 \
 SWISH_SHARD_FORCE_THREADS=1 \
   ctest --test-dir "$TSAN_BUILD" --output-on-failure -j "$JOBS" \
-    -R 'ShardedSim|Conformance|Store|Membership'
+    -R 'ShardedSim|Conformance|Store|Membership|Consensus'
 
 echo
 echo "check.sh: clean (Werror + ASan/UBSan + TSan sharded suites)"

@@ -7,7 +7,7 @@
 #   tools/run_benches.sh [--sim-ms N] [--sweep-sim-ms N] [--sweep-shards LIST]
 set -euo pipefail
 
-SIM_MS=50  # must match bench/baseline_throughput.json's params.sim_ms
+SIM_MS=""  # default: read from bench/baseline_throughput.json's params.sim_ms
 SWEEP_SIM_MS=10
 SWEEP_SHARDS=1,2,4,8
 while [[ $# -gt 0 ]]; do
@@ -21,6 +21,26 @@ done
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="$ROOT/build-release"
+
+# The before/after comparison embedded in BENCH_throughput.json is only
+# meaningful when the run simulates the same wall-clock span as the committed
+# baseline, so derive SIM_MS from the baseline instead of hardcoding it — and
+# refuse an explicit --sim-ms that disagrees rather than silently comparing
+# apples to oranges.
+BASELINE_SIM_MS="$(sed -n 's/^[[:space:]]*"sim_ms":[[:space:]]*\([0-9][0-9]*\).*/\1/p' \
+  "$ROOT/bench/baseline_throughput.json" | head -n 1)"
+if [[ -z "$BASELINE_SIM_MS" ]]; then
+  echo "error: cannot read params.sim_ms from bench/baseline_throughput.json" >&2
+  exit 1
+fi
+if [[ -z "$SIM_MS" ]]; then
+  SIM_MS="$BASELINE_SIM_MS"
+elif [[ "$SIM_MS" != "$BASELINE_SIM_MS" ]]; then
+  echo "error: --sim-ms $SIM_MS does not match the committed baseline's" \
+       "params.sim_ms ($BASELINE_SIM_MS); the embedded before/after comparison" \
+       "would be meaningless. Re-baseline or drop --sim-ms." >&2
+  exit 1
+fi
 
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j "$(nproc)" --target bench_throughput bench_micro_primitives >/dev/null

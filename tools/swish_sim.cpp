@@ -106,7 +106,7 @@ struct Options {
       << "  --attack PPS:START:DUR  UDP flood (times in ms)\n"
       << "  --space NAME=CLS[:KIND] override a space's consistency class and\n"
       << "                          optionally its storage kind (CLS: sro|ero|\n"
-      << "                          ewo|own; KIND: dense|sparse; repeatable)\n"
+      << "                          ewo|own|con; KIND: dense|sparse; repeatable)\n"
       << "  --pcap FILE             capture all fabric traffic\n"
       << "  --metrics-json FILE     write the full metrics registry as JSON\n"
       << "                          (FILE of - writes to stdout)\n"
@@ -345,6 +345,36 @@ std::size_t resolve_shards(const Options& opt) {
   return shards;
 }
 
+/// kCON commits through majority quorums over the FULL deployment, so a kill
+/// schedule that permanently drops the live replication factor below the
+/// quorum size would stall every consensus write until the end of the run —
+/// an impossible combination, rejected up front with exit code 2 (the same
+/// contract as --shards; pinned by tests/cli_swish_sim_test.sh).
+void check_con_quorum(const Options& opt) {
+  const bool has_con = std::any_of(
+      opt.space_overrides.begin(), opt.space_overrides.end(),
+      [](const Options::SpaceOverride& ov) { return ov.cls == shm::ConsistencyClass::kCON; });
+  if (!has_con) return;
+  const std::size_t quorum = opt.switches / 2 + 1;
+  std::size_t permanently_dead = 0;
+  for (const auto& [idx, kill_at] : opt.kills) {
+    bool revived_later = false;
+    for (const auto& [ridx, revive_at] : opt.revives) {
+      if (ridx == idx && revive_at > kill_at) revived_later = true;
+    }
+    if (!revived_later) ++permanently_dead;
+  }
+  const std::size_t survivors =
+      opt.switches > permanently_dead ? opt.switches - permanently_dead : 0;
+  if (survivors < quorum) {
+    std::cerr << "error: --space ...=con needs a majority quorum of the deployment alive ("
+              << quorum << " of " << opt.switches << " switches), but the --kill schedule "
+              << "leaves only " << survivors
+              << "; consensus writes would stall forever — revive switches or kill fewer\n";
+    std::exit(2);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -352,6 +382,7 @@ int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
 
   const std::size_t num_shards = resolve_shards(opt);
+  check_con_quorum(opt);
 
   shm::MembershipProtocol membership;
   try {
@@ -438,6 +469,9 @@ int main(int argc, char** argv) {
     };
   } else if (opt.nf == "lb") {
     add_space(nf::LoadBalancerApp::space());
+    // Override both lb.* spaces to the same class to exercise the multi-key
+    // transactional install (conn entry + DIP refcount in one write).
+    add_space(nf::LoadBalancerApp::refcount_space(kBackends.size()));
     server_ip = pkt::Ipv4Addr(10, 200, 0, 1);
     factory = [&] {
       auto a = std::make_unique<nf::LoadBalancerApp>(
@@ -695,7 +729,10 @@ int main(int argc, char** argv) {
       const auto d2 = d1 == std::string::npos ? std::string::npos : name.find('.', d1 + 1);
       if (d2 == std::string::npos) continue;  // runtime-level counter, no engine segment
       const std::string engine = name.substr(d1 + 1, d2 - d1 - 1);
-      if (engine != "sro" && engine != "ero" && engine != "ewo" && engine != "own") continue;
+      if (engine != "sro" && engine != "ero" && engine != "ewo" && engine != "own" &&
+          engine != "con") {
+        continue;
+      }
       const std::string metric = name.substr(d2 + 1);
       EngineAgg& agg = engines[engine];
       if (value.kind == telemetry::MetricKind::kHistogram) {
