@@ -146,10 +146,15 @@ struct RuntimeConfig {
   /// follower-side forward retry interval.
   TimeNs con_retry_timeout = 5 * kMs;
   unsigned con_max_retries = 20;          ///< per-slot retransmit budget
-  /// Read-lease duration granted by the coordinator with each learn. While a
-  /// replica holds a fresh lease it may answer reads locally (quorum-safe:
-  /// the coordinator never commits without the lease holders' majority);
-  /// after expiry reads forward to the coordinator. 0 disables leases.
+  /// Read-lease duration refreshed by each accept/learn a replica receives
+  /// from the current-ballot coordinator. A fresh lease lets the replica
+  /// answer reads locally with BOUNDED STALENESS — the coordinator commits
+  /// on any majority, so a lease holder outside the commit quorum can miss
+  /// writes whose learn is still in flight (or was lost), lagging the commit
+  /// point by up to the lease duration. This is not a linearizable quorum
+  /// read; after expiry reads redirect to the coordinator, whose applied
+  /// prefix is authoritative. 0 disables leases (every follower read
+  /// redirects).
   TimeNs con_lease = 10 * kMs;
   /// Operations buffered at a follower while the coordinator is unknown or a
   /// forward is in flight; excess writes are rejected.

@@ -78,6 +78,7 @@ void ConsensusEngine::reset() {
   committed_upto_ = 0;
   applied_upto_ = 0;
   lease_expiry_ = 0;
+  lease_ballot_ = 0;
   coordinator_ = kInvalidNode;
   ballot_ = 0;
   electing_ = false;
@@ -140,8 +141,10 @@ void ConsensusEngine::on_config_update() {
   const SwitchId coord =
       m.empty() ? host_.self() : *std::min_element(m.begin(), m.end());
   // Any coordinator change (or epoch bump) invalidates follower leases: the
-  // new coordinator may commit without us until we hear from it.
-  if (coord != coordinator_) lease_expiry_ = 0;
+  // (re-)elected coordinator may commit without us until a message from its
+  // new ballot lands here. The ballot comparison catches the same-lowest-id
+  // epoch bump a plain coordinator-change test would miss.
+  if (coord != coordinator_ || lease_ballot_ < make_ballot(epoch(), coord)) lease_expiry_ = 0;
   coordinator_ = coord;
   if (coord != host_.self()) {
     electing_ = false;
@@ -213,10 +216,20 @@ void ConsensusEngine::finish_election() {
                                          "con_coordinator_elected", epoch());
   // Adopt the recovered log: the writer/req_id of every known slot is
   // sequenced (forward dedup across coordinator changes), and the proposal
-  // cursor moves past everything seen.
+  // cursor moves past everything seen. The dedup map is rebuilt from
+  // scratch — a stale entry for a slot that another coordinator superseded
+  // with a no-op fill would otherwise swallow the writer's retries as
+  // duplicates of a transaction that can no longer commit.
+  sequenced_.clear();
   for (const auto& [slot, entry] : log_) {
     next_slot_ = std::max(next_slot_, slot);
     if (entry.writer != kInvalidNode) sequenced_[{entry.writer, entry.req_id}] = slot;
+  }
+  // Slots inside the committed prefix are settled: phase 1's promise quorum
+  // intersects every commit quorum, so the highest-ballot entry recovered
+  // for such a slot IS the chosen value and is safe to apply here.
+  for (auto it = log_.begin(); it != log_.end() && it->first <= committed_upto_; ++it) {
+    it->second.committed = true;
   }
   // Re-propose accepted-but-uncommitted slots under our ballot; plug holes
   // with no-ops so the commit prefix can advance past them.
@@ -275,9 +288,16 @@ void ConsensusEngine::write(std::vector<pkt::WriteOp> ops, pkt::Packet output,
   ActiveTraceScope scope(host_, tr);
   if (is_coordinator() && !electing_) {
     // NOTE: a single-replica group commits and applies synchronously here,
-    // which releases (and erases) the pending write before this returns.
+    // which releases (and erases) the pending write before this returns
+    // (making the arm below a no-op).
     propose(LogEntry{ballot_, host_.self(),  req_id,
                      pending_writes_.at(req_id).ops});
+    // Coordinator-path writes need the retry timer too: if we are deposed
+    // with the slot in flight and the successor supersedes it (no-op fill),
+    // the retry re-routes the write to the new coordinator — or fails it
+    // after the budget — instead of stranding it (and its buffered output
+    // packet) forever.
+    arm_forward_retry(req_id);
     return;
   }
   ++stats_.forwards_sent;
@@ -410,6 +430,7 @@ void ConsensusEngine::advance_commit() {
     if (!it->second.committed && it->second.accepted_by.size() < quorum()) break;
     it->second.committed = true;
     ++committed_upto_;
+    log_.at(committed_upto_).committed = true;  // quorum reached: value chosen
   }
   if (committed_upto_ == before) return;
   // Newly committed slots: lag records open at the origin, learners are
@@ -454,9 +475,9 @@ void ConsensusEngine::repair_tick() {
   // Back-fill replicas whose applied prefix lags the commit prefix (lost
   // learns, or a revived switch that boots with an empty log). Caught-up
   // peers get the newest committed learn re-sent as a lease heartbeat: a
-  // learn receipt refreshes the replica's read lease, so local reads stay
-  // quorum-safe through idle periods (the re-learn of an applied slot is a
-  // no-op on their state).
+  // learn receipt refreshes the replica's read lease, so local reads keep
+  // their bounded-staleness guarantee through idle periods (the re-learn of
+  // an applied slot is a no-op on their state).
   for (SwitchId m : members()) {
     if (m == host_.self()) continue;
     const std::uint64_t pa = peer_applied_[m];
@@ -484,10 +505,11 @@ void ConsensusEngine::repair_tick() {
 // Acceptor / learner side
 // ---------------------------------------------------------------------------
 
-void ConsensusEngine::refresh_lease() {
+void ConsensusEngine::refresh_lease(std::uint64_t ballot) {
   const TimeNs lease = host_.config().con_lease;
   if (lease == 0) return;
   lease_expiry_ = host_.sw().simulator().now() + lease;
+  lease_ballot_ = std::max(lease_ballot_, ballot);
 }
 
 bool ConsensusEngine::lease_valid() const {
@@ -503,11 +525,16 @@ void ConsensusEngine::on_accept(const pkt::ConAccept& msg) {
   promised_ballot_ = msg.ballot;
   auto it = log_.find(msg.slot);
   if (it == log_.end() || it->second.ballot <= msg.ballot) {
-    log_[msg.slot] = LogEntry{msg.ballot, msg.writer, msg.req_id, msg.ops};
+    // An overwrite of an already-chosen entry can only come from a ballot >=
+    // the committing one, where the choice invariant forces the same value:
+    // the committed bit survives the overwrite.
+    const bool chosen = it != log_.end() && it->second.committed;
+    log_[msg.slot] = LogEntry{msg.ballot, msg.writer, msg.req_id, msg.ops, chosen};
   }
   committed_upto_ = std::max(committed_upto_, msg.commit_upto);
+  mark_committed(msg.commit_upto, msg.ballot);
   apply_committed_upto(committed_upto_);
-  refresh_lease();
+  refresh_lease(msg.ballot);
   deliver(ballot_owner(msg.ballot),
           pkt::ConAccepted{msg.epoch, msg.ballot, msg.slot, host_.self(), applied_upto_});
 }
@@ -520,22 +547,44 @@ void ConsensusEngine::on_learn(const pkt::ConLearn& msg) {
   promised_ballot_ = msg.ballot;
   auto it = log_.find(msg.slot);
   if (it == log_.end() || it->second.ballot <= msg.ballot) {
-    log_[msg.slot] = LogEntry{msg.ballot, msg.writer, msg.req_id, msg.ops};
+    // A learn carries the chosen value for the slot it names (commitment is
+    // permanent), so the fresh entry is committed outright.
+    log_[msg.slot] = LogEntry{msg.ballot, msg.writer, msg.req_id, msg.ops, true};
+  } else {
+    // Our entry outranks the learn's ballot; for a chosen slot any
+    // higher-ballot accept must carry the same value, so it is chosen too.
+    it->second.committed = true;
   }
   // A learn means the slot is committed even if commit_upto lags behind it.
   committed_upto_ = std::max({committed_upto_, msg.commit_upto, msg.slot});
+  mark_committed(msg.commit_upto, msg.ballot);
   apply_committed_upto(committed_upto_);
-  refresh_lease();
+  refresh_lease(msg.ballot);
   // The learn-ack: reports our applied prefix so the coordinator's repair
   // loop knows when to stop re-sending.
   deliver(ballot_owner(msg.ballot),
           pkt::ConAccepted{msg.epoch, msg.ballot, msg.slot, host_.self(), applied_upto_});
 }
 
+void ConsensusEngine::mark_committed(std::uint64_t upto, std::uint64_t ballot) {
+  // A commit-prefix proof (commit_upto) says slots <= upto are committed,
+  // NOT that our local entry at each of those slots is the chosen value: a
+  // minority accept from a dead coordinator can sit at a slot its successor
+  // filled differently. Only an entry accepted under at least the proving
+  // ballot is safe — the Paxos choice invariant forces it to equal the
+  // chosen value. Older entries stay unchosen and read as gaps until the
+  // repair loop re-learns them.
+  for (auto it = log_.upper_bound(applied_upto_); it != log_.end() && it->first <= upto; ++it) {
+    if (it->second.ballot >= ballot) it->second.committed = true;
+  }
+}
+
 void ConsensusEngine::apply_committed_upto(std::uint64_t upto) {
   while (applied_upto_ < upto) {
     auto it = log_.find(applied_upto_ + 1);
-    if (it == log_.end()) return;  // gap: the repair loop will back-fill it
+    // A missing entry, or one not yet known chosen, is a gap: the repair
+    // loop back-fills it with a learn before anything past it applies.
+    if (it == log_.end() || !it->second.committed) return;
     apply_entry(applied_upto_ + 1, it->second);
     ++applied_upto_;
   }
@@ -569,7 +618,7 @@ ReadStatus ConsensusEngine::read(pisa::PacketContext* ctx, std::uint32_t space,
   if (it == spaces_.end()) return ReadStatus::kMiss;
   const bool local_ok = is_coordinator()        // applied prefix is authoritative
                         || host_.authoritative()  // serving a redirect already
-                        || lease_valid()          // quorum-safe bounded staleness
+                        || lease_valid()          // lease-fresh: bounded staleness
                         || members().size() <= 1;
   if (!local_ok) {
     if (coordinator_ == kInvalidNode || ctx == nullptr) {

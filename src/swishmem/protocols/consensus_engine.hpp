@@ -112,6 +112,13 @@ class ConsensusEngine final : public ProtocolEngine {
     SwitchId writer = kInvalidNode;
     std::uint64_t req_id = 0;
     std::vector<pkt::WriteOp> ops;
+    /// True once this replica KNOWS the entry is the chosen value for its
+    /// slot (a learn named the slot, a commit-prefix proof covered it at a
+    /// ballot the entry matches, or this coordinator committed it). An
+    /// accepted-but-unchosen entry must never be applied: a commit prefix
+    /// can pass over a slot whose local entry is a stale minority accept
+    /// that a successor coordinator superseded.
+    bool committed = false;
   };
 
   /// Coordinator-side per-slot progress toward a quorum.
@@ -127,7 +134,7 @@ class ConsensusEngine final : public ProtocolEngine {
     WriteRelease release;
     TimeNs submit_time = 0;
     unsigned retries = 0;
-    sim::TimerHandle retry_timer;  ///< follower forward retry only
+    sim::TimerHandle retry_timer;  ///< forward retry / deposed-coordinator re-route
     telemetry::SpanContext trace;
   };
 
@@ -148,8 +155,13 @@ class ConsensusEngine final : public ProtocolEngine {
   /// Follower: forwards a pending write to the coordinator (with retry).
   void send_forward(std::uint64_t req_id);
   void arm_forward_retry(std::uint64_t req_id);
-  /// Applies every accepted slot up to `upto` that has not been applied yet;
-  /// stops at the first gap. Reports applies to the observatory.
+  /// Marks log entries in (applied prefix, `upto`] as chosen, but only those
+  /// accepted under at least `ballot` — anything older may be a superseded
+  /// minority accept and stays a gap for the repair loop to re-learn.
+  void mark_committed(std::uint64_t upto, std::uint64_t ballot);
+  /// Applies every KNOWN-CHOSEN slot up to `upto` that has not been applied
+  /// yet; stops at the first gap or unchosen entry. Reports applies to the
+  /// observatory.
   void apply_committed_upto(std::uint64_t upto);
   void apply_entry(std::uint64_t slot, const LogEntry& entry);
   /// Coordinator repair tick: re-send learns to replicas whose applied
@@ -160,7 +172,7 @@ class ConsensusEngine final : public ProtocolEngine {
   void finish_election();
   /// Releases a pending write whose transaction reached the applied log.
   void release_write(SwitchId writer, std::uint64_t req_id);
-  void refresh_lease();
+  void refresh_lease(std::uint64_t ballot);
 
   void deliver(SwitchId dst, const pkt::SwishMessage& msg);
   [[nodiscard]] const std::vector<SwitchId>& members() const noexcept;
@@ -179,6 +191,7 @@ class ConsensusEngine final : public ProtocolEngine {
   std::uint64_t committed_upto_ = 0;         ///< highest slot known committed
   std::uint64_t applied_upto_ = 0;           ///< contiguously applied prefix
   TimeNs lease_expiry_ = 0;                  ///< follower read lease
+  std::uint64_t lease_ballot_ = 0;           ///< ballot the lease was granted under
 
   // -- Coordinator state -------------------------------------------------------
   SwitchId coordinator_ = kInvalidNode;

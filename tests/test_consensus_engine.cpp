@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "swishmem/fabric.hpp"
+#include "swishmem/protocols/consensus_engine.hpp"
 
 namespace swish::shm {
 namespace {
@@ -282,6 +283,69 @@ TEST(Consensus, CrossEngineTransactionRefused) {
   fabric.run_for(20 * kMs);
   EXPECT_FALSE(released);
   EXPECT_FALSE(fabric.runtime(0).write_txn({}, pkt::Packet{}, [](pkt::Packet&&) {}));
+}
+
+TEST(Consensus, StaleMinorityAcceptNeverAppliesOnCommitAdvance) {
+  // Failover divergence regression: replica 3 accepts a value at slot 1 from
+  // a coordinator that then dies; the successor (whose promise quorum
+  // excluded replica 3) fills slot 1 differently and commits. The learn for
+  // slot 1 is lost, but a learn for slot 2 carries commit_upto = 2. The
+  // commit prefix passing over slot 1 must NOT apply the stale
+  // minority-accepted entry — it stays a gap until the repair learn names
+  // slot 1 with the actually-chosen value.
+  // Sparse stores distinguish "never written" from "written 0", which is
+  // exactly what the divergence probe needs.
+  Rig rig(cfg4(), SpaceKind::kSparse);
+  rig.fabric.run_for(20 * kMs);
+  // runtime(3) is switch id 4: a follower (switch 1 coordinates).
+  auto* eng = dynamic_cast<ConsensusEngine*>(rig.fabric.runtime(3).engine_for_space(kSpaceA));
+  ASSERT_NE(eng, nullptr);
+  ASSERT_FALSE(eng->is_coordinator());
+  const std::uint64_t b1 = (1000ULL << 32) | 4;  // dying coordinator (sw 3)
+  const std::uint64_t b2 = (2000ULL << 32) | 3;  // its successor (sw 2)
+  // Minority accept: only this replica ever saw value 111 at slot 1.
+  eng->handle_message(pkt::ConAccept{0, b1, 1, 0, 3, 0x42, {{kSpaceA, 5, 111}}});
+  EXPECT_EQ(eng->applied_upto(), 0u);
+  // Successor's learn for slot 2 proves slots <= 2 committed — but our
+  // slot-1 entry was accepted under the older ballot and may be superseded.
+  eng->handle_message(pkt::ConLearn{0, b2, 2, 2, 2, 0x43, {{kSpaceA, 6, 222}}});
+  EXPECT_FALSE(rig.stored(3, kSpaceA, 5).has_value())
+      << "stale minority accept applied when the commit prefix passed it";
+  EXPECT_EQ(eng->applied_upto(), 0u) << "must stall at the unchosen slot, not skip it";
+  // The repair learn names slot 1 with the chosen no-op fill: the log
+  // unblocks and applies in order, without ever surfacing value 111.
+  eng->handle_message(pkt::ConLearn{0, b2, 1, 2, kInvalidNode, 0, {}});
+  EXPECT_EQ(eng->applied_upto(), 2u);
+  EXPECT_FALSE(rig.stored(3, kSpaceA, 5).has_value());
+  EXPECT_EQ(rig.stored(3, kSpaceA, 6).value_or(~0ull), 222u);
+}
+
+TEST(Consensus, DeposedCoordinatorWriteRetriesInsteadOfStranding) {
+  // A write proposed by the coordinator itself must carry the same retry
+  // protection as a forwarded one: if the coordinator is deposed with the
+  // slot in flight, the pending write re-routes (or fails after the retry
+  // budget) instead of leaking its buffered packet forever.
+  FabricConfig cfg = cfg4();
+  cfg.link.propagation_delay = 1 * kMs;  // keep the accepts in flight
+  Rig rig(cfg);
+  rig.fabric.run_for(50 * kMs);
+  auto* eng = dynamic_cast<ConsensusEngine*>(rig.fabric.runtime(0).engine_for_space(kSpaceA));
+  ASSERT_NE(eng, nullptr);
+  ASSERT_TRUE(eng->is_coordinator());
+  rig.fabric.sw(0).inject(udp(55, 1007));
+  rig.fabric.run_for(900 * kUs);  // proposed; ConAccepted replies still in flight
+  EXPECT_EQ(eng->con_stats().writes_submitted.value(), 1u);
+  // A higher-ballot prepare (naming switch 2 as coordinator) deposes
+  // switch 1; the in-flight slot can never commit here and nobody answers
+  // the re-routed forwards either (the rest of the fabric still believes in
+  // switch 1), so the retry budget must eventually fail the write rather
+  // than strand it.
+  eng->handle_message(pkt::ConPrepare{0, (5000ULL << 32) | 3, 2});
+  ASSERT_FALSE(eng->is_coordinator());
+  rig.fabric.run_for(300 * kMs);  // > con_max_retries * con_retry_timeout
+  EXPECT_EQ(eng->con_stats().writes_failed.value(), 1u)
+      << "deposed coordinator's write neither re-routed nor failed: stranded";
+  EXPECT_EQ(rig.delivered, 0u);
 }
 
 TEST(Consensus, SingleSwitchDeploymentCommitsSynchronously) {
