@@ -80,9 +80,10 @@ struct Options {
             << "  --write-baseline FILE  also write this run's params/results in the\n"
             << "                    baseline-block shape (only measured metrics — no\n"
             << "                    null placeholders)\n"
-            << "  --overhead-gate P run the scenario twice — causal tracing off vs\n"
-            << "                    enabled-but-unsampled — and fail (exit 1) when the\n"
-            << "                    enabled run is more than P%% slower\n"
+            << "  --overhead-gate P run the telemetry A/B comparison — baseline vs\n"
+            << "                    causal tracing enabled-but-unsampled vs INT-MD\n"
+            << "                    1-in-64 sampled — and fail (exit 1) when either\n"
+            << "                    telemetry run is more than P%% slower\n"
             << "  --quiet           suppress the human-readable summary\n";
   std::exit(2);
 }
@@ -245,13 +246,14 @@ struct RunStats {
 };
 
 RunStats run_scenario(const Options& opt, std::size_t shards, std::uint64_t span_sample,
-                      bool observatory = false) {
+                      bool observatory = false, std::uint64_t int_sample = 0) {
   shm::FabricConfig cfg;
   cfg.num_switches = opt.leaves;
   cfg.topology = shm::FabricConfig::Topology::kLeafSpine;
   cfg.spine_count = opt.spines;
   cfg.seed = 7;
   cfg.shards = shards;
+  cfg.int_sample_every = int_sample;
 
   shm::Fabric fabric(cfg);
   if (span_sample > 0) fabric.enable_spans(span_sample);
@@ -345,9 +347,13 @@ int run_overhead_gate(const Options& opt) {
   //    design accounts EVERY write exactly (it is not sampled) — reported
   //    for transparency, not gated: this workload writes on every packet,
   //    the worst case for per-write accounting.
+  //  - INT 1-in-64 sampled: in-band telemetry at its documented default-ish
+  //    rate — sampled packets carry the trailer and every traversed switch
+  //    appends a hop record. GATED like the span configuration: telemetry at
+  //    a production sampling rate must stay within the budget.
   constexpr int kRounds = 7;
-  RunStats off, on, full;
-  std::vector<double> on_deltas, full_deltas;
+  RunStats off, on, full, intr;
+  std::vector<double> on_deltas, full_deltas, int_deltas;
   for (int r = 0; r < kRounds; ++r) {
     RunStats o = run_scenario(opt, 1, 0);
     if (r == 0 || o.cpu_seconds < off.cpu_seconds) off = o;
@@ -355,17 +361,23 @@ int run_overhead_gate(const Options& opt) {
     if (r == 0 || s.cpu_seconds < on.cpu_seconds) on = s;
     RunStats f = run_scenario(opt, 1, std::uint64_t{1} << 62, true);
     if (r == 0 || f.cpu_seconds < full.cpu_seconds) full = f;
+    RunStats t = run_scenario(opt, 1, 0, false, 64);
+    if (r == 0 || t.cpu_seconds < intr.cpu_seconds) intr = t;
     const double o_pps = static_cast<double>(o.processed) / o.cpu_seconds;
     const double s_pps = static_cast<double>(s.processed) / s.cpu_seconds;
     const double f_pps = static_cast<double>(f.processed) / f.cpu_seconds;
+    const double t_pps = static_cast<double>(t.processed) / t.cpu_seconds;
     on_deltas.push_back(100.0 * (o_pps - s_pps) / o_pps);
     full_deltas.push_back(100.0 * (o_pps - f_pps) / o_pps);
+    int_deltas.push_back(100.0 * (o_pps - t_pps) / o_pps);
   }
   const double off_pps = static_cast<double>(off.processed) / off.cpu_seconds;
   const double on_pps = static_cast<double>(on.processed) / on.cpu_seconds;
   const double full_pps = static_cast<double>(full.processed) / full.cpu_seconds;
+  const double int_pps = static_cast<double>(intr.processed) / intr.cpu_seconds;
   const double delta_pct = *std::min_element(on_deltas.begin(), on_deltas.end());
   const double full_pct = *std::min_element(full_deltas.begin(), full_deltas.end());
+  const double int_pct = *std::min_element(int_deltas.begin(), int_deltas.end());
   std::cout << "overhead gate (threshold " << json_num(opt.overhead_gate)
             << "%, cleanest paired delta over " << kRounds << " rounds)\n"
             << "  tracer off           " << json_num(off_pps) << " pps ("
@@ -375,10 +387,19 @@ int run_overhead_gate(const Options& opt) {
             << json_num(delta_pct) << "% [gated]\n"
             << "  + lag observatory    " << json_num(full_pps) << " pps ("
             << json_num(full.cpu_seconds) << " s cpu best)  delta "
-            << json_num(full_pct) << "% [informational]\n";
+            << json_num(full_pct) << "% [informational]\n"
+            << "  INT 1-in-64 sampled  " << json_num(int_pps) << " pps ("
+            << json_num(intr.cpu_seconds) << " s cpu best)  delta "
+            << json_num(int_pct) << "% [gated]\n";
   if (delta_pct > opt.overhead_gate) {
     std::cerr << "bench_throughput: FAIL — enabled-but-unsampled tracing costs "
               << json_num(delta_pct) << "% > " << json_num(opt.overhead_gate)
+              << "% gate\n";
+    return 1;
+  }
+  if (int_pct > opt.overhead_gate) {
+    std::cerr << "bench_throughput: FAIL — INT 1-in-64 sampling costs "
+              << json_num(int_pct) << "% > " << json_num(opt.overhead_gate)
               << "% gate\n";
     return 1;
   }

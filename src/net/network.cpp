@@ -1,8 +1,10 @@
 #include "net/network.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "common/log.hpp"
+#include "packet/int_md.hpp"
 
 namespace swish::net {
 
@@ -23,6 +25,17 @@ std::uint64_t mix64(std::uint64_t z) {
 
 std::uint64_t link_seed(std::uint64_t seed, NodeId node, PortId port) {
   return mix64(seed ^ mix64((static_cast<std::uint64_t>(node) << 32) | port));
+}
+
+// Mirror-on-drop forensics: if the packet carries an INT trailer, its hop
+// stack rides along in the drop record so the collector can place the drop
+// on the path. Wire drops are rare, so this always probes the trailer (the
+// false-positive rate of the magic check is ~2^-40).
+std::vector<telemetry::IntHop> int_hops_of(const pkt::Packet& packet) {
+  if (std::optional<pkt::IntStack> stack = pkt::read_int_stack(packet)) {
+    return std::move(stack->hops);
+  }
+  return {};
 }
 
 }  // namespace
@@ -65,6 +78,9 @@ Network::LinkCounters Network::make_counters(NodeId node, PortId port, NodeId pe
   c.packets_delivered = sim_for(peer).metrics().counter(prefix + "packets_delivered");
   c.packets_dropped_loss = reg.counter(prefix + "packets_dropped_loss");
   c.packets_dropped_queue = reg.counter(prefix + "packets_dropped_queue");
+  // Dead-peer drops happen inside the delivery event on the receiving shard,
+  // so (like packets_delivered) the cell lives in that shard's registry.
+  c.packets_dropped_dead = sim_for(peer).metrics().counter(prefix + "packets_dropped_dead");
   return c;
 }
 
@@ -97,6 +113,8 @@ void Network::send(NodeId from, PortId port, pkt::Packet packet, TimeNs egress_d
     ++link.stats.packets_dropped_queue;
     src_sim.tracer().record(telemetry::kTraceDrop, from, "link_queue_drop", link.to,
                             packet.size());
+    src_sim.drops().record(from, telemetry::DropReason::kLinkQueueOverflow, packet.size(),
+                           link.to, int_hops_of(packet));
     return;
   }
   TimeNs tx_time = 0;
@@ -116,6 +134,8 @@ void Network::send(NodeId from, PortId port, pkt::Packet packet, TimeNs egress_d
     ++link.stats.packets_dropped_loss;
     src_sim.tracer().record(telemetry::kTraceDrop, from, "link_loss_drop", link.to,
                             packet.size());
+    src_sim.drops().record(from, telemetry::DropReason::kLinkLoss, packet.size(), link.to,
+                           int_hops_of(packet));
     return;
   }
 
@@ -144,7 +164,16 @@ void Network::send(NodeId from, PortId port, pkt::Packet packet, TimeNs egress_d
     auto it = nodes_.find(to);
     if (it == nodes_.end()) return;
     Node* n = it->second;
-    if (!n->alive()) return;  // failed switches black-hole traffic
+    if (!n->alive()) {
+      // Failed switches black-hole traffic — but not silently: the membership
+      // layer's suspicion window shows up here as typed dead-node drops.
+      sim::Simulator& dst_sim = sim_for(to);
+      ++half(from, port).stats.packets_dropped_dead;
+      dst_sim.tracer().record(telemetry::kTraceDrop, to, "dead_node_drop", from, p.size());
+      dst_sim.drops().record(to, telemetry::DropReason::kDeadNode, p.size(), from,
+                             int_hops_of(p));
+      return;
+    }
     ++half(from, port).stats.packets_delivered;
     n->handle_packet(std::move(p), to_port);
   };
@@ -188,6 +217,7 @@ LinkStats Network::total_stats() const {
       total.packets_delivered += h.stats.packets_delivered;
       total.packets_dropped_loss += h.stats.packets_dropped_loss;
       total.packets_dropped_queue += h.stats.packets_dropped_queue;
+      total.packets_dropped_dead += h.stats.packets_dropped_dead;
     }
   }
   return total;
@@ -195,8 +225,9 @@ LinkStats Network::total_stats() const {
 
 LinkStats Network::stats(NodeId node, PortId port) const {
   const LinkCounters& c = half(node, port).stats;
-  return LinkStats{c.packets_sent, c.bytes_sent, c.packets_delivered, c.packets_dropped_loss,
-                   c.packets_dropped_queue};
+  return LinkStats{c.packets_sent,         c.bytes_sent,
+                   c.packets_delivered,    c.packets_dropped_loss,
+                   c.packets_dropped_queue, c.packets_dropped_dead};
 }
 
 std::unordered_map<NodeId, std::vector<NodeId>> Network::adjacency() const {

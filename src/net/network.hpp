@@ -65,13 +65,17 @@ struct LinkParams {
 ///    transmitter has spent the serialization time);
 ///  - packets_delivered counts packets handed to a live peer, so
 ///    packets_sent - packets_delivered is the precise on-wire + dead-peer
-///    loss seen by benches.
+///    loss seen by benches;
+///  - packets_dropped_dead counts packets that survived the wire but arrived
+///    at a failed peer (black-holed); packets_dropped_loss +
+///    packets_dropped_dead == packets_sent - packets_delivered.
 struct LinkStats {
   std::uint64_t packets_sent = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t packets_delivered = 0;
   std::uint64_t packets_dropped_loss = 0;
   std::uint64_t packets_dropped_queue = 0;
+  std::uint64_t packets_dropped_dead = 0;
 };
 
 /// Registry of nodes and links; routes packets between them in virtual time.
@@ -166,6 +170,7 @@ class Network {
     telemetry::Counter packets_delivered;
     telemetry::Counter packets_dropped_loss;
     telemetry::Counter packets_dropped_queue;
+    telemetry::Counter packets_dropped_dead;  ///< receiver-shard cell, like packets_delivered
   };
 
   /// One direction of a link. Mutable fields (next_free_time, rng, counter

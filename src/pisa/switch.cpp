@@ -1,6 +1,11 @@
 #include "pisa/switch.hpp"
 
+#include <algorithm>
+#include <optional>
+#include <utility>
+
 #include "common/log.hpp"
+#include "packet/int_md.hpp"
 
 namespace swish::pisa {
 
@@ -22,6 +27,7 @@ Switch::Switch(sim::Simulator& simulator, net::Network& network, NodeId id, Conf
   stats_.processed = reg.counter(prefix + "processed");
   stats_.dropped_capacity = reg.counter(prefix + "dropped_capacity");
   stats_.dropped_recirc = reg.counter(prefix + "dropped_recirc");
+  stats_.dropped_noroute = reg.counter(prefix + "dropped_noroute");
   stats_.injected = reg.counter(prefix + "injected");
   stats_.delivered = reg.counter(prefix + "delivered");
   stats_.recirculated = reg.counter(prefix + "recirculated");
@@ -29,6 +35,7 @@ Switch::Switch(sim::Simulator& simulator, net::Network& network, NodeId id, Conf
   control_plane_.set_gate([this]() { return alive(); });
   dp_per_packet_ = static_cast<TimeNs>(static_cast<double>(kSec) / config_.dataplane_pps);
   dp_backlog_limit_ = dp_per_packet_ * static_cast<TimeNs>(config_.dataplane_queue);
+  int_countdown_ = config_.int_sample_every;
 }
 
 RegisterArray& Switch::add_register_array(std::string name, std::size_t size,
@@ -91,12 +98,24 @@ void Switch::inject(pkt::Packet packet) {
   if (!alive()) return;
   ++stats_.injected;
   tracer_.record(telemetry::kTracePacket, id(), "inject", packet.size());
+  if (int_enabled() && --int_countdown_ == 0) {
+    // 1-in-N edge sampling: tag this packet with an empty INT trailer. The
+    // countdown is a pure function of this switch's inject sequence, so the
+    // sampled set is identical across shard counts.
+    int_countdown_ = config_.int_sample_every;
+    packet = pkt::with_int_trailer(
+        packet, static_cast<std::uint8_t>(std::min(config_.int_hop_cap, 255u)));
+    tracer_.record(telemetry::kTraceInt, id(), "int_tag", packet.size());
+  }
   process(std::move(packet), net::kInvalidPort, /*from_edge=*/true, /*recirc_count=*/0);
 }
 
 void Switch::process(pkt::Packet packet, net::PortId ingress_port, bool from_edge,
                      unsigned recirc_count) {
-  if (!admit()) return;
+  if (!admit()) {
+    report_drop(telemetry::DropReason::kDataplaneCapacity, &packet, recirc_count);
+    return;
+  }
   ++stats_.processed;
   if (!program_) return;  // no program installed: sink
   PacketContext ctx{*this, std::move(packet), nullptr, ingress_port, from_edge,
@@ -114,6 +133,9 @@ void Switch::send_to_node(NodeId dst, pkt::Packet packet, std::uint64_t flow_has
   const net::PortId port = routing_.pick(dst, flow_hash);
   if (port == net::kInvalidPort) {
     SWISH_LOG_DEBUG("switch ", id(), ": no route to ", dst, ", dropping");
+    ++stats_.dropped_noroute;
+    tracer_.record(telemetry::kTraceDrop, id(), "no_route_drop", dst);
+    report_drop(telemetry::DropReason::kNoRoute, &packet, dst);
     return;
   }
   send_to_port(port, std::move(packet));
@@ -122,6 +144,11 @@ void Switch::send_to_node(NodeId dst, pkt::Packet packet, std::uint64_t flow_has
 void Switch::send_to_port(net::PortId port, pkt::Packet packet) {
   ++stats_.sent;
   tracer_.record(telemetry::kTracePacket, id(), "send", port, packet.size());
+  if (int_enabled() && pkt::has_int_trailer(packet)) {
+    bool truncated = false;
+    packet = pkt::push_int_hop(packet, make_int_hop(port), &truncated);
+    tracer_.record(telemetry::kTraceInt, id(), "int_hop", port, truncated ? 1 : 0);
+  }
   // Egress after the pipeline traversal latency, handed to the network
   // directly instead of through a per-packet egress event: the latency is a
   // fixed offset, so the wire timeline is identical and the simulator never
@@ -131,6 +158,11 @@ void Switch::send_to_port(net::PortId port, pkt::Packet packet) {
 }
 
 void Switch::deliver(pkt::Packet packet) {
+  if (int_enabled() && record_int_sink(packet)) {
+    // The trailer served its purpose; the delivery sink must observe the
+    // exact bytes the source sent (stamps decode from the l4 payload).
+    packet = pkt::strip_int_trailer(packet);
+  }
   ++stats_.delivered;
   tracer_.record(telemetry::kTracePacket, id(), "deliver", packet.size());
   if (!delivery_sink_) return;
@@ -143,6 +175,7 @@ void Switch::recirculate(pkt::Packet packet, unsigned recirc_count) {
   if (recirc_count >= config_.max_recirculations) {
     ++stats_.dropped_recirc;
     tracer_.record(telemetry::kTraceDrop, id(), "recirc_cap_drop", recirc_count);
+    report_drop(telemetry::DropReason::kRecircCap, &packet, recirc_count);
     return;
   }
   ++stats_.recirculated;
@@ -164,11 +197,63 @@ void Switch::multicast_nodes(std::span<const SwitchId> nodes, const pkt::Packet&
     const net::PortId port = routing_.pick(dst, /*flow_hash=*/dst);
     if (port == net::kInvalidPort) {
       SWISH_LOG_DEBUG("switch ", id(), ": no route to ", dst, ", dropping");
+      ++stats_.dropped_noroute;
+      tracer_.record(telemetry::kTraceDrop, id(), "no_route_drop", dst);
+      report_drop(telemetry::DropReason::kNoRoute, &packet, dst);
       continue;
     }
     ++stats_.sent;
     network_.send(id(), port, packet, config_.pipeline_latency);
   }
+}
+
+telemetry::IntHop Switch::make_int_hop(net::PortId egress_port) const {
+  const TimeNs now = sim_.now();
+  telemetry::IntHop hop;
+  hop.switch_id = static_cast<std::uint32_t>(id());
+  hop.ingress_ts = now;
+  hop.egress_ts = now + config_.pipeline_latency;
+  // Queue depth in packets, derived from the data-plane backlog the same way
+  // admit() measures it (0 when the data plane is unconstrained).
+  hop.queue_depth = 0;
+  if (dp_per_packet_ > 0 && dp_free_time_ > now) {
+    hop.queue_depth = static_cast<std::uint32_t>((dp_free_time_ - now) / dp_per_packet_);
+  }
+  // rule_hit encodes the forwarding decision: egress port + 1, 0 = local.
+  hop.rule_hit = egress_port == net::kInvalidPort
+                     ? 0
+                     : static_cast<std::uint32_t>(egress_port) + 1;
+  return hop;
+}
+
+bool Switch::record_int_sink(const pkt::Packet& packet) {
+  if (!pkt::has_int_trailer(packet)) return false;
+  std::optional<pkt::IntStack> stack = pkt::read_int_stack(packet);
+  if (!stack) return false;
+  // The sink switch never egresses the packet, so it appends itself here in
+  // the decoded report rather than on the wire (and is exempt from the cap).
+  stack->hops.push_back(make_int_hop(net::kInvalidPort));
+  const std::size_t original_bytes = packet.size() - pkt::int_trailer_size(packet);
+  sim_.int_log().record(id(), std::move(stack->hops), stack->truncated, stack->hop_cap,
+                        original_bytes);
+  tracer_.record(telemetry::kTraceInt, id(), "int_sink", original_bytes,
+                 stack->truncated ? 1 : 0);
+  return true;
+}
+
+void Switch::report_drop(telemetry::DropReason reason, const pkt::Packet* packet,
+                         std::uint64_t detail) {
+  std::vector<telemetry::IntHop> hops;
+  std::size_t bytes = 0;
+  if (packet != nullptr) {
+    bytes = packet->size();
+    if (int_enabled() && pkt::has_int_trailer(*packet)) {
+      if (std::optional<pkt::IntStack> stack = pkt::read_int_stack(*packet)) {
+        hops = std::move(stack->hops);
+      }
+    }
+  }
+  sim_.drops().record(id(), reason, bytes, detail, std::move(hops));
 }
 
 sim::TimerHandle Switch::start_packet_generator(TimeNs period, std::function<void()> fn) {

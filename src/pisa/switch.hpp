@@ -55,6 +55,10 @@ class Switch : public net::Node {
     std::size_t dataplane_queue = 16384;   ///< packets buffered before tail drop
     std::size_t memory_budget = 10 * 1024 * 1024;  ///< ~10 MB SRAM (§1)
     unsigned max_recirculations = 16;      ///< per-packet cap; 0 disables recirculation
+    /// INT-MD sampling: tag 1-in-N edge-injected packets with a telemetry
+    /// trailer (0 = off; unsampled traffic stays byte-identical).
+    std::uint64_t int_sample_every = 0;
+    unsigned int_hop_cap = 8;              ///< max on-wire hop records (1..255)
     ControlPlane::Config control_plane;
   };
 
@@ -65,6 +69,7 @@ class Switch : public net::Node {
     telemetry::Counter processed;
     telemetry::Counter dropped_capacity;
     telemetry::Counter dropped_recirc;  ///< recirculation-cap drops
+    telemetry::Counter dropped_noroute;  ///< no route to destination node
     telemetry::Counter injected;
     telemetry::Counter delivered;
     telemetry::Counter recirculated;
@@ -143,6 +148,24 @@ class Switch : public net::Node {
   /// §7); skips this switch's own id.
   void multicast_nodes(std::span<const SwitchId> nodes, const pkt::Packet& packet);
 
+  // -- Telemetry ---------------------------------------------------------------
+
+  /// Whether INT-MD sampling is on for this switch (trailer checks are gated
+  /// on this so unsampled runs never scan packet tails).
+  [[nodiscard]] bool int_enabled() const noexcept { return config_.int_sample_every > 0; }
+
+  /// Sink-side INT extraction: if the packet carries an INT trailer, decodes
+  /// its hop stack, appends this switch as the final hop (rule_hit = 0,
+  /// i.e. terminated locally), and records an IntSinkReport. Returns true
+  /// when a trailer was present (caller decides whether to strip it).
+  bool record_int_sink(const pkt::Packet& packet);
+
+  /// Mirror-on-drop: records a typed drop into this simulator's drop ring,
+  /// carrying the packet's INT hop stack when it has one. `packet` may be
+  /// null for packetless drops (e.g. protocol-level rejects).
+  void report_drop(telemetry::DropReason reason, const pkt::Packet* packet,
+                   std::uint64_t detail = 0);
+
   // -- Background tasks -------------------------------------------------------
 
   /// Data-plane packet generator: runs `fn` every `period` ns with no
@@ -164,6 +187,10 @@ class Switch : public net::Node {
   /// Enforces data-plane capacity; returns false when the packet is dropped.
   bool admit();
 
+  /// Builds this switch's per-hop INT record for a packet egressing on
+  /// `egress_port` (kInvalidPort = terminated locally).
+  [[nodiscard]] telemetry::IntHop make_int_hop(net::PortId egress_port) const;
+
   sim::Simulator& sim_;
   net::Network& network_;
   Config config_;
@@ -179,6 +206,7 @@ class Switch : public net::Node {
   // the backlog bound, both derived from config once at construction.
   TimeNs dp_per_packet_ = 0;
   TimeNs dp_backlog_limit_ = 0;
+  std::uint64_t int_countdown_ = 0;  ///< 1-in-N sampling countdown (edge ingress)
 };
 
 }  // namespace swish::pisa

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "telemetry/drop.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/observatory.hpp"
 #include "telemetry/span.hpp"
@@ -173,6 +174,8 @@ class Simulator {
     tracer_.set_clock(&now_);
     spans_.set_clock(&now_);
     observatory_.set_clock(&now_);
+    drops_.set_clock(&now_);
+    int_log_.set_clock(&now_);
   }
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -196,6 +199,10 @@ class Simulator {
   [[nodiscard]] const telemetry::ConsistencyObservatory& observatory() const noexcept {
     return observatory_;
   }
+  [[nodiscard]] telemetry::DropRing& drops() noexcept { return drops_; }
+  [[nodiscard]] const telemetry::DropRing& drops() const noexcept { return drops_; }
+  [[nodiscard]] telemetry::IntReportLog& int_log() noexcept { return int_log_; }
+  [[nodiscard]] const telemetry::IntReportLog& int_log() const noexcept { return int_log_; }
 
   /// Fire-and-forget: runs `fn` at absolute virtual time `t` (>= now). No
   /// cancellation flag is allocated; use this on hot paths that never cancel.
@@ -304,6 +311,8 @@ class Simulator {
   telemetry::Tracer tracer_;
   telemetry::SpanRecorder spans_;
   telemetry::ConsistencyObservatory observatory_;
+  telemetry::DropRing drops_;
+  telemetry::IntReportLog int_log_;
 };
 
 }  // namespace swish::sim

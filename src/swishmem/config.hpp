@@ -160,6 +160,13 @@ struct RuntimeConfig {
   /// forward is in flight; excess writes are rejected.
   std::size_t con_queue_limit = 1024;
 
+  // Telemetry ---------------------------------------------------------------
+  /// INT-MD sampling of protocol traffic sent by this runtime: tag 1-in-N
+  /// outgoing protocol packets with a telemetry trailer (0 = off). Mirrors
+  /// the switch-level edge sampling knob; the fabric sets both together.
+  std::uint64_t int_sample_every = 0;
+  unsigned int_hop_cap = 8;  ///< max on-wire hop records (1..255)
+
   // Clocks -----------------------------------------------------------------
   /// Fixed offset of this switch's clock from simulated true time; the paper
   /// cites data-plane PTP achieving tens of ns (§6.2).

@@ -1,6 +1,7 @@
 #include "swishmem/fabric.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <stdexcept>
 
 #include "net/partition.hpp"
@@ -36,6 +37,16 @@ std::size_t validated_shards(const FabricConfig& c) {
 Fabric::Fabric(FabricConfig config)
     : config_(config), shards_(validated_shards(config_)), net_(shards_, config.seed) {
   if (config_.num_switches == 0) throw std::invalid_argument("Fabric: need >= 1 switch");
+
+  // The fabric-level INT knob fans out to both sampling points: the switch
+  // config (edge tagging, hop append, sink extraction — spines included) and
+  // the runtime config (protocol-send sampling, applied at install()).
+  if (config_.int_sample_every > 0) {
+    config_.switch_config.int_sample_every = config_.int_sample_every;
+    config_.switch_config.int_hop_cap = config_.int_hop_cap;
+    config_.runtime.int_sample_every = config_.int_sample_every;
+    config_.runtime.int_hop_cap = config_.int_hop_cap;
+  }
 
   // Partition before any node exists: Switch constructors capture their
   // shard's simulator, and connect() derives the conservative lookahead from
@@ -214,6 +225,40 @@ void Fabric::enable_spans(std::uint64_t sample_every, std::size_t max_spans) {
   for (std::size_t k = 0; k < shards_.count(); ++k) {
     shards_.sim(k).spans().enable(sample_every, max_spans);
   }
+}
+
+std::vector<telemetry::DropRecord> Fabric::all_drop_records() const {
+  std::vector<telemetry::DropRecord> out;
+  for (std::size_t k = 0; k < shards_.count(); ++k) {
+    std::vector<telemetry::DropRecord> part = shards_.sim(k).drops().records();
+    out.insert(out.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  telemetry::sort_canonical(out);
+  return out;
+}
+
+std::map<NodeId, std::array<std::uint64_t, telemetry::kNumDropReasons>>
+Fabric::all_drop_counts() const {
+  std::map<NodeId, std::array<std::uint64_t, telemetry::kNumDropReasons>> out;
+  for (std::size_t k = 0; k < shards_.count(); ++k) {
+    for (const auto& [node, counts] : shards_.sim(k).drops().counts()) {
+      auto& dst = out[node];
+      for (std::size_t r = 0; r < telemetry::kNumDropReasons; ++r) dst[r] += counts[r];
+    }
+  }
+  return out;
+}
+
+std::vector<telemetry::IntSinkReport> Fabric::all_int_reports() const {
+  std::vector<telemetry::IntSinkReport> out;
+  for (std::size_t k = 0; k < shards_.count(); ++k) {
+    std::vector<telemetry::IntSinkReport> part = shards_.sim(k).int_log().reports();
+    out.insert(out.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  telemetry::sort_canonical(out);
+  return out;
 }
 
 void Fabric::enable_observatory() {

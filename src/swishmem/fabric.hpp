@@ -48,6 +48,13 @@ struct FabricConfig {
   /// Per-switch clock skew bound: switch i gets offset in [0, bound] (§6.2
   /// cites data-plane time sync within tens of ns).
   TimeNs clock_skew_bound = 50;
+
+  /// INT-MD sampling (0 = off): tag 1-in-N edge-injected packets and 1-in-N
+  /// protocol sends with a per-hop telemetry trailer. Copied into both the
+  /// switch config (edge sampling, hop append, sink extraction) and the
+  /// runtime config (protocol-send sampling) at construction.
+  std::uint64_t int_sample_every = 0;
+  unsigned int_hop_cap = 8;  ///< max on-wire hop records per packet (1..255)
 };
 
 class Fabric {
@@ -128,6 +135,18 @@ class Fabric {
 
   /// All recorded causal spans, concatenated in shard order.
   [[nodiscard]] std::vector<telemetry::Span> all_spans() const { return shards_.all_spans(); }
+
+  /// All drop records across shards in canonical (time, node, seq) order —
+  /// identical at every shard count (per-node rings, per-node seq).
+  [[nodiscard]] std::vector<telemetry::DropRecord> all_drop_records() const;
+
+  /// Per-(node, reason) drop totals summed across shards (never evicted,
+  /// unlike the bounded record rings).
+  [[nodiscard]] std::map<NodeId, std::array<std::uint64_t, telemetry::kNumDropReasons>>
+  all_drop_counts() const;
+
+  /// All INT sink reports across shards in canonical (time, sink, seq) order.
+  [[nodiscard]] std::vector<telemetry::IntSinkReport> all_int_reports() const;
 
   /// Enables span sampling on every shard's recorder.
   void enable_spans(std::uint64_t sample_every,

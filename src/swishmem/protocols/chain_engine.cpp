@@ -98,6 +98,8 @@ void ChainEngine::write(std::vector<pkt::WriteOp> ops, pkt::Packet output, Write
   ++stats_.writes_submitted;
   if (pending_writes_.size() >= host_.config().cp_buffer_limit) {
     ++stats_.writes_rejected;
+    host_.report_drop(telemetry::DropReason::kCpBufferFull,
+                      ops.empty() ? 0 : ops.front().key);
     return;
   }
   // 40-bit mask: the counter must never wrap into the switch-id bits (same
@@ -130,6 +132,7 @@ void ChainEngine::write(std::vector<pkt::WriteOp> ops, pkt::Packet output, Write
   if (!accepted) {
     pending_writes_.erase(id);
     ++stats_.writes_rejected;
+    host_.report_drop(telemetry::DropReason::kCpBufferFull, id);
   }
 }
 
@@ -156,6 +159,7 @@ void ChainEngine::arm_retry(std::uint64_t write_id) {
         if (pit == pending_writes_.end()) return;  // already committed
         if (++pit->second.retries > host_.config().max_write_retries) {
           ++stats_.writes_failed;
+          host_.report_drop(telemetry::DropReason::kWriteRetriesExhausted, write_id);
           pending_writes_.erase(pit);
           return;
         }

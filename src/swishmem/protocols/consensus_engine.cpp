@@ -274,6 +274,7 @@ void ConsensusEngine::write(std::vector<pkt::WriteOp> ops, pkt::Packet output,
   }
   if (pending_writes_.size() >= host_.config().con_queue_limit) {
     ++stats_.writes_rejected;
+    host_.report_drop(telemetry::DropReason::kConQueueOverflow, ops.front().key);
     return;
   }
   const std::uint64_t req_id = mint_req_id();
@@ -328,7 +329,10 @@ void ConsensusEngine::arm_forward_retry(std::uint64_t req_id) {
         auto pit = pending_writes_.find(req_id);
         if (pit == pending_writes_.end()) return;  // applied and released
         if (++pit->second.retries > host_.config().con_max_retries) {
+          // The forward/propose budget ran dry: no quorum (or coordinator)
+          // was reachable within the retry window.
           ++stats_.writes_failed;
+          host_.report_drop(telemetry::DropReason::kQuorumUnreachable, req_id);
           pending_writes_.erase(pit);
           return;
         }

@@ -24,6 +24,7 @@
 #include "packet/swish_wire.hpp"
 #include "swishmem/config.hpp"
 #include "swishmem/store/ordered_index.hpp"
+#include "telemetry/drop.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/observatory.hpp"
 #include "telemetry/span.hpp"
@@ -120,6 +121,15 @@ class EngineHost {
   /// donor-side tap of §6.3).
   virtual void recovery_tap(const std::vector<pkt::WriteOp>& ops,
                             const std::vector<SeqNum>& seqs) = 0;
+
+  /// Mirror-on-drop: reports a protocol-level reject/abandon (queue
+  /// overflow, retry exhaustion, quorum loss) into the simulation's typed
+  /// drop ring. `detail` is site-specific (usually the key or peer involved).
+  /// Defaulted to a no-op: external hosts need no forensics.
+  virtual void report_drop(telemetry::DropReason reason, std::uint64_t detail) {
+    (void)reason;
+    (void)detail;
+  }
 
   // -- Observability (defaulted: external hosts need no tracing) ----------------
   /// Span recorder of this simulation, or nullptr when causal tracing is

@@ -229,6 +229,7 @@ void OwnerEngine::apply_or_acquire(std::uint32_t space, std::uint64_t key, Queue
   }
   if (pit->second.queue.size() >= host_.config().own_queue_limit) {
     ++stats_.queue_rejected;
+    host_.report_drop(telemetry::DropReason::kOwnQueueOverflow, slot);
     return;  // dropped; the op's callbacks never fire
   }
   pit->second.queue.push_back(std::move(op));
@@ -266,6 +267,7 @@ void OwnerEngine::arm_acquire_retry(std::uint32_t space, std::uint64_t slot,
         if (pit == pending_acquires_.end() || pit->second.req_id != req_id) return;
         if (++pit->second.retries > host_.config().max_write_retries) {
           ++stats_.acquisitions_failed;
+          host_.report_drop(telemetry::DropReason::kWriteRetriesExhausted, slot);
           pending_acquires_.erase(pit);  // queued ops dropped, callbacks never fire
           return;
         }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "net/topology.hpp"
+#include "packet/int_md.hpp"
 #include "swishmem/membership/swim_membership.hpp"
 #include "swishmem/protocols/chain_engine.hpp"
 #include "swishmem/protocols/consensus_engine.hpp"
@@ -153,7 +154,9 @@ ShmRuntime::ShmRuntime(pisa::Switch& sw, RuntimeConfig config, NodeId controller
   recovery_chunks_applied_ = reg.counter(prefix + "recovery_chunks_applied");
   recovery_bytes_ = reg.counter(prefix + "bytes_recovery");
   control_bytes_ = reg.counter(prefix + "bytes_control");
+  int_bytes_ = reg.counter(prefix + "bytes_int");
   total_bytes_ = reg.counter(prefix + "bytes_total");
+  int_countdown_ = config_.int_sample_every;
   spans_ = &sw.simulator().spans();
   observatory_ = &sw.simulator().observatory();
 }
@@ -341,6 +344,18 @@ std::size_t ShmRuntime::send(SwitchId dst, const pkt::SwishMessage& msg) {
     trace_ctx = outgoing_trace(dst, msg);
   }
   pkt::Packet packet = wrap(dst, msg, trace_ctx);
+  // INT-MD sampling of protocol traffic: 1-in-N sends get the telemetry
+  // trailer. The trailer bytes are charged to the bytes_int class (not the
+  // message's own class — the caller-visible size excludes them), keeping
+  // the per-class counters summing to bytes_total exactly.
+  std::size_t int_overhead = 0;
+  if (config_.int_sample_every > 0 && --int_countdown_ == 0) {
+    int_countdown_ = config_.int_sample_every;
+    packet = pkt::with_int_trailer(
+        packet, static_cast<std::uint8_t>(std::min<unsigned>(config_.int_hop_cap, 255u)));
+    int_overhead = pkt::kIntTrailerBytes;
+    int_bytes_ += int_overhead;
+  }
   const std::size_t n = packet.size();
   total_bytes_ += n;
   // Per-class protocol-message tracing: every protocol byte leaves through
@@ -351,13 +366,19 @@ std::size_t ShmRuntime::send(SwitchId dst, const pkt::SwishMessage& msg) {
     tracer.record(msg_trace_category(msg), sw_.id(), msg_trace_name(msg), dst, n);
   }
   sw_.send_to_node(dst, std::move(packet), rng_.next());
-  return n;
+  return n - int_overhead;
 }
 
 std::size_t ShmRuntime::send_control(SwitchId dst, const pkt::SwishMessage& msg) {
   const std::size_t n = send(dst, msg);
   control_bytes_ += n;
   return n;
+}
+
+void ShmRuntime::report_drop(telemetry::DropReason reason, std::uint64_t detail) {
+  // Protocol-level drops are packetless (the operation died before or after
+  // its wire life), so no INT stack rides along — the reason + site suffice.
+  sw_.report_drop(reason, nullptr, detail);
 }
 
 void ShmRuntime::every(TimeNs period, std::function<void()> tick) {
@@ -372,9 +393,17 @@ bool ShmRuntime::handle_protocol_packet(pisa::PacketContext& ctx) {
   if (!ctx.parsed || !ctx.parsed->udp || ctx.parsed->udp->dst_port != pkt::kSwishPort) {
     return false;
   }
+  // Protocol packets terminate here (transit forwarding already happened in
+  // ShmProgram::process), so this is their INT sink. No strip needed:
+  // decode_message ignores the trailing trailer bytes.
+  if (sw_.int_enabled()) sw_.record_int_sink(ctx.packet);
   telemetry::SpanContext wire_trace;
   auto msg = pkt::decode_message(ctx.packet.l4_payload(*ctx.parsed), &wire_trace);
-  if (!msg) return true;  // malformed protocol packet: drop
+  if (!msg) {
+    // Malformed protocol packet: drop, but with attribution.
+    sw_.report_drop(telemetry::DropReason::kParseError, &ctx.packet);
+    return true;
+  }
 
   // The carried trace context is active for the whole dispatch, so every
   // span recorded below — and every send a handler triggers — continues the
@@ -698,6 +727,8 @@ void ShmRuntime::arm_recovery_timer(std::uint64_t expect) {
         if (++recovery_->retries > config_.max_write_retries) {
           // Target unreachable: abandon the stream; the controller restarts
           // recovery if the target is still alive.
+          sw_.report_drop(telemetry::DropReason::kRecoveryAbandoned, nullptr,
+                          recovery_->target);
           recovery_.reset();
           recovery_tap_ = false;
           return;
@@ -854,6 +885,7 @@ ShmRuntime::Stats ShmRuntime::stats() const {
   // The recovery stream reuses the write-path frames; its bytes belong there.
   s.bytes_write_path += recovery_bytes_;
   s.bytes_control = control_bytes_;
+  s.bytes_int = int_bytes_;
   s.bytes_total = total_bytes_;
   return s;
 }

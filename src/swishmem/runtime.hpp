@@ -85,6 +85,7 @@ class ShmRuntime final : public EngineHost {
     std::uint64_t bytes_own = 0;         ///< OwnRequest + OwnGrant + OwnUpdate
     std::uint64_t bytes_con = 0;         ///< Con* consensus traffic (incl. its redirects)
     std::uint64_t bytes_control = 0;     ///< Heartbeat (+ config pushes, if any)
+    std::uint64_t bytes_int = 0;         ///< INT trailer overhead on sampled sends
     std::uint64_t bytes_total = 0;       ///< every protocol byte this switch sent
     // Writer-observed commit latency (submit -> ack), ns.
     Histogram write_latency;
@@ -224,6 +225,7 @@ class ShmRuntime final : public EngineHost {
   /// send() plus control-class byte accounting (heartbeats, SWIM traffic);
   /// keeps the per-class counters summing to bytes_total.
   std::size_t send_control(SwitchId dst, const pkt::SwishMessage& msg);
+  void report_drop(telemetry::DropReason reason, std::uint64_t detail) override;
   [[nodiscard]] NodeId controller() const noexcept { return controller_; }
   void every(TimeNs period, std::function<void()> tick) override;
   [[nodiscard]] bool authoritative() const noexcept override { return authoritative_; }
@@ -365,7 +367,9 @@ class ShmRuntime final : public EngineHost {
   telemetry::Counter recovery_chunks_applied_;
   telemetry::Counter recovery_bytes_;  ///< recovery-stream chunks + acks
   telemetry::Counter control_bytes_;   ///< heartbeats
+  telemetry::Counter int_bytes_;       ///< INT trailer bytes on sampled sends
   telemetry::Counter total_bytes_;     ///< all protocol sends from this switch
+  std::uint64_t int_countdown_ = 0;    ///< 1-in-N INT sampling of protocol sends
 
   bool authoritative_ = false;  ///< serving a redirected read at the tail
   bool started_ = false;

@@ -1,0 +1,169 @@
+// In-band network telemetry records and mirror-on-drop forensics.
+//
+// Two per-simulator logs, owned by sim::Simulator next to the Tracer:
+//
+//  - IntReportLog: INT sink reports. When an INT-sampled packet reaches its
+//    destination switch, the accumulated per-hop stack (switch id, ingress/
+//    egress timestamps, queue depth, rule hit) is peeled off the wire and
+//    recorded here.
+//  - DropRing: mirror-on-drop. Every drop site in the fabric — link queue
+//    overflow, on-wire loss, dead-node blackhole, missing route, data-plane
+//    capacity, recirculation cap, protocol parse errors, engine rejects,
+//    quorum-unreachable consensus writes — records a typed DropRecord
+//    carrying whatever INT stack the dropped packet had accumulated, so any
+//    loss is attributable to an exact hop and cause.
+//
+// Both logs are organized per node with per-node sequence numbers and
+// per-node capacity, which makes retention and ordering a pure function of
+// each node's own event stream: gathering the logs of a sharded run and
+// sorting by (time, node, seq) yields the same canonical stream at every
+// shard count (each node lives on exactly one shard, and its records are
+// produced single-writer in simulation order).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace swish::telemetry {
+
+/// One INT hop record: what one switch contributed while forwarding the
+/// packet. rule_hit is the egress port + 1 (0 = local delivery / none), the
+/// closest analogue of a match-action "which rule forwarded this" id the
+/// simulated pipeline has.
+struct IntHop {
+  std::uint32_t switch_id = 0;
+  TimeNs ingress_ts = 0;
+  TimeNs egress_ts = 0;
+  std::uint32_t queue_depth = 0;  ///< data-plane backlog (packets) at ingress
+  std::uint32_t rule_hit = 0;
+};
+
+/// Every way the fabric can lose a packet or reject an operation, unified in
+/// one typed enum so no drop site reports a bare counter bump.
+enum class DropReason : std::uint8_t {
+  kLinkQueueOverflow = 0,   ///< serialization queue past max_queue_delay
+  kLinkLoss,                ///< Bernoulli on-wire loss
+  kDeadNode,                ///< delivered to a failed switch (blackhole)
+  kNoRoute,                 ///< routing table has no port toward the target
+  kDataplaneCapacity,       ///< switch pipeline backlog past dataplane_queue
+  kRecircCap,               ///< recirculation count past max_recirculations
+  kParseError,              ///< malformed protocol payload at the consumer
+  kCpBufferFull,            ///< SRO/ERO writer CP output buffer full
+  kOwnQueueOverflow,        ///< OWN per-key migration queue full
+  kConQueueOverflow,        ///< CON follower forward queue full
+  kWriteRetriesExhausted,   ///< retransmit budget spent, write abandoned
+  kQuorumUnreachable,       ///< CON write could not reach a majority
+  kRecoveryAbandoned,       ///< recovery stream target unreachable
+};
+inline constexpr std::size_t kNumDropReasons = 13;
+
+const char* to_string(DropReason reason) noexcept;
+
+/// One mirrored drop. `hops` is the packet's INT stack at the drop point
+/// (empty for unsampled packets and packetless rejects); `detail` is
+/// site-specific (peer node, destination, space id, retry count, ...).
+struct DropRecord {
+  TimeNs time = 0;
+  NodeId node = kInvalidNode;
+  DropReason reason = DropReason::kLinkLoss;
+  std::uint32_t packet_bytes = 0;  ///< 0 when no packet was materialized
+  std::uint64_t detail = 0;
+  std::uint64_t seq = 0;  ///< per-node record index (dense from 1)
+  std::vector<IntHop> hops;
+};
+
+/// One INT sink extraction: the full path a sampled packet took.
+struct IntSinkReport {
+  TimeNs time = 0;
+  NodeId sink = kInvalidNode;
+  bool truncated = false;    ///< hop stack hit the cap somewhere en route
+  std::uint8_t hop_cap = 0;
+  std::uint32_t packet_bytes = 0;
+  std::uint64_t seq = 0;  ///< per-sink report index (dense from 1)
+  std::vector<IntHop> hops;
+};
+
+/// Per-switch bounded drop log with exact per-reason tallies. Detailed
+/// records are retained up to `capacity` per node (oldest evicted first);
+/// the per-(node, reason) counters are never evicted, so reason attribution
+/// stays 100% even when forensic detail ages out.
+class DropRing {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;  ///< records per node
+
+  void set_clock(const TimeNs* now) noexcept { now_ = now; }
+  void set_capacity(std::size_t per_node) noexcept { capacity_ = per_node; }
+
+  void record(NodeId node, DropReason reason, std::uint32_t packet_bytes,
+              std::uint64_t detail, std::vector<IntHop> hops = {});
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t count(NodeId node, DropReason reason) const noexcept;
+  /// Per-node reason tallies, nodes ascending (exact, never evicted).
+  [[nodiscard]] const std::map<NodeId, std::array<std::uint64_t, kNumDropReasons>>& counts()
+      const noexcept {
+    return counts_;
+  }
+
+  /// Retained records, nodes ascending and per-node recording order.
+  [[nodiscard]] std::vector<DropRecord> records() const;
+
+  void clear() noexcept;
+
+ private:
+  struct NodeLog {
+    std::deque<DropRecord> ring;
+    std::uint64_t next_seq = 1;
+  };
+
+  const TimeNs* now_ = nullptr;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::map<NodeId, NodeLog> logs_;
+  std::map<NodeId, std::array<std::uint64_t, kNumDropReasons>> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Per-sink bounded log of INT sink reports; same retention and ordering
+/// contract as DropRing.
+class IntReportLog {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 16;  ///< reports per sink
+
+  void set_clock(const TimeNs* now) noexcept { now_ = now; }
+  void set_capacity(std::size_t per_sink) noexcept { capacity_ = per_sink; }
+
+  void record(NodeId sink, std::vector<IntHop> hops, bool truncated, std::uint8_t hop_cap,
+              std::uint32_t packet_bytes);
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t truncated() const noexcept { return truncated_; }
+
+  /// Retained reports, sinks ascending and per-sink recording order.
+  [[nodiscard]] std::vector<IntSinkReport> reports() const;
+
+  void clear() noexcept;
+
+ private:
+  struct SinkLog {
+    std::deque<IntSinkReport> ring;
+    std::uint64_t next_seq = 1;
+  };
+
+  const TimeNs* now_ = nullptr;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::map<NodeId, SinkLog> logs_;
+  std::uint64_t total_ = 0;
+  std::uint64_t truncated_ = 0;
+};
+
+/// Canonical cross-shard order for gathered logs: (time, node, seq). Stable
+/// and shard-count-invariant because seq is per-node.
+void sort_canonical(std::vector<DropRecord>& records);
+void sort_canonical(std::vector<IntSinkReport>& reports);
+
+}  // namespace swish::telemetry

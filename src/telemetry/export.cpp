@@ -28,6 +28,12 @@ std::string us3(TimeNs ns) {
 
 void write_perfetto(std::ostream& os, const std::vector<Span>& spans,
                     const std::map<NodeId, std::string>& node_names) {
+  write_perfetto(os, spans, {}, node_names);
+}
+
+void write_perfetto(std::ostream& os, const std::vector<Span>& spans,
+                    const std::vector<CounterSample>& counters,
+                    const std::map<NodeId, std::string>& node_names) {
   os << "{\"traceEvents\":[";
   bool first = true;
   auto sep = [&] {
@@ -37,6 +43,7 @@ void write_perfetto(std::ostream& os, const std::vector<Span>& spans,
 
   std::map<NodeId, const std::string*> nodes;
   for (const Span& s : spans) nodes.emplace(s.node, nullptr);
+  for (const CounterSample& c : counters) nodes.emplace(c.node, nullptr);
   for (auto& [node, name] : nodes) {
     auto it = node_names.find(node);
     if (it != node_names.end()) name = &it->second;
@@ -78,6 +85,15 @@ void write_perfetto(std::ostream& os, const std::vector<Span>& spans,
     sep();
     os << "{\"name\":\"causal\",\"cat\":\"swish\",\"ph\":\"f\",\"bp\":\"e\",\"id\":" << s.span_id
        << ",\"ts\":" << us3(s.start) << ",\"pid\":" << s.node << ",\"tid\":0}";
+  }
+
+  // Counter tracks (health collector): ignored by read_perfetto, rendered by
+  // the Perfetto UI as per-process counter lanes.
+  for (const CounterSample& c : counters) {
+    sep();
+    os << "{\"name\":\"" << c.track << "\",\"cat\":\"swish\",\"ph\":\"C\",\"ts\":" << us3(c.time)
+       << ",\"pid\":" << c.node << ",\"tid\":0,\"args\":{\"value\":"
+       << format_metric_number(c.value) << "}}";
   }
 
   os << "\n]}\n";

@@ -28,6 +28,24 @@ namespace swish::telemetry {
 void write_perfetto(std::ostream& os, const std::vector<Span>& spans,
                     const std::map<NodeId, std::string>& node_names = {});
 
+/// One point on a Perfetto counter track ("ph":"C" event): `track` becomes
+/// the counter name in node `node`'s process lane. Produced by the health
+/// collector (per-switch queue depth from INT hop records).
+struct CounterSample {
+  TimeNs time = 0;
+  NodeId node = 0;
+  std::string track;
+  double value = 0.0;
+};
+
+/// write_perfetto variant that appends counter tracks after the span and
+/// flow events. With an empty `counters` vector the output is byte-identical
+/// to the spans-only overload, and read_perfetto ignores "C" events, so
+/// counter tracks can ride in the same file without breaking `analyze`.
+void write_perfetto(std::ostream& os, const std::vector<Span>& spans,
+                    const std::vector<CounterSample>& counters,
+                    const std::map<NodeId, std::string>& node_names = {});
+
 /// Parses a document produced by write_perfetto back into spans (used by the
 /// `swish_sim analyze` subcommand; not a general trace-event parser). Span
 /// names are interned into static storage. Throws std::runtime_error on

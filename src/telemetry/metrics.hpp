@@ -78,6 +78,7 @@ class Histo {
   Histo() = default;
 
   void add(std::uint64_t v) noexcept { hist_->add(v); }
+  void merge(const Histogram& other) noexcept { hist_->merge(other); }
   [[nodiscard]] std::uint64_t count() const noexcept { return hist_ ? hist_->count() : 0; }
   [[nodiscard]] std::uint64_t percentile(double q) const noexcept {
     return hist_ ? hist_->percentile(q) : 0;

@@ -8,7 +8,7 @@ namespace swish::telemetry {
 
 namespace {
 
-constexpr std::array<std::pair<std::string_view, std::uint32_t>, 12> kCategoryNames = {{
+constexpr std::array<std::pair<std::string_view, std::uint32_t>, 13> kCategoryNames = {{
     {"packet", kTracePacket},
     {"drop", kTraceDrop},
     {"recirc", kTraceRecirc},
@@ -20,6 +20,7 @@ constexpr std::array<std::pair<std::string_view, std::uint32_t>, 12> kCategoryNa
     {"failover", kTraceFailover},
     {"membership", kTraceMembership},
     {"proto-con", kTraceProtoCon},
+    {"int", kTraceInt},
     {"all", kTraceAll},
 }};
 

@@ -31,6 +31,7 @@ enum TraceCategory : std::uint32_t {
   kTraceFailover = 1u << 8,      ///< failure declared / failover complete / readmission
   kTraceMembership = 1u << 9,    ///< SWIM suspicion / refutation / faulty verdicts + wire msgs
   kTraceProtoCon = 1u << 10,     ///< CON consensus messages (forward/prepare/accept/learn)
+  kTraceInt = 1u << 11,          ///< INT sampling / hop append / sink extraction
   kTraceAll = 0xffffffffu,
 };
 

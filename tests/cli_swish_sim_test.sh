@@ -279,10 +279,119 @@ if ! "$BIN" --nf lb --switches 3 --duration-ms 60 --seed 11 --quiet \
   fail=1
 fi
 
-# A bad --trace-mask names the valid categories in its error.
+# INT telemetry contract. Malformed flag values exit 2 with usage, never a
+# throw; the hop cap must fit the on-wire u8.
+expect_usage --int-sample abc
+expect_usage --int-sample
+expect_usage --int-hop-cap 0
+expect_usage --int-hop-cap 256
+expect_usage --int-hop-cap abc
+expect_usage --dataplane-pps 0
+expect_usage --dataplane-pps abc
+expect_usage analyze --health
+
+# A sampled run exports the health scorecard: health.* metrics subtree, a
+# health JSON the analyze subcommand re-renders, and a Perfetto file whose
+# counter tracks ride beside the spans.
+int_args=(--nf nat --switches 4 --loss 0.02 --duration-ms 60 --seed 11 --quiet
+          --int-sample 4)
+if ! "$BIN" "${int_args[@]}" --metrics-json "$TMP/int_m1.json" \
+     --health-json "$TMP/health.json" --drops-json "$TMP/drops.json" \
+     --perfetto "$TMP/int_p.json" >/dev/null 2>&1; then
+  echo "FAIL: --int-sample run exited nonzero"
+  fail=1
+fi
+grep -q '"drop_forensics_version"' "$TMP/drops.json" || {
+  echo "FAIL: --drops-json output is not a drop-forensics document"
+  fail=1
+}
+grep -q '"reason":"link_loss"' "$TMP/drops.json" || {
+  echo "FAIL: drop forensics carry no typed link_loss records"
+  fail=1
+}
+grep -q '"health"' "$TMP/int_m1.json" || {
+  echo "FAIL: INT-sampled metrics JSON missing health subtree"
+  fail=1
+}
+grep -q '"health_version"' "$TMP/health.json" || {
+  echo "FAIL: --health-json output is not a health report"
+  fail=1
+}
+grep -q '"ph":"C"' "$TMP/int_p.json" || {
+  echo "FAIL: INT-sampled Perfetto export has no counter tracks"
+  fail=1
+}
+if ! "$BIN" analyze --health "$TMP/health.json" >"$TMP/health.txt" 2>&1; then
+  echo "FAIL: analyze --health exited nonzero"
+  fail=1
+fi
+grep -q "fleet health" "$TMP/health.txt" || {
+  echo "FAIL: analyze --health printed no scorecard"
+  fail=1
+}
+# analyze --health on a missing or non-health file fails cleanly (exit 1).
+rc=0; "$BIN" analyze --health "$TMP/definitely-missing.json" >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 1 ] || { echo "FAIL: analyze --health missing-file exited $rc (want 1)"; fail=1; }
+rc=0; "$BIN" analyze --health "$TMP/spans.json" >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 1 ] || { echo "FAIL: analyze --health non-health input exited $rc (want 1)"; fail=1; }
+
+# Same-seed INT runs are deterministic (note the repeat must spell the same
+# flags: --perfetto implies --span-sample 64, which is itself metered), and
+# INT-sampled runs stay deterministic under sharding. (Cross-shard-count
+# invariance of the collector itself is covered in test_int with shard-local
+# traffic; CLI workload injection is intentionally lookahead-shifted across
+# shard counts.)
+if ! "$BIN" "${int_args[@]}" --metrics-json "$TMP/int_m2.json" \
+     --health-json "$TMP/health2.json" --perfetto "$TMP/int_p2.json" >/dev/null 2>&1; then
+  echo "FAIL: repeat --int-sample run exited nonzero"
+  fail=1
+fi
+cmp -s "$TMP/int_m1.json" "$TMP/int_m2.json" || {
+  echo "FAIL: same-seed --int-sample runs produced different metrics"
+  fail=1
+}
+cmp -s "$TMP/health.json" "$TMP/health2.json" || {
+  echo "FAIL: same-seed --int-sample runs produced different health JSON"
+  fail=1
+}
+for i in 1 2; do
+  if ! "$BIN" "${int_args[@]}" --shards 2 --health-json "$TMP/health_s2_$i.json" \
+       >/dev/null 2>&1; then
+    echo "FAIL: --int-sample --shards 2 run $i exited nonzero"
+    fail=1
+  fi
+done
+cmp -s "$TMP/health_s2_1.json" "$TMP/health_s2_2.json" || {
+  echo "FAIL: same-seed --int-sample --shards 2 runs produced different health JSON"
+  diff "$TMP/health_s2_1.json" "$TMP/health_s2_2.json" | head -20
+  fail=1
+}
+
+# An unsampled run is byte-identical with and without --int-hop-cap (the cap
+# alone must not perturb anything; a warning on stderr is the only effect).
+if ! "$BIN" "${run_args[@]}" --int-hop-cap 12 --metrics-json "$TMP/m_cap.json" \
+     >/dev/null 2>"$TMP/cap_warn.txt"; then
+  echo "FAIL: --int-hop-cap-without-sample run exited nonzero"
+  fail=1
+fi
+cmp -s "$TMP/m_cap.json" "$TMP/m1.json" || {
+  echo "FAIL: --int-hop-cap without --int-sample changed the run"
+  fail=1
+}
+grep -q "no effect" "$TMP/cap_warn.txt" || {
+  echo "FAIL: --int-hop-cap without --int-sample printed no warning"
+  fail=1
+}
+
+# A bad --trace-mask names the valid categories in its error, including the
+# INT category.
 "$BIN" --trace-mask not-a-category >/dev/null 2>"$TMP/err" || true
 grep -q "valid names:.*proto-chain" "$TMP/err" || {
   echo "FAIL: --trace-mask error does not enumerate category names"
+  fail=1
+}
+grep -qE "valid names:.*[ ,]int[, ]" "$TMP/err" || {
+  echo "FAIL: --trace-mask error does not enumerate the int category"
   fail=1
 }
 

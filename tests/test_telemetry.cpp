@@ -145,10 +145,12 @@ TEST(Tracer, ParseTraceMaskRoundTrips) {
   EXPECT_EQ(parse_trace_mask("all"), kTraceAll);
   EXPECT_EQ(parse_trace_mask("packet,drop"), kTracePacket | kTraceDrop);
   EXPECT_EQ(parse_trace_mask("migration"), kTraceMigration);
+  EXPECT_EQ(parse_trace_mask("int"), kTraceInt);
   EXPECT_FALSE(parse_trace_mask("bogus").has_value());
   EXPECT_FALSE(parse_trace_mask("packet,bogus").has_value());
   EXPECT_EQ(parse_trace_mask("packet,,drop"), kTracePacket | kTraceDrop);  // empties skipped
   EXPECT_EQ(trace_mask_to_string(kTracePacket | kTraceDrop), "packet,drop");
+  EXPECT_EQ(trace_mask_to_string(kTraceInt), "int");
 }
 
 }  // namespace
@@ -165,10 +167,11 @@ namespace {
 constexpr std::uint32_t kSro = 80;
 constexpr std::uint32_t kEwo = 81;
 
-std::unique_ptr<Fabric> make_mixed_fabric() {
+std::unique_ptr<Fabric> make_mixed_fabric(std::uint64_t int_sample_every = 0) {
   FabricConfig cfg;
   cfg.num_switches = 3;
   cfg.link.loss_probability = 0.02;
+  cfg.int_sample_every = int_sample_every;
   auto fabric = std::make_unique<Fabric>(cfg);
   SpaceConfig sro;
   sro.id = kSro;
@@ -222,26 +225,48 @@ TEST(TelemetryFullStack, IdenticalRunsExportByteIdenticalJson) {
   EXPECT_EQ(first, second);
 }
 
-TEST(TelemetryFullStack, RegistrySnapshotReconcilesPerClassBytes) {
-  auto fabric = make_mixed_fabric();
-  drive(*fabric);
-  const telemetry::MetricsSnapshot snap = fabric->simulator().metrics().snapshot();
+// The per-message-class byte counters (four consistency classes + recovery +
+// control + INT trailer overhead) must sum to bytes_total exactly, with and
+// without INT sampling turned on.
+void expect_per_class_bytes_reconcile(Fabric& fabric, bool int_on) {
+  const telemetry::MetricsSnapshot snap = fabric.simulator().metrics().snapshot();
   auto count = [&snap](const std::string& name) -> std::uint64_t {
     auto it = snap.values.find(name);
     return it == snap.values.end() ? 0 : it->second.count;
   };
-  for (std::size_t i = 0; i < fabric->size(); ++i) {
+  std::uint64_t fleet_int = 0;
+  for (std::size_t i = 0; i < fabric.size(); ++i) {
     const std::string p = "shm.sw" + std::to_string(i + 1) + ".";
     const std::uint64_t per_class =
         count(p + "sro.bytes_write") + count(p + "sro.bytes_redirect") +
         count(p + "ero.bytes_write") + count(p + "ero.bytes_redirect") +
         count(p + "ewo.bytes") + count(p + "own.bytes") + count(p + "bytes_recovery") +
-        count(p + "bytes_control");
+        count(p + "bytes_control") + count(p + "bytes_int");
     EXPECT_EQ(per_class, count(p + "bytes_total")) << "switch " << i;
     EXPECT_GT(count(p + "bytes_total"), 0u) << "switch " << i;
     // The legacy stats() view and the registry agree byte for byte.
-    EXPECT_EQ(fabric->runtime(i).stats().bytes_total, count(p + "bytes_total"));
+    EXPECT_EQ(fabric.runtime(i).stats().bytes_total, count(p + "bytes_total"));
+    EXPECT_EQ(fabric.runtime(i).stats().bytes_int, count(p + "bytes_int"));
+    fleet_int += count(p + "bytes_int");
   }
+  if (int_on) {
+    EXPECT_GT(fleet_int, 0u) << "sampled protocol sends must charge trailer bytes";
+  } else {
+    EXPECT_EQ(fleet_int, 0u) << "unsampled runs must not charge INT bytes";
+  }
+}
+
+TEST(TelemetryFullStack, RegistrySnapshotReconcilesPerClassBytes) {
+  auto fabric = make_mixed_fabric();
+  drive(*fabric);
+  expect_per_class_bytes_reconcile(*fabric, /*int_on=*/false);
+}
+
+TEST(TelemetryFullStack, PerClassBytesReconcileWithIntSampling) {
+  auto fabric = make_mixed_fabric(/*int_sample_every=*/4);
+  drive(*fabric);
+  expect_per_class_bytes_reconcile(*fabric, /*int_on=*/true);
+  EXPECT_GT(fabric->all_int_reports().size(), 0u);
 }
 
 TEST(TelemetryFullStack, MigrationAndFailoverEmitTraceEvents) {

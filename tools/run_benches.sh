@@ -66,8 +66,9 @@ echo
   --baseline "$ROOT/bench/baseline_throughput.json" \
   --out "$ROOT/BENCH_throughput.json"
 
-# Causal-tracing overhead gate: with the span recorder enabled but (almost)
-# never sampling, throughput must stay within 2% of the tracer-off path.
+# Telemetry overhead gate: with the span recorder enabled but (almost) never
+# sampling, AND with INT-MD telemetry sampling 1-in-64 packets, throughput
+# must stay within 2% of the telemetry-off path.
 echo
 "$BUILD/bench/bench_throughput" --sim-ms "$SIM_MS" --overhead-gate 2
 

@@ -22,6 +22,7 @@
 #include <thread>
 
 #include "common/table.hpp"
+#include "telemetry/collector.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -51,6 +52,7 @@ struct Options {
   std::size_t spines = 2;
   double loss = 0.0;
   TimeNs link_delay = 1 * kUs;
+  double dataplane_pps = 0.0;  ///< 0 = keep the switch-config default
   double flows_per_sec = 2000;
   double packets_per_flow = 8;
   double reroute = 0.0;
@@ -66,6 +68,10 @@ struct Options {
     std::optional<shm::SpaceKind> kind;  ///< unset = keep the NF's default
   };
   std::vector<SpaceOverride> space_overrides;
+  std::uint64_t int_sample = 0;  ///< INT-MD sampling: 0 = off, N = 1-in-N
+  unsigned int_hop_cap = 8;
+  std::string health_json;
+  std::string drops_json;
   std::string pcap;
   std::string metrics_json;
   std::string trace;
@@ -96,6 +102,9 @@ struct Options {
       << "  --spines N              spine count for leafspine (default 2)\n"
       << "  --loss P                per-link loss probability (default 0)\n"
       << "  --link-delay-us N       one-way link latency (default 1)\n"
+      << "  --dataplane-pps N       per-switch pipeline capacity in packets/s\n"
+      << "                          (default 100000000; lower it to study queue\n"
+      << "                          buildup and capacity drops under floods)\n"
       << "  --flows-per-sec N       workload connection rate (default 2000)\n"
       << "  --packets-per-flow N    mean flow length (default 8)\n"
       << "  --reroute P             per-packet ingress re-route probability\n"
@@ -107,6 +116,18 @@ struct Options {
       << "  --space NAME=CLS[:KIND] override a space's consistency class and\n"
       << "                          optionally its storage kind (CLS: sro|ero|\n"
       << "                          ewo|own|con; KIND: dense|sparse; repeatable)\n"
+      << "  --int-sample N          in-band telemetry: tag 1 in N packets with an\n"
+      << "                          INT-MD trailer (per-hop switch id, timestamps,\n"
+      << "                          queue depth, rule hit) and run the fleet-health\n"
+      << "                          collector (0 = off, the default)\n"
+      << "  --int-hop-cap N         max on-wire INT hop records per packet, 1..255\n"
+      << "                          (default 8; overflow sets the truncation bit)\n"
+      << "  --health-json FILE      write the fleet-health scorecard as JSON\n"
+      << "                          (re-readable by `analyze --health`; implies\n"
+      << "                          drop forensics even without --int-sample)\n"
+      << "  --drops-json FILE       write the mirror-on-drop forensic records\n"
+      << "                          (typed reason, drop location, INT hop stack)\n"
+      << "                          as JSON (FILE of - writes to stdout)\n"
       << "  --pcap FILE             capture all fabric traffic\n"
       << "  --metrics-json FILE     write the full metrics registry as JSON\n"
       << "                          (FILE of - writes to stdout)\n"
@@ -129,7 +150,9 @@ struct Options {
       << "subcommand:\n"
       << "  " << argv0 << " analyze TRACE.json [--top K]\n"
       << "                          stitch a --perfetto trace back into causal\n"
-      << "                          chains and print the K slowest propagations\n";
+      << "                          chains and print the K slowest propagations\n"
+      << "  " << argv0 << " analyze --health HEALTH.json\n"
+      << "                          render a --health-json fleet-health scorecard\n";
   std::exit(2);
 }
 
@@ -190,6 +213,10 @@ Options parse(int argc, char** argv) {
     else if (a == "--spines") opt.spines = parse_u64(need(i), argv[0]);
     else if (a == "--loss") opt.loss = parse_prob_or_rate(need(i), argv[0]);
     else if (a == "--link-delay-us") opt.link_delay = parse_time(need(i), argv[0], kUs);
+    else if (a == "--dataplane-pps") {
+      opt.dataplane_pps = static_cast<double>(parse_u64(need(i), argv[0]));
+      if (opt.dataplane_pps <= 0) usage(argv[0]);
+    }
     else if (a == "--flows-per-sec") opt.flows_per_sec = parse_prob_or_rate(need(i), argv[0]);
     else if (a == "--packets-per-flow")
       opt.packets_per_flow = parse_prob_or_rate(need(i), argv[0]);
@@ -223,7 +250,14 @@ Options parse(int argc, char** argv) {
         usage(argv[0]);
       }
       opt.space_overrides.push_back(std::move(ov));
-    } else if (a == "--pcap") opt.pcap = need(i);
+    } else if (a == "--int-sample") opt.int_sample = parse_u64(need(i), argv[0]);
+    else if (a == "--int-hop-cap") {
+      const std::uint64_t cap = parse_u64(need(i), argv[0]);
+      if (cap < 1 || cap > 255) usage(argv[0]);
+      opt.int_hop_cap = static_cast<unsigned>(cap);
+    } else if (a == "--health-json") opt.health_json = need(i);
+    else if (a == "--drops-json") opt.drops_json = need(i);
+    else if (a == "--pcap") opt.pcap = need(i);
     else if (a == "--metrics-json") opt.metrics_json = need(i);
     else if (a == "--trace") opt.trace = need(i);
     else if (a == "--trace-mask") {
@@ -249,6 +283,9 @@ Options parse(int argc, char** argv) {
   if (trace_mask_given && opt.trace.empty()) {
     std::cerr << "warning: --trace-mask has no effect without --trace FILE\n";
   }
+  if (opt.int_sample == 0 && opt.int_hop_cap != 8) {
+    std::cerr << "warning: --int-hop-cap has no effect without --int-sample\n";
+  }
   if (!opt.perfetto.empty() && opt.span_sample == 0) opt.span_sample = 64;
   if (opt.span_sample == 0 && opt.top_slowest != 10) {
     std::cerr << "warning: --top-slowest has no effect without --span-sample/--perfetto\n";
@@ -256,21 +293,41 @@ Options parse(int argc, char** argv) {
   return opt;
 }
 
-/// `swish_sim analyze TRACE.json [--top K]`: offline stitching of a
-/// previously written --perfetto trace into causal chains.
+/// `swish_sim analyze TRACE.json [--top K]` or `analyze --health HEALTH.json`:
+/// offline stitching of a --perfetto trace into causal chains, or rendering a
+/// --health-json fleet-health scorecard.
 int run_analyze(int argc, char** argv) {
   std::string file;
+  std::string health_file;
   std::size_t top = 10;
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--top") {
       if (++i >= argc) usage(argv[0]);
       top = parse_u64(argv[i], argv[0]);
+    } else if (a == "--health") {
+      if (++i >= argc) usage(argv[0]);
+      health_file = argv[i];
     } else if (file.empty()) {
       file = a;
     } else {
       usage(argv[0]);
     }
+  }
+  if (!health_file.empty()) {
+    if (!file.empty()) usage(argv[0]);  // --health takes the whole subcommand
+    std::ifstream in(health_file);
+    if (!in) {
+      std::cerr << "error: cannot open " << health_file << "\n";
+      return 1;
+    }
+    try {
+      telemetry::print_health_report(std::cout, in);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << health_file << ": " << e.what() << "\n";
+      return 1;
+    }
+    return 0;
   }
   if (file.empty()) usage(argv[0]);
   std::ifstream in(file);
@@ -403,6 +460,7 @@ int main(int argc, char** argv) {
   cfg.seed = opt.seed;
   cfg.link.loss_probability = opt.loss;
   cfg.link.propagation_delay = opt.link_delay;
+  if (opt.dataplane_pps > 0) cfg.switch_config.dataplane_pps = opt.dataplane_pps;
   cfg.runtime.sync_period = opt.sync_period;
   cfg.runtime.heartbeat_period = 5 * kMs;
   cfg.controller.membership = membership;
@@ -412,6 +470,8 @@ int main(int argc, char** argv) {
   else if (opt.topology == "leafspine") cfg.topology = shm::FabricConfig::Topology::kLeafSpine;
   else if (opt.topology != "mesh") usage(argv[0]);
   cfg.spine_count = opt.spines;
+  cfg.int_sample_every = opt.int_sample;
+  cfg.int_hop_cap = opt.int_hop_cap;
 
   // Construction validates the controller timing (heartbeat_timeout must
   // exceed check_period, both positive); a bad combination is a usage error
@@ -426,10 +486,12 @@ int main(int argc, char** argv) {
   shm::Fabric& fabric = *fabric_storage;
   if (!opt.trace.empty()) fabric.simulator().tracer().enable(opt.trace_mask);
   // Causal tracing + consistency-lag observatory. The observatory also runs
-  // for --timeseries so the CSV picks up the lag.* series. Both helpers hit
-  // every shard (at one shard: exactly the legacy direct enables).
+  // for --timeseries (the CSV picks up the lag.* series) and for --int-sample
+  // (the health collector derives per-class SLO burn from the lag.class.*
+  // histograms). Both helpers hit every shard (at one shard: exactly the
+  // legacy direct enables).
   if (opt.span_sample > 0) fabric.enable_spans(opt.span_sample);
-  if (opt.span_sample > 0 || !opt.timeseries.empty()) {
+  if (opt.span_sample > 0 || !opt.timeseries.empty() || opt.int_sample > 0) {
     fabric.enable_observatory();
   }
 
@@ -622,6 +684,20 @@ int main(int argc, char** argv) {
 
   fabric.run_for(opt.duration + 500 * kMs);  // traffic + settling
 
+  // Fleet-health collector: gathers the canonical INT sink reports, drop
+  // forensics, and the observatory's per-class lag histograms, then publishes
+  // the scorecard into shard 0's registry BEFORE the single snapshot below so
+  // --metrics-json carries the health.* subtree too.
+  std::unique_ptr<telemetry::HealthCollector> health;
+  if (opt.int_sample > 0 || !opt.health_json.empty()) {
+    health = std::make_unique<telemetry::HealthCollector>();
+    health->ingest_reports(fabric.all_int_reports());
+    health->ingest_drops(fabric.all_drop_records(), fabric.all_drop_counts());
+    health->ingest_lag(fabric.metrics_snapshot());
+    health->finalize();
+    health->publish(fabric.simulator().metrics());
+  }
+
   // One snapshot feeds the exit tables and --metrics-json, so the report and
   // the exported file can never disagree. Sharded runs merge per-shard
   // registries deterministically; one shard is exactly the legacy snapshot.
@@ -697,6 +773,12 @@ int main(int argc, char** argv) {
           << swim["faults_declared"] << ", updates " << swim["updates_sent"] << "\n";
     }
   }
+  if (health) {
+    rep << "health: " << health->int_reports() << " INT reports ("
+        << health->int_truncated() << " truncated), " << health->drops_total()
+        << " drops mirrored (" << health->drops_attributed() << " attributed), "
+        << health->anomalies().size() << " anomalies\n";
+  }
   rep << "\n";
 
   if (!opt.quiet) {
@@ -760,7 +842,13 @@ int main(int argc, char** argv) {
     const auto net_stats = fabric.network().total_stats();
     rep << "\nfabric links: " << net_stats.packets_sent << " packets, "
               << net_stats.bytes_sent << " bytes, " << net_stats.packets_dropped_loss
-              << " lost, " << net_stats.packets_dropped_queue << " queue-dropped\n";
+              << " lost, " << net_stats.packets_dropped_queue << " queue-dropped, "
+              << net_stats.packets_dropped_dead << " dead-dropped\n";
+
+    if (health) {
+      rep << "\n";
+      health->print_report(rep);
+    }
 
     if (opt.span_sample > 0) {
       const std::vector<telemetry::Span> spans = fabric.all_spans();
@@ -792,7 +880,13 @@ int main(int argc, char** argv) {
       node_names[fabric.sw(i).id()] = "sw" + std::to_string(i);
     }
     const std::vector<telemetry::Span> spans = fabric.all_spans();
-    telemetry::write_perfetto(out, spans, node_names);
+    if (health) {
+      // Queue-depth counter tracks from the INT hop records ride in the same
+      // file; analyze's span parser skips them.
+      telemetry::write_perfetto(out, spans, health->counter_samples(), node_names);
+    } else {
+      telemetry::write_perfetto(out, spans, node_names);
+    }
     rep << "perfetto: wrote " << spans.size() << " spans to " << opt.perfetto << "\n";
   }
   if (!opt.timeseries.empty()) {
@@ -804,6 +898,35 @@ int main(int argc, char** argv) {
     sampler.write_csv(out);
     rep << "timeseries: wrote " << sampler.size() << " samples to " << opt.timeseries
               << "\n";
+  }
+  if (!opt.health_json.empty()) {
+    if (opt.health_json == "-") {
+      std::cout << health->to_json();
+    } else {
+      std::ofstream out(opt.health_json);
+      if (!out) {
+        std::cerr << "error: cannot open " << opt.health_json << " for writing\n";
+        return 1;
+      }
+      out << health->to_json();
+      rep << "health: wrote scorecard (" << health->anomalies().size() << " anomalies) to "
+          << opt.health_json << "\n";
+    }
+  }
+  if (!opt.drops_json.empty()) {
+    const std::vector<telemetry::DropRecord> records = fabric.all_drop_records();
+    if (opt.drops_json == "-") {
+      telemetry::write_drop_forensics(std::cout, records);
+    } else {
+      std::ofstream out(opt.drops_json);
+      if (!out) {
+        std::cerr << "error: cannot open " << opt.drops_json << " for writing\n";
+        return 1;
+      }
+      telemetry::write_drop_forensics(out, records);
+      rep << "drops: wrote " << records.size() << " forensic records to " << opt.drops_json
+          << "\n";
+    }
   }
   if (!opt.metrics_json.empty()) {
     if (opt.metrics_json == "-") {
